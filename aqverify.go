@@ -1,0 +1,183 @@
+// Package aqverify verifies the correctness — soundness and completeness
+// — of analytic query results over outsourced databases, implementing
+// Nosrati & Cai, "Verifying the Correctness of Analytic Query Results"
+// (IEEE TKDE 2020 / ICDE 2023).
+//
+// A data owner uploads a table to an untrusted cloud together with an
+// authenticated data structure (the IFMH-tree). Data users issue top-k,
+// score-range and KNN queries under a utility-function template; every
+// answer carries a verification object that the user checks against the
+// owner's published public key. Any record forged, modified, dropped or
+// injected by the server or the network makes verification fail.
+//
+// # Quick start
+//
+//	signer, _ := aqverify.NewSigner(aqverify.Ed25519, aqverify.SignerOptions{})
+//	tree, _ := aqverify.Build(table, aqverify.Params{
+//	        Mode:     aqverify.OneSignature,
+//	        Signer:   signer,
+//	        Domain:   domain,
+//	        Template: aqverify.AffineLine(0, 1),
+//	})
+//	ans, _ := tree.Process(aqverify.NewTopK(x, 10), nil)     // server side
+//	err := aqverify.Verify(tree.Public(), ans.Query, ans.Records, &ans.VO, nil) // client side
+//
+// The facade re-exports the stable surface of the internal packages; the
+// examples/ directory shows complete programs, and cmd/vqbench
+// regenerates the paper's evaluation figures.
+package aqverify
+
+import (
+	"aqverify/internal/core"
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+	"aqverify/internal/mesh"
+	"aqverify/internal/metrics"
+	"aqverify/internal/query"
+	"aqverify/internal/record"
+	"aqverify/internal/sig"
+)
+
+// Data model.
+type (
+	// Record is one row of the outsourced table.
+	Record = record.Record
+	// Column describes one schema attribute.
+	Column = record.Column
+	// Schema names a table's attributes.
+	Schema = record.Schema
+	// Table is the outsourced database.
+	Table = record.Table
+	// Template interprets records as linear functions of query weights.
+	Template = funcs.Template
+	// Point is a function input (weight vector).
+	Point = geometry.Point
+	// Box is the owner-specified bounded query domain.
+	Box = geometry.Box
+)
+
+// Queries.
+type (
+	// Query is one analytic query (top-k, range or KNN).
+	Query = query.Query
+	// QueryKind discriminates the query types.
+	QueryKind = query.Kind
+)
+
+// Core verification structures.
+type (
+	// Tree is the IFMH-tree — the authenticated data structure of the
+	// paper's contribution.
+	Tree = core.Tree
+	// Params configures Build.
+	Params = core.Params
+	// PublicParams is what the owner publishes to its users.
+	PublicParams = core.PublicParams
+	// Mode selects one-signature or multi-signature.
+	Mode = core.Mode
+	// VO is a verification object.
+	VO = core.VO
+	// Answer is a query result plus its verification object.
+	Answer = core.Answer
+	// TreeStats describes a built tree's footprint.
+	TreeStats = core.Stats
+	// SignatureMesh is the baseline structure of Yang, Cai & Hu.
+	SignatureMesh = mesh.Mesh
+	// MeshParams configures the baseline build.
+	MeshParams = mesh.Params
+)
+
+// Signatures and instrumentation.
+type (
+	// Signer creates the owner's signatures.
+	Signer = sig.Signer
+	// Verifier checks them.
+	Verifier = sig.Verifier
+	// SignerOptions configures key generation.
+	SignerOptions = sig.Options
+	// SigScheme names a signature algorithm.
+	SigScheme = sig.Scheme
+	// Counter accumulates operation counts for measurements.
+	Counter = metrics.Counter
+)
+
+// Signing modes.
+const (
+	OneSignature   = core.OneSignature
+	MultiSignature = core.MultiSignature
+)
+
+// Signature schemes.
+const (
+	RSA     = sig.RSA
+	DSA     = sig.DSA
+	ECDSA   = sig.ECDSA
+	Ed25519 = sig.Ed25519
+)
+
+// Query kinds.
+const (
+	TopK    = query.TopK
+	Range   = query.Range
+	KNN     = query.KNN
+	BottomK = query.BottomK
+)
+
+// ErrVerification wraps every verification failure.
+var ErrVerification = core.ErrVerification
+
+// NewTable validates records against a schema.
+func NewTable(schema Schema, records []Record) (Table, error) {
+	return record.NewTable(schema, records)
+}
+
+// NewBox builds a bounded query domain.
+func NewBox(lo, hi []float64) (Box, error) { return geometry.NewBox(lo, hi) }
+
+// ScalarProduct is the template f_i(X) = r_i · X with one weight per
+// attribute.
+func ScalarProduct(arity int) Template { return funcs.ScalarProduct(arity) }
+
+// AffineLine is the univariate template f_i(x) = slope*x + intercept,
+// naming the two attribute indices.
+func AffineLine(slopeAttr, interceptAttr int) Template {
+	return funcs.AffineLine(slopeAttr, interceptAttr)
+}
+
+// NewSigner generates a signing key.
+func NewSigner(scheme SigScheme, opt SignerOptions) (Signer, error) {
+	return sig.NewSigner(scheme, opt)
+}
+
+// NewTopK builds a top-k query at function input x.
+func NewTopK(x Point, k int) Query { return query.NewTopK(x, k) }
+
+// NewRange builds a score-range query.
+func NewRange(x Point, l, u float64) Query { return query.NewRange(x, l, u) }
+
+// NewKNN builds a k-nearest-neighbors query around score y.
+func NewKNN(x Point, k int, y float64) Query { return query.NewKNN(x, k, y) }
+
+// NewBottomK builds a bottom-k query (lowest k scores) — the extension
+// query type demonstrating that any contiguous-window query plugs into
+// the IFMH machinery.
+func NewBottomK(x Point, k int) Query { return query.NewBottomK(x, k) }
+
+// Build constructs the IFMH-tree (the server-side structure the data
+// owner uploads).
+func Build(tbl Table, p Params) (*Tree, error) { return core.Build(tbl, p) }
+
+// BuildMesh constructs the signature-mesh baseline.
+func BuildMesh(tbl Table, p MeshParams) (*SignatureMesh, error) { return mesh.Build(tbl, p) }
+
+// Verify checks a query answer against the owner's public parameters; a
+// nil return means the result is sound and complete.
+func Verify(pub PublicParams, q Query, recs []Record, vo *VO, ctr *Counter) error {
+	return core.Verify(pub, q, recs, vo, ctr)
+}
+
+// Exec runs a query directly over a local table — the trusted reference
+// the verification guarantees are defined against.
+func Exec(tbl Table, tpl Template, q Query) (query.Result, error) {
+	return query.Exec(tbl, tpl, q)
+}

@@ -1,0 +1,144 @@
+// Benchmarks regenerating the paper's evaluation, one testing.B target
+// per table/figure (see EXPERIMENTS.md for the paper-vs-measured record).
+// Each figure benchmark runs its full sweep at the quick scale; absolute
+// numbers are machine-specific but the series shapes mirror the paper.
+// Run the paper-scale sweep with cmd/vqbench instead.
+package aqverify_test
+
+import (
+	"sync"
+	"testing"
+
+	"aqverify"
+	"aqverify/internal/bench"
+	"aqverify/internal/metrics"
+	"aqverify/internal/workload"
+)
+
+// sharedHarness caches built structures across figure benchmarks so
+// `go test -bench=.` does not rebuild the sweep for every figure.
+var (
+	harnessOnce sync.Once
+	harness     *bench.Harness
+	harnessErr  error
+)
+
+func quickHarness(b *testing.B) *bench.Harness {
+	b.Helper()
+	harnessOnce.Do(func() {
+		harness, harnessErr = bench.NewHarness(bench.QuickConfig())
+	})
+	if harnessErr != nil {
+		b.Fatal(harnessErr)
+	}
+	return harness
+}
+
+func benchFigure(b *testing.B, id string) {
+	h := quickHarness(b)
+	f, err := bench.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := f.Run(h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig5aSignatures(b *testing.B)    { benchFigure(b, "fig5a") }
+func BenchmarkFig5bConstruction(b *testing.B)  { benchFigure(b, "fig5b") }
+func BenchmarkFig5cStructureSize(b *testing.B) { benchFigure(b, "fig5c") }
+func BenchmarkFig6aTopK(b *testing.B)          { benchFigure(b, "fig6a") }
+func BenchmarkFig6bKNN(b *testing.B)           { benchFigure(b, "fig6b") }
+func BenchmarkFig6cRange(b *testing.B)         { benchFigure(b, "fig6c") }
+func BenchmarkFig6dResultLength(b *testing.B)  { benchFigure(b, "fig6d") }
+func BenchmarkFig7aHashes(b *testing.B)        { benchFigure(b, "fig7a") }
+func BenchmarkFig7bHashTime(b *testing.B)      { benchFigure(b, "fig7b") }
+func BenchmarkFig7cDecryption(b *testing.B)    { benchFigure(b, "fig7c") }
+func BenchmarkFig7dTotalVerify(b *testing.B)   { benchFigure(b, "fig7d") }
+func BenchmarkFig8aVOByResult(b *testing.B)    { benchFigure(b, "fig8a") }
+func BenchmarkFig8bVOByDatabase(b *testing.B)  { benchFigure(b, "fig8b") }
+func BenchmarkAblationDelta(b *testing.B)      { benchFigure(b, "ablationA1") }
+func BenchmarkAblationShuffle(b *testing.B)    { benchFigure(b, "ablationA2") }
+
+// Micro-benchmarks of the hot paths behind the figures.
+
+func buildFixture(b *testing.B, n int, mode aqverify.Mode) (*aqverify.Tree, aqverify.Box) {
+	b.Helper()
+	tbl, dom, err := workload.Lines(workload.LinesConfig{N: n, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	signer, err := aqverify.NewSigner(aqverify.Ed25519, aqverify.SignerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := aqverify.Build(tbl, aqverify.Params{
+		Mode: mode, Signer: signer, Domain: dom,
+		Template: aqverify.AffineLine(0, 1), Shuffle: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tree, dom
+}
+
+func BenchmarkBuildIFMH1000(b *testing.B) {
+	tbl, dom, err := workload.Lines(workload.LinesConfig{N: 1000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	signer, err := aqverify.NewSigner(aqverify.Ed25519, aqverify.SignerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := aqverify.Build(tbl, aqverify.Params{
+			Mode: aqverify.OneSignature, Signer: signer, Domain: dom,
+			Template: aqverify.AffineLine(0, 1), Shuffle: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProcessTopK(b *testing.B) {
+	tree, dom := buildFixture(b, 1000, aqverify.OneSignature)
+	x := aqverify.Point{(dom.Lo[0] + dom.Hi[0]) / 2}
+	q := aqverify.NewTopK(x, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.Process(q, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyTopK(b *testing.B) {
+	tree, dom := buildFixture(b, 1000, aqverify.MultiSignature)
+	pub := tree.Public()
+	x := aqverify.Point{(dom.Lo[0] + dom.Hi[0]) / 2}
+	q := aqverify.NewTopK(x, 10)
+	ans, err := tree.Process(q, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ctr metrics.Counter
+		if err := aqverify.Verify(pub, q, ans.Records, &ans.VO, &ctr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Command vqdemo walks the full outsourcing story end to end: a data
+// owner builds and signs the IFMH-tree, a cloud server answers analytic
+// queries with verification objects, an honest round trip verifies, and a
+// battery of attacks by a lying server or network adversary is rejected.
+//
+// Usage:
+//
+//	vqdemo [-n records] [-mode one|multi] [-backend ifmh|mesh] [-seed n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"aqverify/internal/client"
+	"aqverify/internal/core"
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+	"aqverify/internal/owner"
+	"aqverify/internal/query"
+	"aqverify/internal/server"
+	"aqverify/internal/sig"
+	"aqverify/internal/tamper"
+	"aqverify/internal/wire"
+	"aqverify/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vqdemo:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n       = flag.Int("n", 500, "database size")
+		modeStr = flag.String("mode", "one", "IFMH signing mode: one|multi")
+		backend = flag.String("backend", "ifmh", "backend: ifmh|mesh")
+		seed    = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	mode := core.OneSignature
+	if *modeStr == "multi" {
+		mode = core.MultiSignature
+	}
+
+	fmt.Printf("== Outsourcing a %d-record database (backend %s) ==\n", *n, *backend)
+	tbl, dom, err := workload.Lines(workload.LinesConfig{N: *n, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	tpl := funcs.AffineLine(0, 1)
+	o, err := owner.NewWithScheme(sig.RSA, sig.Options{})
+	if err != nil {
+		return err
+	}
+
+	var srv *server.Server
+	var cli *client.Client
+	switch *backend {
+	case "ifmh":
+		tree, pub, err := o.OutsourceIFMH(tbl, tpl, dom, owner.Options{Mode: mode, Shuffle: true, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		st := tree.Stats()
+		fmt.Printf("built IFMH-tree (%v): %d subdomains, %d IMH nodes (depth %d), %d shared FMH nodes, %d signature(s)\n",
+			mode, st.Subdomains, st.IMHNodes, st.IMHDepth, st.FMHNodes, st.Signatures)
+		if srv, err = server.New(server.IFMH{Tree: tree}); err != nil {
+			return err
+		}
+		cli = client.NewIFMH(pub)
+	case "mesh":
+		m, pub, err := o.OutsourceMesh(tbl, tpl, dom, owner.Options{})
+		if err != nil {
+			return err
+		}
+		st := m.Stats()
+		fmt.Printf("built signature mesh: %d subdomains, %d signed runs\n", st.Subdomains, st.Runs)
+		if srv, err = server.New(server.Mesh{M: m}); err != nil {
+			return err
+		}
+		cli = client.NewMesh(pub)
+	default:
+		return fmt.Errorf("unknown backend %q", *backend)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	x := geometry.Point{dom.Lo[0] + (dom.Hi[0]-dom.Lo[0])*0.5}
+	queries := []query.Query{
+		query.NewTopK(x, 5),
+		query.NewRange(x, -1, 1),
+		query.NewKNN(x, 5, 0),
+	}
+
+	fmt.Println("\n== Honest round trips ==")
+	for _, q := range queries {
+		recs, err := cli.Query(srv, nil, q)
+		if err != nil {
+			return fmt.Errorf("%v: %w", q.Kind, err)
+		}
+		fmt.Printf("%-6v verified %d records", q.Kind, len(recs))
+		if len(recs) > 0 {
+			f := tpl.Interpret(0, recs[0])
+			fmt.Printf(" (first: id=%d score=%.3f)", recs[0].ID, f.Eval(q.X))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n== Attacks ==")
+	detected, applied := 0, 0
+	if *backend == "ifmh" {
+		treeSrv := srv
+		for _, q := range queries {
+			for _, atk := range tamper.IFMHCatalog() {
+				atk := atk
+				ch := func(b []byte) []byte {
+					ans, err := wire.DecodeIFMH(b)
+					if err != nil {
+						return b
+					}
+					bad := ans.Clone()
+					if !atk.Apply(bad, rng) {
+						return b
+					}
+					return wire.EncodeIFMH(bad)
+				}
+				raw1, _ := treeSrv.Handle(q)
+				raw2 := ch(raw1)
+				if string(raw1) == string(raw2) {
+					continue // attack not applicable to this answer
+				}
+				applied++
+				if _, err := cli.Query(treeSrv, ch, q); err != nil {
+					detected++
+				} else {
+					fmt.Printf("MISSED: %s on %v\n", atk.Name, q.Kind)
+				}
+			}
+		}
+	} else {
+		for _, q := range queries {
+			for _, atk := range tamper.MeshCatalog() {
+				atk := atk
+				ch := func(b []byte) []byte {
+					ans, err := wire.DecodeMesh(b)
+					if err != nil {
+						return b
+					}
+					bad := ans.Clone()
+					if !atk.Apply(bad, rng) {
+						return b
+					}
+					return wire.EncodeMesh(bad)
+				}
+				raw1, _ := srv.Handle(q)
+				raw2 := ch(raw1)
+				if string(raw1) == string(raw2) {
+					continue
+				}
+				applied++
+				if _, err := cli.Query(srv, ch, q); err != nil {
+					detected++
+				} else {
+					fmt.Printf("MISSED: %s on %v\n", atk.Name, q.Kind)
+				}
+			}
+		}
+	}
+	fmt.Printf("detected %d/%d applied attacks\n", detected, applied)
+	if detected != applied {
+		return fmt.Errorf("%d attacks went undetected", applied-detected)
+	}
+
+	stats, count := srv.Stats()
+	fmt.Printf("\nserver handled %d queries; cumulative: %s\n", count, (&stats).String())
+	cs := cli.Stats()
+	fmt.Printf("client cumulative: %s\n", (&cs).String())
+	return nil
+}

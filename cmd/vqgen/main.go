@@ -1,0 +1,78 @@
+// Command vqgen generates the synthetic datasets used by the benchmarks
+// and examples, writing them as CSV so they can be inspected or consumed
+// by external tooling.
+//
+// Usage:
+//
+//	vqgen -kind lines|points|applicants|patients [-n records] [-dim d]
+//	      [-dist name] [-density f] [-seed n] [-o file]
+//
+// The first output line is a comment with the generated query domain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"aqverify/internal/geometry"
+	"aqverify/internal/record"
+	"aqverify/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vqgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		kind    = flag.String("kind", "lines", "dataset kind: lines|points|applicants|patients")
+		n       = flag.Int("n", 1000, "record count")
+		dim     = flag.Int("dim", 2, "attribute count (points only)")
+		dist    = flag.String("dist", "gaussian", "attribute distribution")
+		density = flag.Float64("density", workload.DefaultDensity, "subdomains per record (lines only)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var (
+		tbl record.Table
+		dom geometry.Box
+		err error
+	)
+	switch *kind {
+	case "lines":
+		tbl, dom, err = workload.Lines(workload.LinesConfig{
+			N: *n, Seed: *seed, Dist: workload.Distribution(*dist), Density: *density,
+		})
+	case "points":
+		tbl, dom, err = workload.Points(workload.PointsConfig{
+			N: *n, Dim: *dim, Seed: *seed, Dist: workload.Distribution(*dist),
+		})
+	case "applicants":
+		tbl, dom, err = workload.Applicants(*n, *seed)
+	case "patients":
+		tbl, dom, err = workload.RiskPatients(*n, *seed)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return workload.WriteCSV(w, tbl, dom)
+}

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"aqverify/internal/core"
+	"aqverify/internal/funcs"
+	"aqverify/internal/metrics"
+	"aqverify/internal/workload"
+)
+
+// Ablations over this implementation's own design choices (DESIGN.md §3).
+//
+// A1 quantifies the delta FMH representation (persistent Merkle sharing +
+// per-boundary swaps) against the paper-literal materialized layout
+// (every subdomain stores its permutation and a fresh FMH-tree).
+//
+// A2 quantifies shuffled versus as-generated intersection insertion order
+// in the IMH-tree, the BST-balance effect the paper leaves unspecified.
+
+func ablationDelta(h *Harness) (*Table, error) {
+	t := &Table{
+		ID:    "ablationA1",
+		Title: "Delta vs materialized subdomain lists (build time / FMH nodes / size)",
+		Columns: []string{"n",
+			"delta-sec", "mat-sec",
+			"delta-fmh-nodes", "mat-fmh-nodes",
+			"delta-bytes", "mat-bytes"},
+		Notes: []string{h.schemeNote(),
+			"materialized is the paper-literal O(S*n) layout; delta is this implementation's O(n + S log n) one"},
+	}
+	for _, n := range h.Cfg.AblationSizes {
+		tbl, dom, err := workload.Lines(workload.LinesConfig{
+			N: n, Seed: h.Cfg.Seed, Dist: h.Cfg.Dist, Density: h.Cfg.Density,
+		})
+		if err != nil {
+			return nil, err
+		}
+		build := func(materialize bool) (core.Stats, float64, error) {
+			start := time.Now()
+			tree, err := core.Build(tbl, core.Params{
+				Mode:        core.OneSignature,
+				Signer:      h.signer,
+				Domain:      dom,
+				Template:    funcs.AffineLine(0, 1),
+				Shuffle:     true,
+				Seed:        h.Cfg.Seed,
+				Materialize: materialize,
+			})
+			if err != nil {
+				return core.Stats{}, 0, err
+			}
+			return tree.Stats(), time.Since(start).Seconds(), nil
+		}
+		ds, dt, err := build(false)
+		if err != nil {
+			return nil, fmt.Errorf("bench: delta n=%d: %w", n, err)
+		}
+		ms, mt, err := build(true)
+		if err != nil {
+			return nil, fmt.Errorf("bench: materialized n=%d: %w", n, err)
+		}
+		// The materialized layout additionally stores S permutations of n
+		// integers, which Stats does not model; add them explicitly.
+		matBytes := ms.ApproxBytes + ms.Subdomains*n*8
+		t.AddRow(fmtInt(n),
+			fmtF(dt), fmtF(mt),
+			fmtInt(ds.FMHNodes), fmtInt(ms.FMHNodes),
+			fmtBytes(ds.ApproxBytes), fmtBytes(matBytes))
+	}
+	return t, nil
+}
+
+func ablationShuffle(h *Harness) (*Table, error) {
+	t := &Table{
+		ID:    "ablationA2",
+		Title: "Shuffled vs in-order intersection insertion (IMH depth / search cost)",
+		Columns: []string{"n",
+			"shuffled-depth", "inorder-depth",
+			"shuffled-search", "inorder-search"},
+		Notes: []string{h.schemeNote(),
+			"search is the mean IMH nodes visited over random queries"},
+	}
+	for _, n := range h.Cfg.AblationSizes {
+		tbl, dom, err := workload.Lines(workload.LinesConfig{
+			N: n, Seed: h.Cfg.Seed, Dist: h.Cfg.Dist, Density: h.Cfg.Density,
+		})
+		if err != nil {
+			return nil, err
+		}
+		build := func(shuffle bool) (*core.Tree, error) {
+			return core.Build(tbl, core.Params{
+				Mode:     core.OneSignature,
+				Signer:   h.signer,
+				Domain:   dom,
+				Template: funcs.AffineLine(0, 1),
+				Shuffle:  shuffle,
+				Seed:     h.Cfg.Seed,
+			})
+		}
+		shuffled, err := build(true)
+		if err != nil {
+			return nil, err
+		}
+		inorder, err := build(false)
+		if err != nil {
+			return nil, err
+		}
+		qs := workload.TopK(dom, workload.QueryConfig{Count: h.Cfg.Reps, Seed: h.Cfg.Seed, K: 1})
+		search := func(tr *core.Tree) (float64, error) {
+			var total uint64
+			for _, q := range qs {
+				var ctr metrics.Counter
+				if _, err := tr.Process(q, &ctr); err != nil {
+					return 0, err
+				}
+				total += ctr.NodesVisited
+			}
+			return float64(total) / float64(len(qs)), nil
+		}
+		ss, err := search(shuffled)
+		if err != nil {
+			return nil, err
+		}
+		is, err := search(inorder)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmtInt(n),
+			fmtInt(shuffled.Stats().IMHDepth), fmtInt(inorder.Stats().IMHDepth),
+			fmtF(ss), fmtF(is))
+	}
+	return t, nil
+}

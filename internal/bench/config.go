@@ -1,0 +1,124 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§4.3): data-owner overheads (Fig 5a-c), server overheads
+// (Fig 6a-d), user verification overheads (Fig 7a-d), communication
+// overheads (Fig 8a-b), plus two ablations over this implementation's own
+// design choices. Each figure is a named runner producing a Table whose
+// rows mirror the paper's plotted series.
+package bench
+
+import (
+	"fmt"
+
+	"aqverify/internal/sig"
+	"aqverify/internal/workload"
+)
+
+// Config controls the sweeps. The zero value is not valid; start from
+// DefaultConfig or QuickConfig.
+type Config struct {
+	// Sizes is the database-size sweep (the paper uses 1,000-10,000).
+	Sizes []int
+	// QuerySizes is the |q| sweep for Figs 6d, 7 and 8a (paper:
+	// 1,000-10,000 on n = 10,000). Values are clamped to the largest
+	// database size.
+	QuerySizes []int
+	// QFixed is the result size for Fig 8b (paper: 100).
+	QFixed int
+	// AblationSizes bounds the delta-vs-materialized ablation, whose
+	// materialized arm costs O(S·n) memory.
+	AblationSizes []int
+	// Scheme is the signature algorithm used in builds and timed
+	// verifications (the paper's default is RSA).
+	Scheme sig.Scheme
+	// RSABits sizes RSA keys (0 = 2048). The paper reports 640-byte RSA
+	// signatures; we use real moduli and report actual sizes.
+	RSABits int
+	// Density is the target subdomains-per-record ratio of the workload
+	// (see workload.Lines); zero means workload.DefaultDensity.
+	Density float64
+	// Dist selects the attribute distribution.
+	Dist workload.Distribution
+	// Seed makes runs reproducible.
+	Seed int64
+	// Reps is the number of queries averaged per data point.
+	Reps int
+}
+
+// DefaultConfig approximates the paper's scale. The full sweep builds
+// signature meshes up to n = 10,000, which signs ~10⁵ digests; RSA-1024
+// keeps that in whole-run minutes (noted in every table).
+func DefaultConfig() Config {
+	return Config{
+		Sizes:         []int{1000, 2000, 4000, 6000, 8000, 10000},
+		QuerySizes:    []int{1000, 2000, 4000, 6000, 8000, 10000},
+		QFixed:        100,
+		AblationSizes: []int{250, 500, 1000, 2000},
+		Scheme:        sig.RSA,
+		RSABits:       1024,
+		Density:       workload.DefaultDensity,
+		Dist:          workload.Gaussian,
+		Seed:          1,
+		Reps:          20,
+	}
+}
+
+// QuickConfig is a scaled-down sweep for tests and testing.B benchmarks:
+// same shapes, seconds not minutes.
+func QuickConfig() Config {
+	return Config{
+		Sizes:         []int{250, 500, 1000},
+		QuerySizes:    []int{100, 250, 500, 1000},
+		QFixed:        50,
+		AblationSizes: []int{100, 250, 500},
+		Scheme:        sig.Ed25519,
+		Density:       workload.DefaultDensity,
+		Dist:          workload.Gaussian,
+		Seed:          1,
+		Reps:          8,
+	}
+}
+
+// validate normalizes and checks a config.
+func (c *Config) validate() error {
+	if len(c.Sizes) == 0 {
+		return fmt.Errorf("bench: Sizes must be non-empty")
+	}
+	for _, n := range c.Sizes {
+		if n < 2 {
+			return fmt.Errorf("bench: database size %d too small", n)
+		}
+	}
+	if c.Scheme == "" {
+		c.Scheme = sig.RSA
+	}
+	if c.Density == 0 {
+		c.Density = workload.DefaultDensity
+	}
+	if c.Dist == "" {
+		c.Dist = workload.Gaussian
+	}
+	if c.Reps <= 0 {
+		c.Reps = 10
+	}
+	if c.QFixed <= 0 {
+		c.QFixed = 100
+	}
+	if len(c.QuerySizes) == 0 {
+		c.QuerySizes = c.Sizes
+	}
+	if len(c.AblationSizes) == 0 {
+		c.AblationSizes = []int{250, 500, 1000}
+	}
+	return nil
+}
+
+// maxSize returns the largest database size in the sweep.
+func (c *Config) maxSize() int {
+	m := c.Sizes[0]
+	for _, n := range c.Sizes[1:] {
+		if n > m {
+			m = n
+		}
+	}
+	return m
+}

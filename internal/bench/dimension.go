@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"time"
+
+	"aqverify/internal/core"
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+	"aqverify/internal/metrics"
+	"aqverify/internal/query"
+	"aqverify/internal/wire"
+	"aqverify/internal/workload"
+)
+
+// Ablation A4 — variable-count (dimension) sweep. The paper's overhead
+// analysis (§4.2) puts the subdomain count at O(n^{2d}) for d-variable
+// linear functions; this table makes the blowup concrete on the LP-backed
+// multivariate path: at a fixed (small) n, each added weight multiplies
+// the subdomain count and the construction cost, while the per-query
+// traversal and VO size stay modest — the asymmetry the IFMH-tree is
+// designed around.
+func ablationDimensions(h *Harness) (*Table, error) {
+	// One family across dimensions: n anti-correlated scalar-product
+	// records over [0.05,1]^d. Anti-correlation maximizes rank crossings
+	// (the adversarial case of the top-k literature), so the arrangement
+	// growth in d is visible even at small n. d = 1 exercises the exact
+	// rational fast path; d >= 2 the LP-backed polytope space.
+	n := 10
+	t := &Table{
+		ID:    "ablationA4",
+		Title: "Dimension sweep (n = 10 anti-correlated scalar-product records)",
+		Columns: []string{"d",
+			"subdomains", "imh-depth", "build-sec",
+			"search-nodes", "vo-bytes"},
+		Notes: []string{h.schemeNote(),
+			"subdomain counts follow the arrangement of O(n^2) difference hyperplanes, the paper's O(n^{2d}) regime"},
+	}
+	for _, d := range []int{1, 2, 3} {
+		tbl, dom, err := workload.Points(workload.PointsConfig{
+			N: n, Dim: d, Seed: h.Cfg.Seed, Dist: workload.AntiCorrelated,
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		tree, err := core.Build(tbl, core.Params{
+			Mode: core.OneSignature, Signer: h.signer, Domain: dom,
+			Template: funcs.ScalarProduct(d), Shuffle: true, Seed: h.Cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		buildSec := time.Since(start).Seconds()
+		st := tree.Stats()
+
+		// Average verified queries at a deterministic spread of interior
+		// weights.
+		var nodes uint64
+		var voBytes float64
+		reps := h.Cfg.Reps
+		for i := 0; i < reps; i++ {
+			x := make(geometry.Point, d)
+			for j := range x {
+				x[j] = 0.1 + 0.8*float64((i*7+j*3)%10)/10
+			}
+			var ctr metrics.Counter
+			ans, err := tree.Process(query.NewTopK(x, 3), &ctr)
+			if err != nil {
+				return nil, err
+			}
+			nodes += ctr.NodesVisited
+			voBytes += float64(wire.VOSizeIFMH(ans))
+		}
+		t.AddRow(fmtInt(d),
+			fmtInt(st.Subdomains), fmtInt(st.IMHDepth), fmtF(buildSec),
+			fmtF(float64(nodes)/float64(reps)), fmtBytes(int(voBytes/float64(reps))))
+	}
+	return t, nil
+}

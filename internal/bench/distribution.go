@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"time"
+
+	"aqverify/internal/core"
+	"aqverify/internal/funcs"
+	"aqverify/internal/metrics"
+	"aqverify/internal/wire"
+	"aqverify/internal/workload"
+)
+
+// Ablation A3 — attribute-distribution sensitivity. The paper evaluates
+// one unnamed synthetic distribution; this table shows how the structure
+// and query costs react to the standard top-k workload family (uniform,
+// gaussian, correlated, anti-correlated, clustered) at a fixed n. The
+// domain-sizing knob keeps the target density constant, so differences
+// expose genuinely distribution-driven behaviour (crossing concentration,
+// run lengths) rather than raw intersection counts.
+func ablationDistributions(h *Harness) (*Table, error) {
+	n := h.Cfg.Sizes[0]
+	for _, s := range h.Cfg.Sizes {
+		if s > n && s <= 2000 {
+			n = s // largest size still cheap enough to build 5x
+		}
+	}
+	t := &Table{
+		ID:    "ablationA3",
+		Title: "Distribution sensitivity (fixed n, fixed target density)",
+		Columns: []string{"distribution",
+			"subdomains", "swaps", "build-sec",
+			"search-nodes", "vo-bytes"},
+		Notes: []string{h.schemeNote()},
+	}
+	for _, dist := range workload.Distributions() {
+		tbl, dom, err := workload.Lines(workload.LinesConfig{
+			N: n, Seed: h.Cfg.Seed, Dist: dist, Density: h.Cfg.Density,
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		tree, err := core.Build(tbl, core.Params{
+			Mode:     core.MultiSignature,
+			Signer:   h.signer,
+			Domain:   dom,
+			Template: funcs.AffineLine(0, 1),
+			Shuffle:  true,
+			Seed:     h.Cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		buildSec := time.Since(start).Seconds()
+		st := tree.Stats()
+
+		qs := workload.TopK(dom, workload.QueryConfig{Count: h.Cfg.Reps, Seed: h.Cfg.Seed, K: 3})
+		var nodes uint64
+		var voBytes float64
+		for _, q := range qs {
+			var ctr metrics.Counter
+			ans, err := tree.Process(q, &ctr)
+			if err != nil {
+				return nil, err
+			}
+			nodes += ctr.NodesVisited
+			voBytes += float64(wire.VOSizeIFMH(ans))
+		}
+		k := float64(len(qs))
+		t.AddRow(string(dist),
+			fmtInt(st.Subdomains), fmtInt(st.TotalSwaps), fmtF(buildSec),
+			fmtF(float64(nodes)/k), fmtBytes(int(voBytes/k)))
+	}
+	return t, nil
+}

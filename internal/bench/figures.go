@@ -1,0 +1,44 @@
+package bench
+
+import "fmt"
+
+// Figure is one regenerable evaluation artifact.
+type Figure struct {
+	ID    string
+	Title string
+	Run   func(h *Harness) (*Table, error)
+}
+
+// Figures lists every paper figure plus the two ablations, in paper
+// order.
+func Figures() []Figure {
+	return []Figure{
+		{"fig5a", "Data owner: signatures needed", fig5a},
+		{"fig5b", "Data owner: construction time", fig5b},
+		{"fig5c", "Data owner: structure size", fig5c},
+		{"fig6a", "Server: traversal for top-3 queries", fig6a},
+		{"fig6b", "Server: traversal for 3NN queries", fig6b},
+		{"fig6c", "Server: traversal for range queries (3 results)", fig6c},
+		{"fig6d", "Server: traversal by result length", fig6d},
+		{"fig7a", "User: hashing operations", fig7a},
+		{"fig7b", "User: hashing time", fig7b},
+		{"fig7c", "User: signature decryption time (RSA vs DSA)", fig7c},
+		{"fig7d", "User: total verification time", fig7d},
+		{"fig8a", "Communication: VO size by result length", fig8a},
+		{"fig8b", "Communication: VO size by database size", fig8b},
+		{"ablationA1", "Ablation: delta vs materialized lists", ablationDelta},
+		{"ablationA2", "Ablation: shuffled vs in-order insertion", ablationShuffle},
+		{"ablationA3", "Ablation: attribute-distribution sensitivity", ablationDistributions},
+		{"ablationA4", "Ablation: dimension sweep (LP-backed space)", ablationDimensions},
+	}
+}
+
+// Lookup finds a figure by ID.
+func Lookup(id string) (Figure, error) {
+	for _, f := range Figures() {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return Figure{}, fmt.Errorf("bench: unknown figure %q", id)
+}

@@ -1,0 +1,68 @@
+package bench
+
+// Figure 5 — data owner overhead: signatures needed (5a), construction
+// time (5b), structure size (5c), per database size, for the signature
+// mesh versus the one-signature and multi-signature IFMH-trees.
+
+func fig5a(h *Harness) (*Table, error) {
+	t := &Table{
+		ID:      "fig5a",
+		Title:   "Signatures needed to create the structure",
+		Columns: []string{"n", "mesh", "one-sig", "multi-sig"},
+		Notes:   []string{h.schemeNote()},
+	}
+	for _, n := range h.Cfg.Sizes {
+		e, err := h.Env(n)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmtInt(n),
+			fmtInt(e.Builds["mesh"].Signatures),
+			fmtInt(e.Builds["one"].Signatures),
+			fmtInt(e.Builds["multi"].Signatures))
+	}
+	return t, nil
+}
+
+func fig5b(h *Harness) (*Table, error) {
+	t := &Table{
+		ID:      "fig5b",
+		Title:   "Construction time (seconds)",
+		Columns: []string{"n", "mesh", "one-sig", "multi-sig"},
+		Notes:   []string{h.schemeNote()},
+	}
+	for _, n := range h.Cfg.Sizes {
+		e, err := h.Env(n)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmtInt(n),
+			fmtF(e.Builds["mesh"].Seconds),
+			fmtF(e.Builds["one"].Seconds),
+			fmtF(e.Builds["multi"].Seconds))
+	}
+	return t, nil
+}
+
+func fig5c(h *Harness) (*Table, error) {
+	t := &Table{
+		ID:      "fig5c",
+		Title:   "Structure size",
+		Columns: []string{"n", "mesh", "one-sig", "multi-sig"},
+		Notes: []string{
+			h.schemeNote(),
+			"IFMH sizes use the delta representation (persistent FMH sharing); see ablation A1 for the paper-literal layout",
+		},
+	}
+	for _, n := range h.Cfg.Sizes {
+		e, err := h.Env(n)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmtInt(n),
+			fmtBytes(e.Builds["mesh"].Bytes),
+			fmtBytes(e.Builds["one"].Bytes),
+			fmtBytes(e.Builds["multi"].Bytes))
+	}
+	return t, nil
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+
+	"aqverify/internal/metrics"
+	"aqverify/internal/query"
+	"aqverify/internal/workload"
+)
+
+// Figure 6 — server overhead: structure elements traversed (IMH/FMH
+// nodes, or mesh cells) to process a query and construct its verification
+// object. 6a: top-3; 6b: 3NN; 6c: range with 3 results; 6d: traversal
+// versus result length at fixed n.
+
+// serverTraversal averages the traversal cost of the queries on all three
+// backends.
+func (h *Harness) serverTraversal(e *Env, qs []query.Query) (meshAvg, oneAvg, multiAvg float64, err error) {
+	if len(qs) == 0 {
+		return 0, 0, 0, fmt.Errorf("bench: no queries")
+	}
+	var meshT, oneT, multiT uint64
+	for _, q := range qs {
+		var c1, c2, c3 metrics.Counter
+		if _, err := e.Mesh.Process(q, &c1); err != nil {
+			return 0, 0, 0, fmt.Errorf("mesh: %w", err)
+		}
+		if _, err := e.One.Process(q, &c2); err != nil {
+			return 0, 0, 0, fmt.Errorf("one-sig: %w", err)
+		}
+		if _, err := e.Multi.Process(q, &c3); err != nil {
+			return 0, 0, 0, fmt.Errorf("multi-sig: %w", err)
+		}
+		meshT += c1.Traversed()
+		oneT += c2.Traversed()
+		multiT += c3.Traversed()
+	}
+	n := float64(len(qs))
+	return float64(meshT) / n, float64(oneT) / n, float64(multiT) / n, nil
+}
+
+// queriesFor builds the per-figure query workloads.
+func (h *Harness) queriesFor(e *Env, kind query.Kind, resultSize int) ([]query.Query, error) {
+	cfg := workload.QueryConfig{Count: h.Cfg.Reps, Seed: h.Cfg.Seed + int64(e.N), K: resultSize, ResultSize: resultSize}
+	switch kind {
+	case query.TopK:
+		return workload.TopK(e.Domain, cfg), nil
+	case query.KNN:
+		return workload.KNN(e.Table, e.Template, e.Domain, cfg)
+	case query.Range:
+		return workload.Ranges(e.Table, e.Template, e.Domain, cfg)
+	default:
+		return nil, fmt.Errorf("bench: unknown kind %v", kind)
+	}
+}
+
+func fig6sweep(h *Harness, id, title string, kind query.Kind) (*Table, error) {
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"n", "mesh", "one-sig", "multi-sig"},
+		Notes:   []string{h.schemeNote()},
+	}
+	for _, n := range h.Cfg.Sizes {
+		e, err := h.Env(n)
+		if err != nil {
+			return nil, err
+		}
+		qs, err := h.queriesFor(e, kind, 3)
+		if err != nil {
+			return nil, err
+		}
+		m, o, mu, err := h.serverTraversal(e, qs)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmtInt(n), fmtF(m), fmtF(o), fmtF(mu))
+	}
+	return t, nil
+}
+
+func fig6a(h *Harness) (*Table, error) {
+	return fig6sweep(h, "fig6a", "Elements traversed constructing VO(q), top-3 query", query.TopK)
+}
+
+func fig6b(h *Harness) (*Table, error) {
+	return fig6sweep(h, "fig6b", "Elements traversed constructing VO(q), 3NN query", query.KNN)
+}
+
+func fig6c(h *Harness) (*Table, error) {
+	return fig6sweep(h, "fig6c", "Elements traversed constructing VO(q), range query with 3 results", query.Range)
+}
+
+func fig6d(h *Harness) (*Table, error) {
+	n := h.Cfg.maxSize()
+	e, err := h.Env(n)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig6d",
+		Title:   fmt.Sprintf("Elements traversed by result length (n = %d)", n),
+		Columns: []string{"|q|", "mesh", "one-sig", "multi-sig"},
+		Notes:   []string{h.schemeNote()},
+	}
+	for _, qn := range h.Cfg.QuerySizes {
+		if qn > n {
+			qn = n
+		}
+		qs, err := h.queriesFor(e, query.Range, qn)
+		if err != nil {
+			return nil, err
+		}
+		m, o, mu, err := h.serverTraversal(e, qs)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmtInt(qn), fmtF(m), fmtF(o), fmtF(mu))
+	}
+	return t, nil
+}

@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"aqverify/internal/core"
+	"aqverify/internal/mesh"
+	"aqverify/internal/metrics"
+	"aqverify/internal/query"
+	"aqverify/internal/sig"
+)
+
+// Figure 7 — user overhead: hash operations (7a), hashing time (7b),
+// signature-decryption time under RSA and DSA (7c), and total
+// verification time (7d), per result length at fixed n.
+
+// verifyStats runs one query on every backend and verifies the answers,
+// returning each verifier's counters plus measured wall time.
+type verifyStat struct {
+	ctr     metrics.Counter
+	seconds float64
+}
+
+func (h *Harness) verifyOnce(e *Env, q query.Query) (meshS, oneS, multiS verifyStat, err error) {
+	run := func(process func() (recs any, verify func(*metrics.Counter) error, perr error)) (verifyStat, error) {
+		_, verify, perr := process()
+		if perr != nil {
+			return verifyStat{}, perr
+		}
+		var st verifyStat
+		start := time.Now()
+		if err := verify(&st.ctr); err != nil {
+			return verifyStat{}, err
+		}
+		st.seconds = time.Since(start).Seconds()
+		return st, nil
+	}
+
+	meshS, err = run(func() (any, func(*metrics.Counter) error, error) {
+		ans, perr := e.Mesh.Process(q, nil)
+		if perr != nil {
+			return nil, nil, perr
+		}
+		pub := e.Mesh.Public()
+		return nil, func(c *metrics.Counter) error {
+			return mesh.Verify(pub, q, ans.Records, &ans.VO, c)
+		}, nil
+	})
+	if err != nil {
+		return meshS, oneS, multiS, fmt.Errorf("mesh: %w", err)
+	}
+	oneS, err = run(func() (any, func(*metrics.Counter) error, error) {
+		ans, perr := e.One.Process(q, nil)
+		if perr != nil {
+			return nil, nil, perr
+		}
+		pub := e.One.Public()
+		return nil, func(c *metrics.Counter) error {
+			return core.Verify(pub, q, ans.Records, &ans.VO, c)
+		}, nil
+	})
+	if err != nil {
+		return meshS, oneS, multiS, fmt.Errorf("one-sig: %w", err)
+	}
+	multiS, err = run(func() (any, func(*metrics.Counter) error, error) {
+		ans, perr := e.Multi.Process(q, nil)
+		if perr != nil {
+			return nil, nil, perr
+		}
+		pub := e.Multi.Public()
+		return nil, func(c *metrics.Counter) error {
+			return core.Verify(pub, q, ans.Records, &ans.VO, c)
+		}, nil
+	})
+	if err != nil {
+		return meshS, oneS, multiS, fmt.Errorf("multi-sig: %w", err)
+	}
+	return meshS, oneS, multiS, nil
+}
+
+// fig7data collects averaged verification stats per |q|.
+type fig7row struct {
+	qn               int
+	mesh, one, multi verifyStat
+}
+
+func (h *Harness) fig7rows() ([]fig7row, error) {
+	if h.fig7cache != nil {
+		return h.fig7cache, nil
+	}
+	n := h.Cfg.maxSize()
+	e, err := h.Env(n)
+	if err != nil {
+		return nil, err
+	}
+	var rows []fig7row
+	for _, qn := range h.Cfg.QuerySizes {
+		if qn > n {
+			qn = n
+		}
+		qs, err := h.queriesFor(e, query.Range, qn)
+		if err != nil {
+			return nil, err
+		}
+		var acc fig7row
+		acc.qn = qn
+		for _, q := range qs {
+			m, o, mu, err := h.verifyOnce(e, q)
+			if err != nil {
+				return nil, err
+			}
+			acc.mesh.ctr.Add(m.ctr)
+			acc.mesh.seconds += m.seconds
+			acc.one.ctr.Add(o.ctr)
+			acc.one.seconds += o.seconds
+			acc.multi.ctr.Add(mu.ctr)
+			acc.multi.seconds += mu.seconds
+		}
+		k := float64(len(qs))
+		acc.mesh.seconds /= k
+		acc.one.seconds /= k
+		acc.multi.seconds /= k
+		// Counters stay as sums; divide when rendering.
+		rows = append(rows, acc)
+	}
+	h.fig7cache = rows
+	return rows, nil
+}
+
+func fig7a(h *Harness) (*Table, error) {
+	rows, err := h.fig7rows()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig7a",
+		Title:   "Hashing operations per verification, by result length",
+		Columns: []string{"|q|", "mesh", "one-sig", "multi-sig"},
+		Notes:   []string{h.schemeNote()},
+	}
+	k := float64(h.Cfg.Reps)
+	for _, r := range rows {
+		t.AddRow(fmtInt(r.qn),
+			fmtF(float64(r.mesh.ctr.Hashes)/k),
+			fmtF(float64(r.one.ctr.Hashes)/k),
+			fmtF(float64(r.multi.ctr.Hashes)/k))
+	}
+	return t, nil
+}
+
+func fig7b(h *Harness) (*Table, error) {
+	rows, err := h.fig7rows()
+	if err != nil {
+		return nil, err
+	}
+	per := h.PerHashSeconds()
+	t := &Table{
+		ID:      "fig7b",
+		Title:   "Hashing time per verification (ms), by result length",
+		Columns: []string{"|q|", "mesh", "one-sig", "multi-sig"},
+		Notes: []string{
+			h.schemeNote(),
+			fmt.Sprintf("hash cost calibrated at %.0f ns/op", per*1e9),
+		},
+	}
+	k := float64(h.Cfg.Reps)
+	for _, r := range rows {
+		t.AddRow(fmtInt(r.qn),
+			fmtF(float64(r.mesh.ctr.Hashes)/k*per*1e3),
+			fmtF(float64(r.one.ctr.Hashes)/k*per*1e3),
+			fmtF(float64(r.multi.ctr.Hashes)/k*per*1e3))
+	}
+	return t, nil
+}
+
+func fig7c(h *Harness) (*Table, error) {
+	rows, err := h.fig7rows()
+	if err != nil {
+		return nil, err
+	}
+	perRSA, err := h.PerVerifySeconds(sig.RSA)
+	if err != nil {
+		return nil, err
+	}
+	perDSA, err := h.PerVerifySeconds(sig.DSA)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "fig7c",
+		Title: "Signature decryption time per verification (ms), RSA vs DSA",
+		Columns: []string{"|q|",
+			"mesh/RSA", "mesh/DSA",
+			"one-sig/RSA", "one-sig/DSA",
+			"multi-sig/RSA", "multi-sig/DSA"},
+		Notes: []string{
+			h.schemeNote(),
+			fmt.Sprintf("verify cost calibrated at RSA %.1f µs/op, DSA %.1f µs/op", perRSA*1e6, perDSA*1e6),
+		},
+	}
+	k := float64(h.Cfg.Reps)
+	for _, r := range rows {
+		mv := float64(r.mesh.ctr.SigVerifies) / k
+		ov := float64(r.one.ctr.SigVerifies) / k
+		uv := float64(r.multi.ctr.SigVerifies) / k
+		t.AddRow(fmtInt(r.qn),
+			fmtF(mv*perRSA*1e3), fmtF(mv*perDSA*1e3),
+			fmtF(ov*perRSA*1e3), fmtF(ov*perDSA*1e3),
+			fmtF(uv*perRSA*1e3), fmtF(uv*perDSA*1e3))
+	}
+	return t, nil
+}
+
+func fig7d(h *Harness) (*Table, error) {
+	rows, err := h.fig7rows()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig7d",
+		Title:   "Total verification time (ms), by result length",
+		Columns: []string{"|q|", "mesh", "one-sig", "multi-sig"},
+		Notes:   []string{h.schemeNote(), "measured wall time of the full client-side verification"},
+	}
+	for _, r := range rows {
+		t.AddRow(fmtInt(r.qn),
+			fmtF(r.mesh.seconds*1e3),
+			fmtF(r.one.seconds*1e3),
+			fmtF(r.multi.seconds*1e3))
+	}
+	return t, nil
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+
+	"aqverify/internal/query"
+	"aqverify/internal/wire"
+)
+
+// Figure 8 — communication overhead: the verification object's wire size,
+// by result length at fixed n (8a) and by database size at fixed result
+// length (8b).
+
+// voSizes averages the VO wire sizes of the queries across backends.
+func (h *Harness) voSizes(e *Env, qs []query.Query) (meshB, oneB, multiB float64, err error) {
+	for _, q := range qs {
+		ma, err := e.Mesh.Process(q, nil)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("mesh: %w", err)
+		}
+		meshB += float64(wire.VOSizeMesh(ma))
+		oa, err := e.One.Process(q, nil)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("one-sig: %w", err)
+		}
+		oneB += float64(wire.VOSizeIFMH(oa))
+		ua, err := e.Multi.Process(q, nil)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("multi-sig: %w", err)
+		}
+		multiB += float64(wire.VOSizeIFMH(ua))
+	}
+	k := float64(len(qs))
+	return meshB / k, oneB / k, multiB / k, nil
+}
+
+func fig8a(h *Harness) (*Table, error) {
+	n := h.Cfg.maxSize()
+	e, err := h.Env(n)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig8a",
+		Title:   fmt.Sprintf("Verification object size by result length (n = %d)", n),
+		Columns: []string{"|q|", "mesh", "one-sig", "multi-sig"},
+		Notes:   []string{h.schemeNote()},
+	}
+	for _, qn := range h.Cfg.QuerySizes {
+		if qn > n {
+			qn = n
+		}
+		qs, err := h.queriesFor(e, query.Range, qn)
+		if err != nil {
+			return nil, err
+		}
+		m, o, mu, err := h.voSizes(e, qs)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmtInt(qn), fmtBytes(int(m)), fmtBytes(int(o)), fmtBytes(int(mu)))
+	}
+	return t, nil
+}
+
+func fig8b(h *Harness) (*Table, error) {
+	t := &Table{
+		ID:      "fig8b",
+		Title:   fmt.Sprintf("Verification object size by database size (|q| = %d)", h.Cfg.QFixed),
+		Columns: []string{"n", "mesh", "one-sig", "multi-sig"},
+		Notes:   []string{h.schemeNote()},
+	}
+	for _, n := range h.Cfg.Sizes {
+		e, err := h.Env(n)
+		if err != nil {
+			return nil, err
+		}
+		qn := h.Cfg.QFixed
+		if qn > n {
+			qn = n
+		}
+		qs, err := h.queriesFor(e, query.Range, qn)
+		if err != nil {
+			return nil, err
+		}
+		m, o, mu, err := h.voSizes(e, qs)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmtInt(n), fmtBytes(int(m)), fmtBytes(int(o)), fmtBytes(int(mu)))
+	}
+	return t, nil
+}

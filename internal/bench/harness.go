@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"aqverify/internal/core"
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+	"aqverify/internal/hashing"
+	"aqverify/internal/mesh"
+	"aqverify/internal/metrics"
+	"aqverify/internal/record"
+	"aqverify/internal/sig"
+	"aqverify/internal/workload"
+)
+
+// BuildStat captures one structure's construction cost — Fig 5's metrics.
+type BuildStat struct {
+	Seconds    float64
+	Signatures int
+	Hashes     uint64
+	Bytes      int
+}
+
+// Env caches the structures built for one database size, shared across
+// every figure that sweeps n.
+type Env struct {
+	N        int
+	Table    record.Table
+	Domain   geometry.Box
+	Template funcs.Template
+
+	One   *core.Tree
+	Multi *core.Tree
+	Mesh  *mesh.Mesh
+
+	// Build stats keyed "one", "multi", "mesh".
+	Builds map[string]BuildStat
+}
+
+// Harness owns the signer, the per-size environments and the timing
+// calibrations shared by all figure runners.
+type Harness struct {
+	Cfg    Config
+	signer sig.Signer
+	envs   map[int]*Env
+
+	perHashSec   float64
+	perVerifySec map[sig.Scheme]float64
+	fig7cache    []fig7row
+}
+
+// NewHarness validates the config and prepares a harness. Structures are
+// built lazily per database size.
+func NewHarness(cfg Config) (*Harness, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	signer, err := sig.NewSigner(cfg.Scheme, sig.Options{RSABits: cfg.RSABits})
+	if err != nil {
+		return nil, fmt.Errorf("bench: signer: %w", err)
+	}
+	return &Harness{
+		Cfg:          cfg,
+		signer:       signer,
+		envs:         make(map[int]*Env),
+		perVerifySec: make(map[sig.Scheme]float64),
+	}, nil
+}
+
+// Env returns (building on first use) the environment for database size n.
+func (h *Harness) Env(n int) (*Env, error) {
+	if e, ok := h.envs[n]; ok {
+		return e, nil
+	}
+	tbl, dom, err := workload.Lines(workload.LinesConfig{
+		N: n, Seed: h.Cfg.Seed, Dist: h.Cfg.Dist, Density: h.Cfg.Density,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := &Env{
+		N: n, Table: tbl, Domain: dom,
+		Template: funcs.AffineLine(0, 1),
+		Builds:   make(map[string]BuildStat),
+	}
+
+	build := func(mode core.Mode) (*core.Tree, BuildStat, error) {
+		var ctr metrics.Counter
+		start := time.Now()
+		tree, err := core.Build(tbl, core.Params{
+			Mode:     mode,
+			Signer:   h.signer,
+			Domain:   dom,
+			Template: e.Template,
+			Hasher:   hashing.New(&ctr),
+			Shuffle:  true,
+			Seed:     h.Cfg.Seed,
+		})
+		if err != nil {
+			return nil, BuildStat{}, err
+		}
+		st := BuildStat{
+			Seconds:    time.Since(start).Seconds(),
+			Signatures: tree.SignatureCount(),
+			Hashes:     ctr.Hashes,
+			Bytes:      tree.Stats().ApproxBytes,
+		}
+		return tree, st, nil
+	}
+	var st BuildStat
+	if e.One, st, err = build(core.OneSignature); err != nil {
+		return nil, fmt.Errorf("bench: n=%d one-signature: %w", n, err)
+	}
+	e.Builds["one"] = st
+	if e.Multi, st, err = build(core.MultiSignature); err != nil {
+		return nil, fmt.Errorf("bench: n=%d multi-signature: %w", n, err)
+	}
+	e.Builds["multi"] = st
+
+	var mctr metrics.Counter
+	start := time.Now()
+	e.Mesh, err = mesh.Build(tbl, mesh.Params{
+		Signer:   h.signer,
+		Domain:   dom,
+		Template: e.Template,
+		Hasher:   hashing.New(&mctr),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: n=%d mesh: %w", n, err)
+	}
+	e.Builds["mesh"] = BuildStat{
+		Seconds:    time.Since(start).Seconds(),
+		Signatures: e.Mesh.SignatureCount(),
+		Hashes:     mctr.Hashes,
+		Bytes:      e.Mesh.Stats().ApproxBytes,
+	}
+
+	h.envs[n] = e
+	return e, nil
+}
+
+// PerHashSeconds measures (once) the cost of one tagged SHA-256 over
+// typical node-sized input.
+func (h *Harness) PerHashSeconds() float64 {
+	if h.perHashSec > 0 {
+		return h.perHashSec
+	}
+	hs := hashing.New(nil)
+	var a, b hashing.Digest
+	const reps = 20000
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		a = hs.Node(a, b)
+	}
+	h.perHashSec = time.Since(start).Seconds() / reps
+	_ = a
+	return h.perHashSec
+}
+
+// PerVerifySeconds measures (once per scheme) the cost of one signature
+// verification — the paper's "decryption" cost.
+func (h *Harness) PerVerifySeconds(scheme sig.Scheme) (float64, error) {
+	if v, ok := h.perVerifySec[scheme]; ok {
+		return v, nil
+	}
+	signer, err := sig.NewSigner(scheme, sig.Options{RSABits: h.Cfg.RSABits})
+	if err != nil {
+		return 0, err
+	}
+	var digest hashing.Digest
+	digest[0] = 0x5a
+	sg, err := signer.Sign(digest[:])
+	if err != nil {
+		return 0, err
+	}
+	ver := signer.Verifier()
+	reps := 200
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if err := ver.Verify(digest[:], sg); err != nil {
+			return 0, err
+		}
+	}
+	v := time.Since(start).Seconds() / float64(reps)
+	h.perVerifySec[scheme] = v
+	return v, nil
+}
+
+// schemeNote is appended to every table so readers know the crypto
+// configuration behind absolute numbers.
+func (h *Harness) schemeNote() string {
+	bits := h.Cfg.RSABits
+	if bits == 0 {
+		bits = 2048
+	}
+	if h.Cfg.Scheme == sig.RSA {
+		return fmt.Sprintf("scheme=RSA-%d, density=%.1f subdomains/record, dist=%s, reps=%d",
+			bits, h.Cfg.Density, h.Cfg.Dist, h.Cfg.Reps)
+	}
+	return fmt.Sprintf("scheme=%s, density=%.1f subdomains/record, dist=%s, reps=%d",
+		h.Cfg.Scheme, h.Cfg.Density, h.Cfg.Dist, h.Cfg.Reps)
+}

@@ -1,0 +1,141 @@
+package client
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"aqverify/internal/core"
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+	"aqverify/internal/mesh"
+	"aqverify/internal/query"
+	"aqverify/internal/record"
+	"aqverify/internal/server"
+	"aqverify/internal/sig"
+)
+
+func fixtures(t *testing.T) (*server.Server, core.PublicParams, *server.Server, mesh.PublicParams, geometry.Box) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(2))
+	recs := make([]record.Record, 40)
+	for i := range recs {
+		recs[i] = record.Record{ID: uint64(i + 1), Attrs: []float64{rng.NormFloat64(), rng.NormFloat64()}}
+	}
+	tbl, err := record.NewTable(record.Schema{
+		Name:    "t",
+		Columns: []record.Column{{Name: "a"}, {Name: "b"}},
+	}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := sig.NewSigner(sig.Ed25519, sig.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := geometry.MustBox([]float64{-1}, []float64{1})
+	tpl := funcs.AffineLine(0, 1)
+	tree, err := core.Build(tbl, core.Params{Mode: core.MultiSignature, Signer: signer, Domain: dom, Template: tpl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mesh.Build(tbl, mesh.Params{Signer: signer, Domain: dom, Template: tpl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.IFMH{Tree: tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msrv, err := server.New(server.Mesh{M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, tree.Public(), msrv, m.Public(), dom
+}
+
+func TestHonestQueriesVerify(t *testing.T) {
+	srv, pub, msrv, mpub, dom := fixtures(t)
+	x := geometry.Point{(dom.Lo[0] + dom.Hi[0]) / 2}
+	for _, q := range []query.Query{
+		query.NewTopK(x, 4),
+		query.NewBottomK(x, 4),
+		query.NewRange(x, -1, 1),
+		query.NewKNN(x, 4, 0),
+	} {
+		if _, err := NewIFMH(pub).Query(srv, nil, q); err != nil {
+			t.Errorf("ifmh %v: %v", q.Kind, err)
+		}
+		if _, err := NewMesh(mpub).Query(msrv, nil, q); err != nil {
+			t.Errorf("mesh %v: %v", q.Kind, err)
+		}
+	}
+}
+
+func TestGarbageBytesRejected(t *testing.T) {
+	srv, pub, _, _, dom := fixtures(t)
+	cli := NewIFMH(pub)
+	x := geometry.Point{0}
+	_ = dom
+	garbage := func(b []byte) []byte { return []byte("not an answer") }
+	if _, err := cli.Query(srv, garbage, query.NewTopK(x, 1)); !errors.Is(err, ErrRejected) {
+		t.Errorf("garbage accepted: %v", err)
+	}
+	empty := func(b []byte) []byte { return nil }
+	if _, err := cli.Query(srv, empty, query.NewTopK(x, 1)); !errors.Is(err, ErrRejected) {
+		t.Errorf("empty answer accepted: %v", err)
+	}
+}
+
+func TestQueryEchoMismatchRejected(t *testing.T) {
+	srv, pub, _, _, _ := fixtures(t)
+	cli := NewIFMH(pub)
+	// The channel swaps in an answer for a different (also honestly
+	// processed) query; the client must notice the echo mismatch or fail
+	// verification.
+	q1 := query.NewTopK(geometry.Point{0.1}, 3)
+	q2 := query.NewTopK(geometry.Point{0.1}, 5)
+	swap := func(b []byte) []byte {
+		raw, err := srv.Handle(q2)
+		if err != nil {
+			return b
+		}
+		return raw
+	}
+	if _, err := cli.Query(srv, swap, q1); !errors.Is(err, ErrRejected) {
+		t.Errorf("cross-query replay accepted: %v", err)
+	}
+}
+
+func TestMisconfiguredClient(t *testing.T) {
+	srv, _, _, _, _ := fixtures(t)
+	var c Client // neither IFMH nor Mesh params
+	if _, err := c.Query(srv, nil, query.NewTopK(geometry.Point{0}, 1)); err == nil {
+		t.Error("unconfigured client returned records")
+	}
+}
+
+func TestServerErrorPropagates(t *testing.T) {
+	srv, pub, _, _, _ := fixtures(t)
+	cli := NewIFMH(pub)
+	if _, err := cli.Query(srv, nil, query.NewTopK(geometry.Point{5}, 1)); err == nil {
+		t.Error("out-of-domain query returned records")
+	} else if errors.Is(err, ErrRejected) {
+		t.Error("server error misclassified as a verification rejection")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	srv, pub, _, _, dom := fixtures(t)
+	cli := NewIFMH(pub)
+	x := geometry.Point{(dom.Lo[0] + dom.Hi[0]) / 2}
+	for i := 0; i < 3; i++ {
+		if _, err := cli.Query(srv, nil, query.NewTopK(x, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cli.Stats()
+	if st.Bytes == 0 || st.Hashes == 0 || st.SigVerifies != 3 {
+		t.Errorf("client stats wrong: %+v", st)
+	}
+}

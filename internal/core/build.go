@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"aqverify/internal/fmh"
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+	"aqverify/internal/hashing"
+	"aqverify/internal/itree"
+	"aqverify/internal/record"
+	"aqverify/internal/sweep"
+)
+
+// Build constructs the IFMH-tree for a table under the given parameters,
+// following the paper's four steps: build the I-tree over all pairwise
+// intersections, build an FMH-tree per sorted function list, propagate
+// Merkle hashes up the IMH-tree, and sign (the root, or every subdomain).
+func Build(tbl record.Table, p Params) (*Tree, error) {
+	if p.Signer == nil {
+		return nil, fmt.Errorf("core: Params.Signer is required")
+	}
+	if tbl.Len() == 0 {
+		return nil, fmt.Errorf("core: cannot outsource an empty table")
+	}
+	if err := p.Template.Validate(tbl.Schema.Arity()); err != nil {
+		return nil, err
+	}
+	if p.Domain.Dim() != p.Template.Dim() {
+		return nil, fmt.Errorf("core: domain is %d-D but template has %d variables",
+			p.Domain.Dim(), p.Template.Dim())
+	}
+	h := p.Hasher
+	if h == nil {
+		h = hashing.New(nil)
+	}
+
+	fs, err := p.Template.InterpretTable(tbl)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		mode:     p.Mode,
+		domain:   p.Domain,
+		template: p.Template,
+		hasher:   h,
+		table:    tbl,
+		fs:       fs,
+		verifier: p.Signer.Verifier(),
+	}
+	t.recDigests = make([]hashing.Digest, tbl.Len())
+	for i, r := range tbl.Records {
+		t.recDigests[i] = h.Record(r)
+	}
+
+	opt := itree.BuildOptions{Shuffle: p.Shuffle, Seed: p.Seed}
+	if p.Template.Dim() == 1 {
+		space, err := geometry.NewSpace1D(p.Domain)
+		if err != nil {
+			return nil, err
+		}
+		t.space = space
+		inters, err := itree.Pairs1D(fs, p.Domain)
+		if err != nil {
+			return nil, err
+		}
+		t.itree, err = itree.Build(space, inters, opt)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.buildLists1D(inters, p.Materialize); err != nil {
+			return nil, err
+		}
+	} else {
+		space, err := geometry.NewSpaceND(p.Domain)
+		if err != nil {
+			return nil, err
+		}
+		t.space = space
+		t.itree, err = itree.Build(space, itree.PairsND(fs), opt)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.buildListsND(); err != nil {
+			return nil, err
+		}
+	}
+
+	t.propagateHashes()
+	if err := t.sign(p); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// fmhFromPerm builds a fresh FMH-tree for a permutation.
+func (t *Tree) fmhFromPerm(perm []int) (*fmh.List, error) {
+	return fmh.Build(t.hasher, len(perm), func(p int) hashing.Digest {
+		return t.hasher.Leaf(t.recDigests[perm[p]])
+	})
+}
+
+// SweepInputs1D derives, for a built 1-D I-tree, the exact witnesses of
+// every subdomain and the function pairs crossing at every boundary — the
+// inputs to sweep.Compute. It is shared with the signature-mesh baseline,
+// which sweeps the same arrangement without the tree.
+func SweepInputs1D(space *geometry.Space1D, subs []*itree.Subdomain, boundaries []*big.Rat, inters []itree.Intersection) ([]*big.Rat, [][]sweep.Pair, error) {
+	witnesses := make([]*big.Rat, len(subs))
+	for i, s := range subs {
+		witnesses[i] = space.WitnessRat(s.Region)
+	}
+	groups := make(map[string][]sweep.Pair)
+	for _, in := range inters {
+		bp, ok := geometry.Breakpoint1D(in.H)
+		if !ok {
+			continue
+		}
+		k := bp.RatString()
+		groups[k] = append(groups[k], sweep.Pair{I: in.I, J: in.J})
+	}
+	out := make([][]sweep.Pair, len(boundaries))
+	for k, b := range boundaries {
+		g := groups[b.RatString()]
+		if len(g) == 0 {
+			return nil, nil, fmt.Errorf("core: boundary %d (%v) has no crossing intersections", k, b)
+		}
+		out[k] = g
+	}
+	return witnesses, out, nil
+}
+
+// buildLists1D computes every subdomain's sorted function list by a
+// left-to-right sweep: sort once (exactly) in the leftmost subdomain,
+// then cross each boundary by applying the adjacent transpositions of the
+// function pairs intersecting there, deriving each FMH-tree persistently
+// from its left neighbor.
+func (t *Tree) buildLists1D(inters []itree.Intersection, materialize bool) error {
+	space := t.space.(*geometry.Space1D)
+	subs := t.itree.Subs
+	t.subs = make([]*SubInfo, len(subs))
+
+	boundaries, err := t.itree.Boundaries1D()
+	if err != nil {
+		return err
+	}
+	witnesses, groups, err := SweepInputs1D(space, subs, boundaries, inters)
+	if err != nil {
+		return err
+	}
+	plan, err := sweep.Compute(t.fs, witnesses, groups)
+	if err != nil {
+		return err
+	}
+	t.plan = plan
+	t.cursor = sweep.NewCursor(plan)
+
+	perm := append([]int(nil), plan.BasePerm...)
+	list, err := t.fmhFromPerm(perm)
+	if err != nil {
+		return err
+	}
+	t.subs[0] = &SubInfo{Sub: subs[0], List: list}
+	if materialize {
+		t.subs[0].Perm = append([]int(nil), perm...)
+	}
+
+	for k := range boundaries {
+		for _, pos := range plan.Swaps[k] {
+			perm[pos], perm[pos+1] = perm[pos+1], perm[pos]
+		}
+		if materialize {
+			fresh, err := t.fmhFromPerm(perm)
+			if err != nil {
+				return err
+			}
+			list = fresh
+		} else {
+			for _, pos := range plan.Swaps[k] {
+				list, err = list.DeriveSwap(t.hasher, pos)
+				if err != nil {
+					return err
+				}
+			}
+		}
+		t.subs[k+1] = &SubInfo{Sub: subs[k+1], List: list}
+		if materialize {
+			t.subs[k+1].Perm = append([]int(nil), perm...)
+		}
+	}
+	return nil
+}
+
+// permFor returns the sorted permutation of subdomain id: the stored
+// permutation in materialized mode, or a cursor-replayed copy in delta
+// mode. Either way the result is safe to read concurrently with other
+// queries.
+func (t *Tree) permFor(id int) ([]int, error) {
+	if id < 0 || id >= len(t.subs) {
+		return nil, fmt.Errorf("core: subdomain %d out of range", id)
+	}
+	if p := t.subs[id].Perm; p != nil {
+		return p, nil
+	}
+	return t.cursor.PermAt(id)
+}
+
+// buildListsND sorts each subdomain independently at an interior witness
+// point — there is no sweep order to exploit in d >= 2 — and always
+// materializes.
+func (t *Tree) buildListsND() error {
+	subs := t.itree.Subs
+	t.subs = make([]*SubInfo, len(subs))
+	for i, sub := range subs {
+		w := t.space.Witness(sub.Region)
+		perm := funcs.SortAt(t.fs, w)
+		list, err := t.fmhFromPerm(perm)
+		if err != nil {
+			return err
+		}
+		t.subs[i] = &SubInfo{Sub: sub, List: list, Perm: perm}
+	}
+	return nil
+}
+
+// propagateHashes fills every IMH node's hash bottom-up (paper §3.1 step
+// 3): subdomain leaves hash their FMH root; intersection nodes bind their
+// hyperplane to their children's hashes.
+func (t *Tree) propagateHashes() {
+	var rec func(n *itree.Node) hashing.Digest
+	rec = func(n *itree.Node) hashing.Digest {
+		if n.IsLeaf() {
+			n.Hash = t.hasher.Subdomain(t.subs[n.Leaf.ID].List.Root())
+			return n.Hash
+		}
+		a := rec(n.Above)
+		b := rec(n.Below)
+		n.Hash = t.hasher.Intersection(n.Int.H.Encode(nil), a, b)
+		return n.Hash
+	}
+	imhRoot := rec(t.itree.Root)
+	t.rootDigest = t.hasher.Root(imhRoot)
+}
+
+// sign executes step 4 for the configured mode.
+func (t *Tree) sign(p Params) error {
+	ctr := t.hasher.Counter()
+	switch p.Mode {
+	case OneSignature:
+		s, err := p.Signer.Sign(t.rootDigest[:])
+		if err != nil {
+			return fmt.Errorf("core: signing root: %w", err)
+		}
+		ctr.AddSign(1)
+		t.rootSig = s
+		t.sigCount = 1
+	case MultiSignature:
+		for _, si := range t.subs {
+			si.Ineqs = t.space.Halfspaces(si.Sub.Region)
+			si.IneqEnc = geometry.EncodeHalfspaces(nil, si.Ineqs)
+			d := t.hasher.MultiSig(t.hasher.Ineqs(si.IneqEnc), si.List.Root())
+			s, err := p.Signer.Sign(d[:])
+			if err != nil {
+				return fmt.Errorf("core: signing subdomain %d: %w", si.Sub.ID, err)
+			}
+			ctr.AddSign(1)
+			si.Sig = s
+		}
+		t.sigCount = len(t.subs)
+	default:
+		return fmt.Errorf("core: unknown mode %v", p.Mode)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+// Package core implements the paper's contribution: the Intersection and
+// Function Merkle Hash tree (IFMH-tree) and its two signing schemes.
+//
+// An IFMH-tree combines
+//
+//   - an IMH-tree — the I-tree over the pairwise intersection hyperplanes,
+//     augmented with Merkle hashes so that a root-to-leaf path
+//     authenticates the subdomain lookup — and
+//   - one FMH-tree per subdomain — a Merkle tree over that subdomain's
+//     sorted function list, bracketed by f_min/f_max sentinels.
+//
+// In the one-signature scheme only the IMH root digest is signed;
+// verification objects carry the IMH search path. In the multi-signature
+// scheme every subdomain's digest H(H(ineqs)|fmhRoot) is signed;
+// verification objects carry the subdomain's inequality set instead of
+// the path.
+//
+// The server-side entry point is Build + Tree.Process; the client-side
+// one is Verify with the owner's PublicParams.
+package core
+
+import (
+	"fmt"
+
+	"aqverify/internal/fmh"
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+	"aqverify/internal/hashing"
+	"aqverify/internal/itree"
+	"aqverify/internal/record"
+	"aqverify/internal/sig"
+	"aqverify/internal/sweep"
+)
+
+// Mode selects the signing scheme.
+type Mode int
+
+const (
+	// OneSignature signs only the IMH-tree root (paper §3.1 step 4,
+	// first approach).
+	OneSignature Mode = iota
+	// MultiSignature signs every subdomain's inequality-set + FMH-root
+	// digest (second approach).
+	MultiSignature
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case OneSignature:
+		return "one-signature"
+	case MultiSignature:
+		return "multi-signature"
+	default:
+		return fmt.Sprintf("core.Mode(%d)", int(m))
+	}
+}
+
+// DefaultSemTol is the default semantic-check tolerance used by verifying
+// clients for the score-monotonicity check. Scores themselves are computed
+// bit-identically by server and client; the tolerance only absorbs the gap
+// between the owner's exact-rational construction order and float
+// evaluation of near-tied scores.
+const DefaultSemTol = 1e-9
+
+// Params configures Build.
+type Params struct {
+	// Mode selects one-signature or multi-signature.
+	Mode Mode
+	// Signer is the data owner's signing key.
+	Signer sig.Signer
+	// Domain is the owner-specified bounded domain of the function
+	// variables; its dimension must match the template.
+	Domain geometry.Box
+	// Template interprets records as functions.
+	Template funcs.Template
+	// Hasher provides the one-way hash; nil means an uninstrumented
+	// SHA-256 hasher.
+	Hasher *hashing.Hasher
+	// Shuffle randomizes intersection insertion order (recommended; see
+	// the ablation bench). Seed seeds it.
+	Shuffle bool
+	Seed    int64
+	// Materialize stores every subdomain's permutation and builds every
+	// FMH-tree from scratch — the paper's literal O(S·n) layout. The
+	// default (false) uses the delta representation: one base
+	// permutation, per-boundary swaps, and persistent FMH-trees sharing
+	// structure, costing O(n + S log n). Multivariate databases always
+	// materialize (there is no sweep order to exploit).
+	Materialize bool
+}
+
+// PublicParams is what the data owner publishes out of band: everything a
+// client needs to verify query results.
+type PublicParams struct {
+	Verifier sig.Verifier
+	Template funcs.Template
+	Mode     Mode
+	// SemTol is the semantic-check tolerance; zero means DefaultSemTol.
+	SemTol float64
+}
+
+// SubInfo is the per-subdomain state of a built tree.
+type SubInfo struct {
+	Sub  *itree.Subdomain
+	List *fmh.List
+	// Perm is the sorted order (position -> record index); nil in delta
+	// mode, where permutations are replayed through a cursor.
+	Perm []int
+	// IneqEnc is the canonical encoding of the subdomain's inequality
+	// set; Ineqs is its decoded form (multi-signature mode only).
+	IneqEnc []byte
+	Ineqs   []geometry.Halfspace
+	// Sig is the subdomain signature (multi-signature mode only).
+	Sig []byte
+}
+
+// Tree is a built IFMH-tree, the server-side authenticated data structure.
+type Tree struct {
+	mode     Mode
+	space    geometry.Space
+	domain   geometry.Box
+	template funcs.Template
+	hasher   *hashing.Hasher
+
+	table      record.Table
+	fs         []funcs.Linear
+	recDigests []hashing.Digest
+
+	itree *itree.Tree
+	subs  []*SubInfo
+
+	// Delta-mode sweep data (1-D): the base permutation and per-boundary
+	// swaps, replayed through a cursor when serving queries.
+	plan   sweep.Plan
+	cursor *sweep.Cursor
+
+	rootDigest hashing.Digest
+	rootSig    []byte // one-signature mode
+	verifier   sig.Verifier
+	sigCount   int
+}
+
+// Mode returns the tree's signing scheme.
+func (t *Tree) Mode() Mode { return t.mode }
+
+// Public returns the parameters the owner publishes for clients.
+func (t *Tree) Public() PublicParams {
+	return PublicParams{
+		Verifier: t.verifier,
+		Template: t.template,
+		Mode:     t.mode,
+		SemTol:   DefaultSemTol,
+	}
+}
+
+// NumSubdomains returns the subdomain (FMH-tree) count.
+func (t *Tree) NumSubdomains() int { return len(t.subs) }
+
+// NumRecords returns the database size.
+func (t *Tree) NumRecords() int { return t.table.Len() }
+
+// SignatureCount returns how many signatures the construction produced
+// (1 for one-signature, S for multi-signature) — the paper's Fig 5a
+// metric.
+func (t *Tree) SignatureCount() int { return t.sigCount }
+
+// Depth returns the IMH-tree depth.
+func (t *Tree) Depth() int { return t.itree.Depth() }

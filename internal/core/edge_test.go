@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+	"aqverify/internal/query"
+	"aqverify/internal/record"
+)
+
+func tinyTable(t *testing.T, rows ...[2]float64) record.Table {
+	t.Helper()
+	recs := make([]record.Record, len(rows))
+	for i, r := range rows {
+		recs[i] = record.Record{ID: uint64(i + 1), Attrs: []float64{r[0], r[1]}}
+	}
+	tbl, err := record.NewTable(record.Schema{
+		Name:    "tiny",
+		Columns: []record.Column{{Name: "slope"}, {Name: "intercept"}},
+	}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestSingleRecordDatabase(t *testing.T) {
+	// One record: no intersections, a single subdomain, and every query
+	// returns the whole (one-element) list with sentinel boundaries.
+	tbl := tinyTable(t, [2]float64{1, 0})
+	for _, mode := range []Mode{OneSignature, MultiSignature} {
+		tree := build1D(t, tbl, mode, false)
+		if tree.NumSubdomains() != 1 {
+			t.Fatalf("%v: subdomains = %d, want 1", mode, tree.NumSubdomains())
+		}
+		pub := tree.Public()
+		for _, q := range []query.Query{
+			query.NewTopK(geometry.Point{0.5}, 1),
+			query.NewTopK(geometry.Point{0.5}, 7),
+			query.NewBottomK(geometry.Point{0.5}, 2),
+			query.NewRange(geometry.Point{0.5}, -10, 10),
+			query.NewRange(geometry.Point{0.5}, 100, 200),
+			query.NewKNN(geometry.Point{0.5}, 1, 0),
+		} {
+			ans, err := tree.Process(q, nil)
+			if err != nil {
+				t.Fatalf("%v %v: %v", mode, q.Kind, err)
+			}
+			if err := Verify(pub, q, ans.Records, &ans.VO, nil); err != nil {
+				t.Fatalf("%v %v: %v", mode, q.Kind, err)
+			}
+		}
+		// One-signature path on a single-leaf tree is empty: the leaf IS
+		// the root.
+		if mode == OneSignature {
+			ans, err := tree.Process(query.NewTopK(geometry.Point{0.5}, 1), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ans.VO.Path) != 0 {
+				t.Errorf("single-subdomain IMH path has %d steps, want 0", len(ans.VO.Path))
+			}
+		}
+	}
+}
+
+func TestTwoCrossingRecords(t *testing.T) {
+	// Two lines crossing mid-domain: exactly two subdomains whose orders
+	// are reversed; queries on both sides agree with direct evaluation.
+	tbl := tinyTable(t, [2]float64{1, 0}, [2]float64{-1, 0.5})
+	tree := build1D(t, tbl, OneSignature, false)
+	if tree.NumSubdomains() != 2 {
+		t.Fatalf("subdomains = %d, want 2", tree.NumSubdomains())
+	}
+	pub := tree.Public()
+	for _, xv := range []float64{-0.9, 0.1, 0.24, 0.26, 0.9} {
+		q := query.NewTopK(geometry.Point{xv}, 1)
+		ans, err := tree.Process(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(pub, q, ans.Records, &ans.VO, nil); err != nil {
+			t.Fatalf("x=%v: %v", xv, err)
+		}
+		want, err := query.Exec(tbl, funcs.AffineLine(0, 1), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ans.Records[0].ID != want.Records[0].ID {
+			t.Fatalf("x=%v: top-1 is record %d, oracle %d", xv, ans.Records[0].ID, want.Records[0].ID)
+		}
+	}
+}
+
+func TestIdenticalRecordsContent(t *testing.T) {
+	// Two records with identical attributes (different IDs): they tie at
+	// every x; the canonical order breaks ties by index and never swaps.
+	tbl := tinyTable(t, [2]float64{1, 2}, [2]float64{1, 2}, [2]float64{0, 0})
+	tree := build1D(t, tbl, MultiSignature, false)
+	pub := tree.Public()
+	q := query.NewTopK(geometry.Point{0.5}, 2)
+	ans, err := tree.Process(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(pub, q, ans.Records, &ans.VO, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Records) != 2 {
+		t.Fatalf("got %d records", len(ans.Records))
+	}
+}
+
+func TestStatsInvariants(t *testing.T) {
+	tbl := lineTable(t, 40, 31)
+	delta := build1D(t, tbl, MultiSignature, false)
+	mat := build1D(t, tbl, MultiSignature, true)
+
+	ds, ms := delta.Stats(), mat.Stats()
+	if ds.Records != 40 || ms.Records != 40 {
+		t.Error("record counts wrong")
+	}
+	if ds.Subdomains != ms.Subdomains || ds.IMHNodes != ms.IMHNodes {
+		t.Error("structure shapes should not depend on materialization")
+	}
+	// IMH is a full binary tree over S leaves: 2S-1 nodes.
+	if ds.IMHNodes != 2*ds.Subdomains-1 {
+		t.Errorf("IMH nodes = %d for %d subdomains, want %d", ds.IMHNodes, ds.Subdomains, 2*ds.Subdomains-1)
+	}
+	if ds.Signatures != ds.Subdomains {
+		t.Error("multi-signature count mismatch")
+	}
+	// The delta representation shares FMH structure.
+	if ds.FMHNodes >= ms.FMHNodes {
+		t.Errorf("delta FMH nodes (%d) should undercut materialized (%d)", ds.FMHNodes, ms.FMHNodes)
+	}
+	// Fresh materialized FMH forests have exactly S*(2(n+2)-1) nodes.
+	wantMat := ms.Subdomains * (2*(40+2) - 1)
+	if ms.FMHNodes != wantMat {
+		t.Errorf("materialized FMH nodes = %d, want %d", ms.FMHNodes, wantMat)
+	}
+	if ds.ApproxBytes <= 0 || ds.SignatureBytes <= 0 {
+		t.Error("byte estimates missing")
+	}
+}

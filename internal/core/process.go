@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"aqverify/internal/metrics"
+	"aqverify/internal/query"
+	"aqverify/internal/record"
+)
+
+// Process executes an analytic query and constructs its verification
+// object (paper §3.2): search the IMH-tree for the subdomain containing
+// the query's function input, locate the result window on the subdomain's
+// sorted function list, and assemble the window's boundary records plus
+// the FMH range proof and the mode's subdomain evidence.
+//
+// The counter observes the traversal costs the paper plots in Fig 6:
+// IMH nodes on the search path, binary-search comparisons, and FMH nodes
+// visited while building the proof.
+func (t *Tree) Process(q query.Query, ctr *metrics.Counter) (*Answer, error) {
+	if err := q.Validate(t.template.Dim()); err != nil {
+		return nil, err
+	}
+	if !t.domain.Contains(q.X) {
+		return nil, fmt.Errorf("core: function input %v outside the owner-specified domain", q.X)
+	}
+
+	sub, path := t.itree.Search(q.X, ctr)
+	perm, err := t.permFor(sub.ID)
+	if err != nil {
+		return nil, err
+	}
+
+	n := len(perm)
+	scores := make([]float64, n)
+	for pos, idx := range perm {
+		scores[pos] = t.fs[idx].Eval(q.X)
+	}
+	w, err := query.SelectWindow(scores, q, ctr)
+	if err != nil {
+		return nil, err
+	}
+
+	vo := VO{Mode: t.mode, ListLen: n, Start: w.Start}
+	if w.Start == 0 {
+		vo.Left = Boundary{Kind: BoundaryMin}
+	} else {
+		vo.Left = Boundary{Kind: BoundaryRecord, Rec: t.table.Records[perm[w.Start-1]]}
+	}
+	if w.End() == n {
+		vo.Right = Boundary{Kind: BoundaryMax}
+	} else {
+		vo.Right = Boundary{Kind: BoundaryRecord, Rec: t.table.Records[perm[w.End()]]}
+	}
+
+	records := make([]record.Record, 0, w.Count)
+	for pos := w.Start; pos < w.End(); pos++ {
+		records = append(records, t.table.Records[perm[pos]])
+	}
+
+	vo.FProof, err = t.subs[sub.ID].List.BoundaryProof(w.Start, w.Count, ctr)
+	if err != nil {
+		return nil, err
+	}
+
+	switch t.mode {
+	case OneSignature:
+		vo.Path = make([]PathStep, len(path))
+		for i, step := range path {
+			sibling := step.Node.Below
+			if !step.TookAbove {
+				sibling = step.Node.Above
+			}
+			vo.Path[i] = PathStep{
+				Hp:        step.Node.Int.H,
+				TookAbove: step.TookAbove,
+				Sibling:   sibling.Hash,
+			}
+		}
+		vo.Signature = t.rootSig
+	case MultiSignature:
+		si := t.subs[sub.ID]
+		vo.Ineqs = si.Ineqs
+		vo.Signature = si.Sig
+	default:
+		return nil, fmt.Errorf("core: unknown mode %v", t.mode)
+	}
+
+	return &Answer{Query: q, Records: records, VO: vo}, nil
+}

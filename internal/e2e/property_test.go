@@ -1,0 +1,153 @@
+package e2e
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aqverify/internal/core"
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+	"aqverify/internal/query"
+	"aqverify/internal/record"
+	"aqverify/internal/sig"
+	"aqverify/internal/wire"
+)
+
+var propSigner = func() sig.Signer {
+	s, err := sig.NewSigner(sig.Ed25519, sig.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}()
+
+func propTree(t *testing.T, n int, seed int64, mode core.Mode) *core.Tree {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]record.Record, n)
+	for i := range recs {
+		recs[i] = record.Record{
+			ID:    uint64(i + 1),
+			Attrs: []float64{rng.NormFloat64(), rng.NormFloat64() * 3},
+		}
+	}
+	tbl, err := record.NewTable(record.Schema{
+		Name:    "lines",
+		Columns: []record.Column{{Name: "slope"}, {Name: "intercept"}},
+	}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := core.Build(tbl, core.Params{
+		Mode: mode, Signer: propSigner,
+		Domain:   geometry.MustBox([]float64{-1}, []float64{1}),
+		Template: funcs.AffineLine(0, 1),
+		Shuffle:  true, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// TestQuickHonestAlwaysVerifies: for random databases, modes and queries,
+// an honest server's answer always verifies, and round-tripping it
+// through the wire codec changes nothing.
+func TestQuickHonestAlwaysVerifies(t *testing.T) {
+	f := func(dbSeed, qrySeed int64) bool {
+		rng := rand.New(rand.NewSource(dbSeed))
+		n := 5 + rng.Intn(40)
+		mode := core.OneSignature
+		if rng.Intn(2) == 1 {
+			mode = core.MultiSignature
+		}
+		tree := propTree(t, n, dbSeed, mode)
+		pub := tree.Public()
+
+		qrng := rand.New(rand.NewSource(qrySeed))
+		x := geometry.Point{qrng.Float64()*2 - 1}
+		var q query.Query
+		switch qrng.Intn(4) {
+		case 0:
+			q = query.NewTopK(x, 1+qrng.Intn(n+3))
+		case 1:
+			q = query.NewBottomK(x, 1+qrng.Intn(n+3))
+		case 2:
+			lo := qrng.NormFloat64() * 3
+			q = query.NewRange(x, lo, lo+qrng.Float64()*5)
+		default:
+			q = query.NewKNN(x, 1+qrng.Intn(n+3), qrng.NormFloat64()*3)
+		}
+
+		ans, err := tree.Process(q, nil)
+		if err != nil {
+			t.Logf("process: %v", err)
+			return false
+		}
+		if err := core.Verify(pub, q, ans.Records, &ans.VO, nil); err != nil {
+			t.Logf("verify: %v", err)
+			return false
+		}
+		dec, err := wire.DecodeIFMH(wire.EncodeIFMH(ans))
+		if err != nil {
+			t.Logf("wire: %v", err)
+			return false
+		}
+		if err := core.Verify(pub, q, dec.Records, &dec.VO, nil); err != nil {
+			t.Logf("verify decoded: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRandomByteFlipNeverVerifies: flipping any single byte of a
+// serialized answer either fails to decode or fails verification — it can
+// only still verify if the re-encoded content is bit-identical (i.e. the
+// flip was undone), which our canonical codec never produces.
+func TestQuickRandomByteFlipNeverVerifies(t *testing.T) {
+	tree := propTree(t, 25, 99, core.OneSignature)
+	pub := tree.Public()
+	q := query.NewRange(geometry.Point{0.1}, -2, 2)
+	ans, err := tree.Process(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := wire.EncodeIFMH(ans)
+
+	sameQuery := func(a, b query.Query) bool {
+		if a.Kind != b.Kind || a.K != b.K || a.L != b.L || a.U != b.U || a.Y != b.Y || len(a.X) != len(b.X) {
+			return false
+		}
+		for i := range a.X {
+			if a.X[i] != b.X[i] {
+				return false
+			}
+		}
+		return true
+	}
+	f := func(pos uint16, bit uint8) bool {
+		p := int(pos) % len(enc)
+		b := byte(1) << (bit % 8)
+		mut := append([]byte(nil), enc...)
+		mut[p] ^= b
+		dec, err := wire.DecodeIFMH(mut)
+		if err != nil {
+			return true // rejected at parse time
+		}
+		if !sameQuery(q, dec.Query) {
+			return true // rejected by the client's echo check
+		}
+		if err := core.Verify(pub, q, dec.Records, &dec.VO, nil); err != nil {
+			return true // rejected at verification time
+		}
+		return string(wire.EncodeIFMH(dec)) == string(enc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

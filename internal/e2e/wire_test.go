@@ -1,0 +1,10 @@
+package e2e
+
+import (
+	"aqverify/internal/core"
+	"aqverify/internal/wire"
+)
+
+// Thin aliases so the lying-server test reads naturally.
+func wireDecode(b []byte) (*core.Answer, error) { return wire.DecodeIFMH(b) }
+func wireEncode(a *core.Answer) []byte          { return wire.EncodeIFMH(a) }

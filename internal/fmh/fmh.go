@@ -1,0 +1,95 @@
+// Package fmh implements the Function Merkle Hash tree (FMH-tree, paper
+// §3.1 step 2): a Merkle tree over one subdomain's sorted function list,
+// bracketed by the special f_min and f_max sentinel tokens that make
+// completeness provable at the list ends.
+//
+// Positions come in two coordinate systems. A record position is an index
+// into the sorted record list, 0..n-1, with -1 denoting the f_min sentinel
+// and n denoting f_max. A tree leaf index shifts that by one: leaf 0 is
+// f_min, leaf p+1 is record position p, leaf n+1 is f_max. The sentinel
+// leaf digests bind the list length, so a verifier that recomputes the
+// root with a sentinel in range has also authenticated n.
+//
+// Lists are immutable; DeriveSwap produces the next subdomain's list in
+// O(log n) new nodes via the persistent Merkle tree underneath.
+package fmh
+
+import (
+	"fmt"
+
+	"aqverify/internal/hashing"
+	"aqverify/internal/metrics"
+	"aqverify/internal/mhtree"
+)
+
+// List is one subdomain's FMH-tree. N is the record count (excluding
+// sentinels).
+type List struct {
+	N    int
+	Tree *mhtree.Node
+}
+
+// Build constructs the FMH-tree for a sorted function list. leafDigest
+// must return the leaf digest of the record at sorted position p (use
+// RecordLeafDigest for the standard derivation); sentinel digests are
+// added automatically.
+func Build(h *hashing.Hasher, n int, leafDigest func(p int) hashing.Digest) (*List, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("fmh: negative list length %d", n)
+	}
+	leaves := make([]hashing.Digest, n+2)
+	leaves[0] = h.SentinelMin(n)
+	for p := 0; p < n; p++ {
+		leaves[p+1] = leafDigest(p)
+	}
+	leaves[n+1] = h.SentinelMax(n)
+	return &List{N: n, Tree: mhtree.Build(h, leaves)}, nil
+}
+
+// RecordLeafDigest derives a record's FMH leaf digest from its record
+// digest.
+func RecordLeafDigest(h *hashing.Hasher, recDigest hashing.Digest) hashing.Digest {
+	return h.Leaf(recDigest)
+}
+
+// Root returns the FMH root digest.
+func (l *List) Root() hashing.Digest { return l.Tree.Root() }
+
+// LeafCount returns the total tree leaves, n+2.
+func (l *List) LeafCount() int { return l.N + 2 }
+
+// DeriveSwap returns a new list with the records at sorted positions p and
+// p+1 exchanged, sharing all untouched tree structure with l. This is the
+// step between two adjacent subdomains whose orders differ by one
+// transposition.
+func (l *List) DeriveSwap(h *hashing.Hasher, p int) (*List, error) {
+	if p < 0 || p+1 >= l.N {
+		return nil, fmt.Errorf("fmh: swap at record position %d out of range [0,%d)", p, l.N-1)
+	}
+	return &List{N: l.N, Tree: mhtree.SwapLeaves(h, l.Tree, p+1)}, nil
+}
+
+// BoundaryProof builds the range proof covering record positions
+// [start-1, start+count] — the result window plus its immediate left and
+// right neighbors (which may be the sentinels). start is the record
+// position of the first result record; count may be zero for an empty
+// result window. The counter observes the server's traversal cost.
+func (l *List) BoundaryProof(start, count int, ctr *metrics.Counter) (mhtree.Proof, error) {
+	if start < 0 || count < 0 || start+count > l.N {
+		return mhtree.Proof{}, fmt.Errorf("fmh: window start=%d count=%d out of range for %d records", start, count, l.N)
+	}
+	// Tree leaves: left boundary at leaf index start, right boundary at
+	// start+count+1.
+	return l.Tree.RangeProof(start, start+count+1, ctr)
+}
+
+// ComputeRoot is the verifier-side counterpart of BoundaryProof: it
+// recomputes the root from the claimed list length, window start, the
+// leaf digests of [left boundary, window..., right boundary], and the
+// proof. leaves must have length count+2.
+func ComputeRoot(h *hashing.Hasher, n, start int, leaves []hashing.Digest, p mhtree.Proof) (hashing.Digest, error) {
+	if n < 0 {
+		return hashing.Digest{}, fmt.Errorf("fmh: negative list length %d", n)
+	}
+	return mhtree.ComputeRoot(h, n+2, start, leaves, p)
+}

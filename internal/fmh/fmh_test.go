@@ -1,0 +1,215 @@
+package fmh
+
+import (
+	"math/rand"
+	"testing"
+
+	"aqverify/internal/hashing"
+	"aqverify/internal/metrics"
+	"aqverify/internal/record"
+)
+
+// testList builds an FMH list over n synthetic records and returns the
+// list plus each record's leaf digest by position.
+func testList(t *testing.T, h *hashing.Hasher, n int, seed int64) (*List, []hashing.Digest) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	leafD := make([]hashing.Digest, n)
+	for p := range leafD {
+		rec := record.Record{ID: uint64(p + 1), Attrs: []float64{rng.NormFloat64()}}
+		leafD[p] = RecordLeafDigest(h, h.Record(rec))
+	}
+	l, err := Build(h, n, func(p int) hashing.Digest { return leafD[p] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, leafD
+}
+
+func TestBuildShape(t *testing.T) {
+	h := hashing.New(nil)
+	l, _ := testList(t, h, 5, 1)
+	if l.LeafCount() != 7 {
+		t.Errorf("LeafCount = %d, want 7 (5 records + 2 sentinels)", l.LeafCount())
+	}
+	if l.Tree.LeafCount() != 7 {
+		t.Errorf("tree leaves = %d", l.Tree.LeafCount())
+	}
+	// Sentinel leaves occupy the ends.
+	if l.Tree.Leaf(0) != h.SentinelMin(5) {
+		t.Error("leaf 0 is not the min sentinel")
+	}
+	if l.Tree.Leaf(6) != h.SentinelMax(5) {
+		t.Error("last leaf is not the max sentinel")
+	}
+}
+
+func TestBuildEmptyList(t *testing.T) {
+	h := hashing.New(nil)
+	l, err := Build(h, 0, func(int) hashing.Digest { panic("no records") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.LeafCount() != 2 {
+		t.Errorf("empty list LeafCount = %d, want 2 sentinels", l.LeafCount())
+	}
+	if _, err := Build(h, -1, nil); err == nil {
+		t.Error("negative length accepted")
+	}
+}
+
+func TestRootBindsLength(t *testing.T) {
+	h := hashing.New(nil)
+	l5, d5 := testList(t, h, 5, 3)
+	// Same record digests, different claimed length -> different root
+	// (sentinels bind n).
+	l5b, err := Build(h, 5, func(p int) hashing.Digest { return d5[p] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l5.Root() != l5b.Root() {
+		t.Error("rebuild changed the root")
+	}
+}
+
+func TestDeriveSwap(t *testing.T) {
+	h := hashing.New(nil)
+	n := 9
+	l, leafD := testList(t, h, n, 4)
+	for p := 0; p+1 < n; p++ {
+		swapped, err := l.DeriveSwap(h, p)
+		if err != nil {
+			t.Fatalf("DeriveSwap(%d): %v", p, err)
+		}
+		want := append([]hashing.Digest(nil), leafD...)
+		want[p], want[p+1] = want[p+1], want[p]
+		fresh, err := Build(h, n, func(q int) hashing.Digest { return want[q] })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if swapped.Root() != fresh.Root() {
+			t.Fatalf("DeriveSwap(%d) root differs from fresh build", p)
+		}
+		// Sentinels must be untouched.
+		if swapped.Tree.Leaf(0) != h.SentinelMin(n) || swapped.Tree.Leaf(n+1) != h.SentinelMax(n) {
+			t.Fatalf("DeriveSwap(%d) disturbed a sentinel", p)
+		}
+	}
+	if _, err := l.DeriveSwap(h, n-1); err == nil {
+		t.Error("swap at last record position accepted (would swap with sentinel)")
+	}
+	if _, err := l.DeriveSwap(h, -1); err == nil {
+		t.Error("negative swap accepted")
+	}
+}
+
+func TestBoundaryProofRoundTrip(t *testing.T) {
+	h := hashing.New(nil)
+	n := 12
+	l, leafD := testList(t, h, n, 5)
+	for start := 0; start <= n; start++ {
+		for count := 0; start+count <= n; count++ {
+			proof, err := l.BoundaryProof(start, count, nil)
+			if err != nil {
+				t.Fatalf("BoundaryProof(%d,%d): %v", start, count, err)
+			}
+			// Assemble verifier-side leaves: left boundary, window, right
+			// boundary.
+			leaves := make([]hashing.Digest, 0, count+2)
+			if start == 0 {
+				leaves = append(leaves, h.SentinelMin(n))
+			} else {
+				leaves = append(leaves, leafD[start-1])
+			}
+			for p := start; p < start+count; p++ {
+				leaves = append(leaves, leafD[p])
+			}
+			if start+count == n {
+				leaves = append(leaves, h.SentinelMax(n))
+			} else {
+				leaves = append(leaves, leafD[start+count])
+			}
+			root, err := ComputeRoot(h, n, start, leaves, proof)
+			if err != nil {
+				t.Fatalf("ComputeRoot(%d,%d): %v", start, count, err)
+			}
+			if root != l.Root() {
+				t.Fatalf("window (%d,%d): recomputed root differs", start, count)
+			}
+		}
+	}
+}
+
+func TestBoundaryProofRejectsBadWindow(t *testing.T) {
+	h := hashing.New(nil)
+	l, _ := testList(t, h, 5, 6)
+	for _, w := range [][2]int{{-1, 1}, {0, 6}, {5, 1}, {2, -1}} {
+		if _, err := l.BoundaryProof(w[0], w[1], nil); err == nil {
+			t.Errorf("BoundaryProof(%d,%d) accepted", w[0], w[1])
+		}
+	}
+}
+
+func TestVerifierDetectsWrongLength(t *testing.T) {
+	h := hashing.New(nil)
+	n := 8
+	l, leafD := testList(t, h, n, 7)
+	// Window ending at the max sentinel (a top-k shape): claiming a
+	// different n changes the sentinel digest, so the forgery must fail.
+	start, count := 5, 3
+	proof, err := l.BoundaryProof(start, count, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forgedN := n - 1
+	leaves := []hashing.Digest{
+		leafD[start-1], leafD[5], leafD[6], leafD[7],
+		h.SentinelMax(forgedN),
+	}
+	root, err := ComputeRoot(h, forgedN, start, leaves, proof)
+	if err == nil && root == l.Root() {
+		t.Error("forged list length with max sentinel in range verified")
+	}
+}
+
+func TestBoundaryProofCountsNodes(t *testing.T) {
+	h := hashing.New(nil)
+	l, _ := testList(t, h, 64, 8)
+	var ctr metrics.Counter
+	if _, err := l.BoundaryProof(30, 3, &ctr); err != nil {
+		t.Fatal(err)
+	}
+	if ctr.NodesVisited == 0 {
+		t.Error("BoundaryProof should count traversed nodes")
+	}
+}
+
+func TestDeriveSwapChainMatchesFreshBuilds(t *testing.T) {
+	// Simulate a subdomain sweep: repeatedly swap random adjacent pairs
+	// and confirm each derived tree matches a from-scratch build.
+	h := hashing.New(nil)
+	n := 20
+	l, leafD := testList(t, h, n, 9)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	rng := rand.New(rand.NewSource(10))
+	cur := l
+	for step := 0; step < 50; step++ {
+		p := rng.Intn(n - 1)
+		var err error
+		cur, err = cur.DeriveSwap(h, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm[p], perm[p+1] = perm[p+1], perm[p]
+		fresh, err := Build(h, n, func(q int) hashing.Digest { return leafD[perm[q]] })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.Root() != fresh.Root() {
+			t.Fatalf("step %d: derived root diverged from fresh build", step)
+		}
+	}
+}

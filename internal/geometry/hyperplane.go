@@ -1,0 +1,180 @@
+// Package geometry models the domain-partitioning machinery behind the
+// I-tree: hyperplanes (function intersections), halfspaces (subdomain
+// boundary constraints), boxes (owner-specified query domains), and the
+// Space abstraction with two implementations — an exact rational 1-D space
+// and an LP-backed n-dimensional space.
+package geometry
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"aqverify/internal/linalg"
+)
+
+// Point is a location in the function-variable domain (a vector of query
+// weights in the paper's model).
+type Point []float64
+
+// Hyperplane is the zero set {X : C·X + B = 0}. In this codebase a
+// hyperplane always arises as the difference of two record functions
+// f_i - f_j, so C and B are the coefficient and bias differences.
+type Hyperplane struct {
+	C []float64
+	B float64
+}
+
+// Dim returns the hyperplane's variable count.
+func (h Hyperplane) Dim() int { return len(h.C) }
+
+// Eval returns C·X + B.
+func (h Hyperplane) Eval(x Point) float64 {
+	return linalg.Dot(h.C, []float64(x)) + h.B
+}
+
+// Side reports which closed side of h the point x lies on: +1 when
+// Eval(x) >= 0 ("above"), -1 otherwise ("below"). This matches the
+// I-tree's branching rule.
+func (h Hyperplane) Side(x Point) int {
+	if h.Eval(x) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// IsDegenerate reports whether the hyperplane has an all-zero normal
+// vector, in which case it does not partition anything (the two functions
+// are parallel — or identical when B is also zero).
+func (h Hyperplane) IsDegenerate() bool {
+	for _, c := range h.C {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode appends a canonical byte encoding of h to dst and returns the
+// extended slice. The encoding is deterministic (big-endian IEEE-754 bit
+// patterns), which makes it safe to feed into the hash functions that bind
+// hyperplane identities into the IMH-tree.
+func (h Hyperplane) Encode(dst []byte) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(h.C)))
+	dst = append(dst, buf[:4]...)
+	for _, c := range h.C {
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(c))
+		dst = append(dst, buf[:]...)
+	}
+	binary.BigEndian.PutUint64(buf[:], math.Float64bits(h.B))
+	return append(dst, buf[:]...)
+}
+
+// DecodeHyperplane parses a hyperplane previously written by Encode,
+// returning the remaining bytes.
+func DecodeHyperplane(src []byte) (Hyperplane, []byte, error) {
+	if len(src) < 4 {
+		return Hyperplane{}, nil, fmt.Errorf("geometry: hyperplane encoding truncated (len %d)", len(src))
+	}
+	n := int(binary.BigEndian.Uint32(src[:4]))
+	src = src[4:]
+	if n < 0 || len(src) < 8*(n+1) {
+		return Hyperplane{}, nil, fmt.Errorf("geometry: hyperplane encoding truncated: need %d coefficients", n)
+	}
+	c := make([]float64, n)
+	for i := 0; i < n; i++ {
+		c[i] = math.Float64frombits(binary.BigEndian.Uint64(src[:8]))
+		src = src[8:]
+	}
+	b := math.Float64frombits(binary.BigEndian.Uint64(src[:8]))
+	return Hyperplane{C: c, B: b}, src[8:], nil
+}
+
+// Halfspace is one closed or open side of a hyperplane:
+//
+//	Strict == false:  C·X + B >= 0
+//	Strict == true:   C·X + B  > 0
+//
+// A subdomain is the intersection of the halfspaces accumulated along its
+// I-tree path; the multi-signature scheme ships these to the client as
+// "the set of inequality functions that determines the subdomain".
+type Halfspace struct {
+	H      Hyperplane
+	Strict bool
+}
+
+// Contains reports whether x satisfies the halfspace, using tol as the
+// slack for the strict case (a strictly-inside test up to float error).
+func (hs Halfspace) Contains(x Point, tol float64) bool {
+	v := hs.H.Eval(x)
+	if hs.Strict {
+		return v > -tol
+	}
+	return v >= -tol
+}
+
+// Negate returns the complementary halfspace: the complement of a closed
+// halfspace is strict and vice versa.
+func (hs Halfspace) Negate() Halfspace {
+	neg := Hyperplane{C: linalg.Scale(-1, hs.H.C), B: -hs.H.B}
+	return Halfspace{H: neg, Strict: !hs.Strict}
+}
+
+// Encode appends a canonical encoding of hs to dst.
+func (hs Halfspace) Encode(dst []byte) []byte {
+	if hs.Strict {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	return hs.H.Encode(dst)
+}
+
+// DecodeHalfspace parses a halfspace written by Encode.
+func DecodeHalfspace(src []byte) (Halfspace, []byte, error) {
+	if len(src) < 1 {
+		return Halfspace{}, nil, fmt.Errorf("geometry: halfspace encoding empty")
+	}
+	strict := src[0] == 1
+	h, rest, err := DecodeHyperplane(src[1:])
+	if err != nil {
+		return Halfspace{}, nil, err
+	}
+	return Halfspace{H: h, Strict: strict}, rest, nil
+}
+
+// EncodeHalfspaces appends a canonical encoding of a halfspace list: a
+// count followed by each element. The order is preserved (the I-tree path
+// order), so equal subdomains encode equally.
+func EncodeHalfspaces(dst []byte, hss []Halfspace) []byte {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], uint32(len(hss)))
+	dst = append(dst, buf[:]...)
+	for _, hs := range hss {
+		dst = hs.Encode(dst)
+	}
+	return dst
+}
+
+// DecodeHalfspaces parses a list written by EncodeHalfspaces.
+func DecodeHalfspaces(src []byte) ([]Halfspace, []byte, error) {
+	if len(src) < 4 {
+		return nil, nil, fmt.Errorf("geometry: halfspace list truncated")
+	}
+	n := int(binary.BigEndian.Uint32(src[:4]))
+	src = src[4:]
+	if n < 0 || n > 1<<24 {
+		return nil, nil, fmt.Errorf("geometry: implausible halfspace count %d", n)
+	}
+	out := make([]Halfspace, 0, n)
+	for i := 0; i < n; i++ {
+		hs, rest, err := DecodeHalfspace(src)
+		if err != nil {
+			return nil, nil, fmt.Errorf("geometry: halfspace %d: %w", i, err)
+		}
+		out = append(out, hs)
+		src = rest
+	}
+	return out, src, nil
+}

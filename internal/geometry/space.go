@@ -1,0 +1,47 @@
+package geometry
+
+// Region is an opaque handle to a convex subdomain managed by a Space.
+// Callers treat regions as immutable values: Partition returns fresh
+// subregions and never mutates its input.
+type Region interface{}
+
+// Space abstracts the domain-partitioning geometry the I-tree is built
+// over. Two implementations exist:
+//
+//   - Space1D: exact rational arithmetic over an interval domain, used for
+//     univariate ranking functions (the scale regime of the paper's
+//     evaluation).
+//   - SpaceND: an LP-backed polytope space for d >= 2 variables, where
+//     split tests are linear-programming feasibility problems.
+//
+// The I-tree construction algorithm (paper §3.1 step 1) is generic over
+// this interface.
+type Space interface {
+	// Dim returns the number of function variables.
+	Dim() int
+
+	// Root returns the region covering the owner-specified domain.
+	Root() Region
+
+	// Partition tests whether the hyperplane h genuinely splits r (has
+	// interior points of r strictly on both sides). When it does, it
+	// returns the two subregions: above is r ∩ {h >= 0} and below is
+	// r ∩ {h < 0}, matching the I-tree's a/b branching convention.
+	Partition(r Region, h Hyperplane) (above, below Region, splits bool)
+
+	// Witness returns a point in the interior of r, used to sort the
+	// record functions for r (any interior point yields the same order,
+	// by the function-sortability theorem).
+	Witness(r Region) Point
+
+	// Halfspaces returns a halfspace description of r. For the
+	// multi-signature scheme this is "the set of inequality functions
+	// that determines the subdomain", shipped inside verification
+	// objects and bound into the subdomain digest.
+	Halfspaces(r Region) []Halfspace
+
+	// Contains reports whether x lies in r, up to the space's numeric
+	// tolerance. Used by clients to validate that a claimed subdomain
+	// really contains the query's function input.
+	Contains(r Region, x Point) bool
+}

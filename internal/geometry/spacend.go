@@ -1,0 +1,172 @@
+package geometry
+
+import (
+	"fmt"
+
+	"aqverify/internal/linalg"
+	"aqverify/internal/lp"
+)
+
+// SpaceND is the LP-backed polytope space for ranking functions of two or
+// more variables. A region is the owner's domain box intersected with the
+// halfspaces accumulated along an I-tree path; deciding whether an
+// intersection hyperplane splits a region reduces to maximizing and
+// minimizing the hyperplane's affine form over the region.
+type SpaceND struct {
+	domain Box
+	// sepTol is the strict-separation tolerance: a hyperplane only counts
+	// as splitting a region if the region extends at least sepTol on both
+	// sides. This suppresses degenerate sliver subdomains created by
+	// float roundoff, which would otherwise have no reliably computable
+	// interior witness.
+	sepTol float64
+	// boxRows/boxRhs cache the domain box as LP constraints (A x <= b).
+	boxRows [][]float64
+	boxRhs  []float64
+}
+
+// RegionND is SpaceND's Region implementation: the list of halfspaces
+// accumulated by Partition calls (the domain box is implicit).
+type RegionND struct {
+	HSS []Halfspace
+}
+
+// DefaultSepTol is the default strict-separation tolerance for SpaceND.
+const DefaultSepTol = 1e-7
+
+// NewSpaceND builds an LP-backed space over the given domain box.
+func NewSpaceND(domain Box) (*SpaceND, error) {
+	if domain.Dim() < 1 {
+		return nil, fmt.Errorf("geometry: SpaceND needs a positive-dimension domain")
+	}
+	s := &SpaceND{domain: domain, sepTol: DefaultSepTol}
+	for i := 0; i < domain.Dim(); i++ {
+		row := make([]float64, domain.Dim())
+		row[i] = 1
+		s.boxRows = append(s.boxRows, row)
+		s.boxRhs = append(s.boxRhs, domain.Hi[i])
+		row = make([]float64, domain.Dim())
+		row[i] = -1
+		s.boxRows = append(s.boxRows, row)
+		s.boxRhs = append(s.boxRhs, -domain.Lo[i])
+	}
+	return s, nil
+}
+
+// Dim implements Space.
+func (s *SpaceND) Dim() int { return s.domain.Dim() }
+
+// Root implements Space.
+func (s *SpaceND) Root() Region { return RegionND{} }
+
+// constraints materializes box + region halfspaces as A x <= b rows.
+// A halfspace C·X + B >= 0 becomes -C·X <= B.
+func (s *SpaceND) constraints(r RegionND) ([][]float64, []float64) {
+	a := make([][]float64, 0, len(s.boxRows)+len(r.HSS))
+	b := make([]float64, 0, len(s.boxRhs)+len(r.HSS))
+	a = append(a, s.boxRows...)
+	b = append(b, s.boxRhs...)
+	for _, hs := range r.HSS {
+		a = append(a, linalg.Scale(-1, hs.H.C))
+		b = append(b, hs.H.B)
+	}
+	return a, b
+}
+
+// Partition implements Space. The hyperplane splits the region iff the
+// affine form attains values above +sepTol and below -sepTol on it.
+func (s *SpaceND) Partition(r Region, h Hyperplane) (Region, Region, bool) {
+	reg := r.(RegionND)
+	if h.IsDegenerate() || len(h.C) != s.Dim() {
+		return nil, nil, false
+	}
+	a, b := s.constraints(reg)
+
+	maxRes, err := lp.Maximize(h.C, a, b)
+	if err != nil || maxRes.Status != lp.Optimal || maxRes.Objective+h.B <= s.sepTol {
+		return nil, nil, false
+	}
+	minRes, err := lp.Minimize(h.C, a, b)
+	if err != nil || minRes.Status != lp.Optimal || minRes.Objective+h.B >= -s.sepTol {
+		return nil, nil, false
+	}
+
+	above := RegionND{HSS: appendHS(reg.HSS, Halfspace{H: h})}
+	below := RegionND{HSS: appendHS(reg.HSS, Halfspace{H: h}.Negate())}
+	return above, below, true
+}
+
+// appendHS appends to a copy so sibling regions never share backing
+// arrays.
+func appendHS(hss []Halfspace, hs Halfspace) []Halfspace {
+	out := make([]Halfspace, len(hss), len(hss)+1)
+	copy(out, hss)
+	return append(out, hs)
+}
+
+// Witness implements Space via a Chebyshev-style interior-point LP:
+// maximize t subject to C·X + B >= t*||C|| for every constraint. When the
+// region has positive volume the optimum has t > 0 and X is strictly
+// interior.
+func (s *SpaceND) Witness(r Region) Point {
+	reg := r.(RegionND)
+	d := s.Dim()
+	// Variables: X (d entries) then t.
+	var a [][]float64
+	var b []float64
+	addRow := func(c []float64, bias float64) {
+		// Constraint C·X + bias >= t*||C||  =>  -C·X + ||C||*t <= bias.
+		row := make([]float64, d+1)
+		for i, v := range c {
+			row[i] = -v
+		}
+		row[d] = linalg.Norm2(c)
+		a = append(a, row)
+		b = append(b, bias)
+	}
+	for i := 0; i < d; i++ {
+		lo := make([]float64, d)
+		lo[i] = 1
+		addRow(lo, -s.domain.Lo[i])
+		hi := make([]float64, d)
+		hi[i] = -1
+		addRow(hi, s.domain.Hi[i])
+	}
+	for _, hs := range reg.HSS {
+		addRow(hs.H.C, hs.H.B)
+	}
+	obj := make([]float64, d+1)
+	obj[d] = 1
+	res, err := lp.Maximize(obj, a, b)
+	if err != nil || res.Status != lp.Optimal {
+		// A region produced by Partition always has an interior, so this
+		// is unreachable in practice; fall back to the box center rather
+		// than panicking on numerically pathological input.
+		return s.domain.Center()
+	}
+	return Point(res.X[:d])
+}
+
+// Halfspaces implements Space: the box constraints followed by the
+// accumulated intersection halfspaces.
+func (s *SpaceND) Halfspaces(r Region) []Halfspace {
+	reg := r.(RegionND)
+	out := s.domain.Halfspaces()
+	return append(out, reg.HSS...)
+}
+
+// Contains implements Space with tolerance sepTol/2, tighter than the
+// separation used when carving regions so points produced by Witness
+// always pass.
+func (s *SpaceND) Contains(r Region, x Point) bool {
+	if len(x) != s.Dim() || !s.domain.Contains(x) {
+		return false
+	}
+	reg := r.(RegionND)
+	for _, hs := range reg.HSS {
+		if !hs.Contains(x, s.sepTol/2) {
+			return false
+		}
+	}
+	return true
+}

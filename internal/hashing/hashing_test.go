@@ -1,0 +1,113 @@
+package hashing
+
+import (
+	"testing"
+
+	"aqverify/internal/metrics"
+	"aqverify/internal/record"
+)
+
+func TestDomainSeparation(t *testing.T) {
+	h := New(nil)
+	r := record.Record{ID: 1, Attrs: []float64{1}}
+	rd := h.Record(r)
+	// The same 32 bytes hashed under different tags must differ.
+	a := h.Leaf(rd)
+	b := h.Subdomain(rd)
+	c := h.Root(rd)
+	d := h.Ineqs(rd[:])
+	if a == b || a == c || b == c || a == d {
+		t.Error("tagged digests collide across domains")
+	}
+}
+
+func TestRecordDigestSensitivity(t *testing.T) {
+	h := New(nil)
+	base := record.Record{ID: 1, Attrs: []float64{1, 2}, Payload: []byte("p")}
+	d0 := h.Record(base)
+	variants := []record.Record{
+		{ID: 2, Attrs: []float64{1, 2}, Payload: []byte("p")},
+		{ID: 1, Attrs: []float64{1, 3}, Payload: []byte("p")},
+		{ID: 1, Attrs: []float64{1, 2}, Payload: []byte("q")},
+		{ID: 1, Attrs: []float64{1, 2}},
+		{ID: 1, Attrs: []float64{1, 2, 0}, Payload: []byte("p")},
+	}
+	for i, v := range variants {
+		if h.Record(v) == d0 {
+			t.Errorf("variant %d collides with base", i)
+		}
+	}
+	if h.Record(base) != d0 {
+		t.Error("digest not deterministic")
+	}
+}
+
+func TestSentinelsDependOnLength(t *testing.T) {
+	h := New(nil)
+	if h.SentinelMin(10) == h.SentinelMin(11) {
+		t.Error("min sentinel ignores list length")
+	}
+	if h.SentinelMax(10) == h.SentinelMax(11) {
+		t.Error("max sentinel ignores list length")
+	}
+	if h.SentinelMin(10) == h.SentinelMax(10) {
+		t.Error("min and max sentinels collide")
+	}
+}
+
+func TestNodeOrderMatters(t *testing.T) {
+	h := New(nil)
+	var l, r Digest
+	l[0], r[0] = 1, 2
+	if h.Node(l, r) == h.Node(r, l) {
+		t.Error("Node must not be commutative")
+	}
+}
+
+func TestIntersectionBindsHyperplane(t *testing.T) {
+	h := New(nil)
+	var a, b Digest
+	a[0], b[0] = 1, 2
+	d1 := h.Intersection([]byte{1, 2, 3}, a, b)
+	d2 := h.Intersection([]byte{1, 2, 4}, a, b)
+	if d1 == d2 {
+		t.Error("intersection digest must bind the hyperplane encoding")
+	}
+}
+
+func TestCounterCountsOps(t *testing.T) {
+	var ctr metrics.Counter
+	h := New(&ctr)
+	r := record.Record{ID: 1, Attrs: []float64{1}}
+	d := h.Record(r)
+	h.Leaf(d)
+	h.Node(d, d)
+	if ctr.Hashes != 3 {
+		t.Errorf("Hashes = %d, want 3", ctr.Hashes)
+	}
+	if ctr.HashBytes == 0 {
+		t.Error("HashBytes should be nonzero")
+	}
+	// Re-pointing the counter.
+	var ctr2 metrics.Counter
+	h2 := h.WithCounter(&ctr2)
+	h2.Leaf(d)
+	if ctr2.Hashes != 1 || ctr.Hashes != 3 {
+		t.Error("WithCounter should isolate counting")
+	}
+	if h2.Counter() != &ctr2 {
+		t.Error("Counter() should return the attached counter")
+	}
+}
+
+func TestMultiSigAndMeshPairDiffer(t *testing.T) {
+	h := New(nil)
+	var a, b Digest
+	a[0], b[0] = 3, 4
+	if h.MultiSig(a, b) == h.MeshPair(a, b, nil) {
+		t.Error("multi-sig and mesh digests must be domain separated")
+	}
+	if h.MeshPair(a, b, []byte{1}) == h.MeshPair(a, b, []byte{2}) {
+		t.Error("mesh pair digest must bind the run encoding")
+	}
+}

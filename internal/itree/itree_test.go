@@ -1,0 +1,303 @@
+package itree
+
+import (
+	"math/rand"
+	"testing"
+
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+	"aqverify/internal/metrics"
+)
+
+// lines builds univariate linear functions from (slope, intercept) pairs.
+func lines(params ...[2]float64) []funcs.Linear {
+	fs := make([]funcs.Linear, len(params))
+	for i, p := range params {
+		fs[i] = funcs.Linear{Index: i, RecordID: uint64(i + 1), Coef: []float64{p[0]}, Bias: p[1]}
+	}
+	return fs
+}
+
+func build1D(t *testing.T, fs []funcs.Linear, lo, hi float64, opt BuildOptions) *Tree {
+	t.Helper()
+	domain := geometry.MustBox([]float64{lo}, []float64{hi})
+	space, err := geometry.NewSpace1D(domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inters, err := Pairs1D(fs, domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Build(space, inters, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestPaperFourLineExample(t *testing.T) {
+	// Four pairwise-crossing lines (the shape of the paper's Fig 2a):
+	// six intersections inside the domain partition it into seven
+	// subdomains.
+	fs := lines([2]float64{1, 0}, [2]float64{-1, 10}, [2]float64{0.5, 3.1}, [2]float64{-0.5, 8.3})
+	tree := build1D(t, fs, -100, 100, BuildOptions{})
+	if got := len(tree.Subs); got != 7 {
+		t.Fatalf("subdomains = %d, want 7", got)
+	}
+	if tree.Inserted != 6 {
+		t.Errorf("inserted = %d, want 6", tree.Inserted)
+	}
+	// Node count: 6 internal + 7 leaves.
+	if tree.NodeCount != 13 {
+		t.Errorf("NodeCount = %d, want 13", tree.NodeCount)
+	}
+	bs, err := tree.Boundaries1D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 6 {
+		t.Fatalf("boundaries = %d, want 6", len(bs))
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i-1].Cmp(bs[i]) >= 0 {
+			t.Error("boundaries not strictly ascending")
+		}
+	}
+}
+
+func TestParallelLinesNoSplit(t *testing.T) {
+	fs := lines([2]float64{1, 0}, [2]float64{1, 5}, [2]float64{1, -3})
+	tree := build1D(t, fs, 0, 10, BuildOptions{})
+	if len(tree.Subs) != 1 {
+		t.Fatalf("parallel lines should leave one subdomain, got %d", len(tree.Subs))
+	}
+}
+
+func TestOutOfDomainIntersections(t *testing.T) {
+	// Lines crossing at x=50, domain [0,10]: no split.
+	fs := lines([2]float64{1, 0}, [2]float64{0, 50})
+	tree := build1D(t, fs, 0, 10, BuildOptions{})
+	if len(tree.Subs) != 1 {
+		t.Fatalf("out-of-domain intersection split the domain: %d subdomains", len(tree.Subs))
+	}
+}
+
+func TestSearchFindsContainingSubdomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var params [][2]float64
+	for i := 0; i < 12; i++ {
+		params = append(params, [2]float64{rng.NormFloat64(), rng.NormFloat64() * 5})
+	}
+	fs := lines(params...)
+	tree := build1D(t, fs, -3, 3, BuildOptions{Shuffle: true, Seed: 7})
+	space := tree.Space
+	for trial := 0; trial < 200; trial++ {
+		x := geometry.Point{rng.Float64()*6 - 3}
+		sub, path := tree.Search(x, nil)
+		if !space.Contains(sub.Region, x) {
+			t.Fatalf("Search(%v) returned subdomain not containing x", x)
+		}
+		// The path's branch directions must match the hyperplane sides.
+		for _, step := range path {
+			if (step.Node.Int.H.Side(x) >= 0) != step.TookAbove {
+				t.Fatalf("path step direction inconsistent at %v", x)
+			}
+		}
+	}
+}
+
+func TestSearchCountsNodes(t *testing.T) {
+	fs := lines([2]float64{1, 0}, [2]float64{-1, 2})
+	tree := build1D(t, fs, 0, 10, BuildOptions{})
+	var ctr metrics.Counter
+	tree.Search(geometry.Point{5}, &ctr)
+	if ctr.NodesVisited < 2 {
+		t.Errorf("NodesVisited = %d, want >= 2", ctr.NodesVisited)
+	}
+}
+
+func TestSubdomainOrderIsSpatial1D(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var params [][2]float64
+	for i := 0; i < 20; i++ {
+		params = append(params, [2]float64{rng.NormFloat64(), rng.NormFloat64()})
+	}
+	tree := build1D(t, lines(params...), -2, 2, BuildOptions{Shuffle: true, Seed: 11})
+	for i, sub := range tree.Subs {
+		if sub.ID != i {
+			t.Fatalf("Subs[%d].ID = %d", i, sub.ID)
+		}
+	}
+	// Intervals tile the domain left to right.
+	if _, err := tree.Boundaries1D(); err != nil {
+		t.Fatal(err)
+	}
+	first := tree.Subs[0].Region.(geometry.Interval1D)
+	last := tree.Subs[len(tree.Subs)-1].Region.(geometry.Interval1D)
+	if f, _ := first.Lo.Float64(); f != -2 {
+		t.Errorf("first interval starts at %v, want -2", f)
+	}
+	if f, _ := last.Hi.Float64(); f != 2 {
+		t.Errorf("last interval ends at %v, want 2", f)
+	}
+}
+
+// TestSortabilityAcrossSubdomains is the core invariant: within one
+// subdomain the function order is constant, and crossing a boundary
+// changes it.
+func TestSortabilityAcrossSubdomains(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var params [][2]float64
+	for i := 0; i < 10; i++ {
+		params = append(params, [2]float64{rng.NormFloat64(), rng.NormFloat64()})
+	}
+	fs := lines(params...)
+	tree := build1D(t, fs, -1, 1, BuildOptions{Shuffle: true, Seed: 3})
+	for _, sub := range tree.Subs {
+		iv := sub.Region.(geometry.Interval1D)
+		lo, _ := iv.Lo.Float64()
+		hi, _ := iv.Hi.Float64()
+		w := (hi - lo)
+		base := funcs.SortAt(fs, geometry.Point{lo + w*0.5})
+		for _, frac := range []float64{0.1, 0.3, 0.7, 0.9} {
+			got := funcs.SortAt(fs, geometry.Point{lo + w*frac})
+			for i := range base {
+				if got[i] != base[i] {
+					t.Fatalf("subdomain %d: order changed inside the region", sub.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestShuffleReducesDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var params [][2]float64
+	for i := 0; i < 60; i++ {
+		params = append(params, [2]float64{rng.NormFloat64(), rng.NormFloat64()})
+	}
+	fs := lines(params...)
+	sorted := build1D(t, fs, -0.5, 0.5, BuildOptions{})
+	shuffled := build1D(t, fs, -0.5, 0.5, BuildOptions{Shuffle: true, Seed: 1})
+	if len(sorted.Subs) != len(shuffled.Subs) {
+		t.Fatalf("subdomain count depends on insertion order: %d vs %d",
+			len(sorted.Subs), len(shuffled.Subs))
+	}
+	// Not asserting a specific relationship (Pairs1D order is not sorted
+	// by breakpoint), only that both are valid and depths are sane.
+	if shuffled.Depth() >= len(shuffled.Subs) && len(shuffled.Subs) > 8 {
+		t.Errorf("shuffled depth %d looks degenerate for %d subdomains",
+			shuffled.Depth(), len(shuffled.Subs))
+	}
+}
+
+func TestBuildND(t *testing.T) {
+	// Three planes over a 2-D box: f0 = x, f1 = y, f2 = (x+y)/2.
+	fs := []funcs.Linear{
+		{Index: 0, RecordID: 1, Coef: []float64{1, 0}},
+		{Index: 1, RecordID: 2, Coef: []float64{0, 1}},
+		{Index: 2, RecordID: 3, Coef: []float64{0.5, 0.5}},
+	}
+	domain := geometry.MustBox([]float64{0, 0}, []float64{1, 1})
+	space, err := geometry.NewSpaceND(domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inters := PairsND(fs)
+	if len(inters) != 3 {
+		t.Fatalf("PairsND = %d intersections, want 3", len(inters))
+	}
+	tree, err := Build(space, inters, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f0-f1, f0-f2, f1-f2 all vanish on the diagonal x=y: the three
+	// hyperplanes coincide, so only the first insertion splits.
+	if len(tree.Subs) != 2 {
+		t.Fatalf("subdomains = %d, want 2 (coincident hyperplanes)", len(tree.Subs))
+	}
+	// Search + order check on both sides.
+	for _, x := range []geometry.Point{{0.8, 0.2}, {0.2, 0.8}} {
+		sub, _ := tree.Search(x, nil)
+		if !space.Contains(sub.Region, x) {
+			t.Fatalf("Search(%v) wrong subdomain", x)
+		}
+	}
+}
+
+func TestBuildNDGrid(t *testing.T) {
+	// Functions whose pairwise differences form crossing hyperplanes.
+	fs := []funcs.Linear{
+		{Index: 0, RecordID: 1, Coef: []float64{1, 0}, Bias: 0},
+		{Index: 1, RecordID: 2, Coef: []float64{0, 1}, Bias: 0},
+		{Index: 2, RecordID: 3, Coef: []float64{0, 0}, Bias: 0.5},
+	}
+	domain := geometry.MustBox([]float64{0, 0}, []float64{1, 1})
+	space, _ := geometry.NewSpaceND(domain)
+	tree, err := Build(space, PairsND(fs), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x=y, x=0.5, y=0.5 inside the unit square: the diagonal plus the
+	// two half-lines cut the square into 6 cells.
+	if len(tree.Subs) != 6 {
+		t.Fatalf("subdomains = %d, want 6", len(tree.Subs))
+	}
+	// Every subdomain's witness sorts consistently with nearby points.
+	rng := rand.New(rand.NewSource(12))
+	for _, sub := range tree.Subs {
+		w := space.Witness(sub.Region)
+		base := funcs.SortAt(fs, w)
+		for k := 0; k < 5; k++ {
+			p := geometry.Point{
+				w[0] + rng.NormFloat64()*1e-4,
+				w[1] + rng.NormFloat64()*1e-4,
+			}
+			if !space.Contains(sub.Region, p) {
+				continue
+			}
+			got := funcs.SortAt(fs, p)
+			for i := range base {
+				if got[i] != base[i] {
+					t.Fatalf("subdomain %d: order differs near witness", sub.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestPairs1DFiltersAndValidates(t *testing.T) {
+	fs := lines([2]float64{1, 0}, [2]float64{-1, 100}, [2]float64{-1, 2})
+	domain := geometry.MustBox([]float64{0}, []float64{10})
+	inters, err := Pairs1D(fs, domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crossings: f0/f1 at x=50 (out), f0/f2 at x=1 (in), f1/f2 parallel.
+	if len(inters) != 1 {
+		t.Fatalf("got %d intersections, want 1", len(inters))
+	}
+	if inters[0].I != 0 || inters[0].J != 2 {
+		t.Errorf("kept pair (%d,%d), want (0,2)", inters[0].I, inters[0].J)
+	}
+	bad := []funcs.Linear{{Index: 0, Coef: []float64{1, 2}}}
+	if _, err := Pairs1D(bad, domain); err == nil {
+		t.Error("multivariate function accepted by Pairs1D")
+	}
+	if _, err := Pairs1D(fs, geometry.MustBox([]float64{0, 0}, []float64{1, 1})); err == nil {
+		t.Error("2-D domain accepted by Pairs1D")
+	}
+}
+
+func TestBoundaries1DRejectsNDTree(t *testing.T) {
+	domain := geometry.MustBox([]float64{0, 0}, []float64{1, 1})
+	space, _ := geometry.NewSpaceND(domain)
+	tree, err := Build(space, nil, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Boundaries1D(); err == nil {
+		t.Error("Boundaries1D accepted an n-D tree")
+	}
+}

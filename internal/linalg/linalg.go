@@ -1,0 +1,121 @@
+// Package linalg provides the small dense vector helpers used by the
+// geometry and LP substrates. Everything operates on []float64 and is
+// deliberately allocation-conscious: callers pass destination slices where
+// reuse matters.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b. It panics if lengths differ,
+// because a length mismatch is always a programming error in this codebase.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: dot of mismatched lengths %d and %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Sub returns a new vector a - b.
+func Sub(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: sub of mismatched lengths %d and %d", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Add returns a new vector a + b.
+func Add(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: add of mismatched lengths %d and %d", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Scale returns a new vector k*a.
+func Scale(k float64, a []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = k * a[i]
+	}
+	return out
+}
+
+// AXPY computes dst = dst + k*a in place and returns dst.
+func AXPY(dst []float64, k float64, a []float64) []float64 {
+	if len(dst) != len(a) {
+		panic(fmt.Sprintf("linalg: axpy of mismatched lengths %d and %d", len(dst), len(a)))
+	}
+	for i := range dst {
+		dst[i] += k * a[i]
+	}
+	return dst
+}
+
+// Norm2 returns the Euclidean norm of a.
+func Norm2(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// NormInf returns the maximum absolute component of a, or 0 for an empty
+// vector.
+func NormInf(a []float64) float64 {
+	var m float64
+	for _, v := range a {
+		if av := math.Abs(v); av > m {
+			m = av
+		}
+	}
+	return m
+}
+
+// Clone returns a copy of a.
+func Clone(a []float64) []float64 {
+	out := make([]float64, len(a))
+	copy(out, a)
+	return out
+}
+
+// AllFinite reports whether every component of a is finite (not NaN or
+// ±Inf). The verification structures reject non-finite attribute values up
+// front so that downstream hashing and geometry are total.
+func AllFinite(a []float64) bool {
+	for _, v := range a {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports whether |a-b| <= tol elementwise. Vectors of
+// different lengths are never approximately equal.
+func ApproxEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

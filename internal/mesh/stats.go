@@ -1,0 +1,42 @@
+package mesh
+
+// Stats describes a built signature mesh's footprint, mirroring
+// core.Stats for the Fig 5 comparisons.
+type Stats struct {
+	Records    int
+	Subdomains int
+	// Runs is the number of signed adjacency runs (== Signatures).
+	Runs           int
+	Signatures     int
+	SignatureBytes int
+	// ApproxBytes estimates the structure size: per run a signature,
+	// interval and pair identity; per subdomain one boundary value; plus
+	// the records.
+	ApproxBytes int
+}
+
+const bytesPerRunOverhead = 16 /* interval */ + 8 /* pair ids */ + 8 /* sub range */
+
+// Stats computes the mesh's footprint.
+func (m *Mesh) Stats() Stats {
+	s := Stats{
+		Records:    m.table.Len(),
+		Subdomains: m.NumSubdomains(),
+		Signatures: m.sigCount,
+	}
+	for _, rs := range m.runs {
+		s.Runs += len(rs)
+		for _, r := range rs {
+			s.SignatureBytes += len(r.Sig)
+		}
+	}
+	recordBytes := 0
+	for _, r := range m.table.Records {
+		recordBytes += len(r.Encode(nil))
+	}
+	s.ApproxBytes = s.Runs*bytesPerRunOverhead +
+		s.SignatureBytes +
+		len(m.edges)*8 +
+		recordBytes
+	return s
+}

@@ -1,0 +1,86 @@
+// Package owner models the data owner of the paper's system model (§2.1):
+// the party who holds the raw table, interprets it under a utility
+// function template, builds the authenticated data structure, signs it
+// with its private key, and hands the package to the cloud while
+// publishing the verification parameters to its users.
+package owner
+
+import (
+	"fmt"
+
+	"aqverify/internal/core"
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+	"aqverify/internal/hashing"
+	"aqverify/internal/mesh"
+	"aqverify/internal/record"
+	"aqverify/internal/sig"
+)
+
+// Owner is a data owner bound to one signing key.
+type Owner struct {
+	signer sig.Signer
+}
+
+// New creates an owner with the given signing key.
+func New(signer sig.Signer) (*Owner, error) {
+	if signer == nil {
+		return nil, fmt.Errorf("owner: signer is required")
+	}
+	return &Owner{signer: signer}, nil
+}
+
+// NewWithScheme generates a fresh key of the given scheme.
+func NewWithScheme(scheme sig.Scheme, opt sig.Options) (*Owner, error) {
+	s, err := sig.NewSigner(scheme, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Owner{signer: s}, nil
+}
+
+// Options tunes outsourcing.
+type Options struct {
+	// Mode selects the IFMH signing scheme.
+	Mode core.Mode
+	// Shuffle/Seed control intersection insertion order.
+	Shuffle bool
+	Seed    int64
+	// Materialize selects the paper-literal O(S·n) layout.
+	Materialize bool
+	// Hasher may carry a metrics counter to measure construction cost.
+	Hasher *hashing.Hasher
+}
+
+// OutsourceIFMH builds the IFMH-tree package for the cloud plus the
+// public parameters for data users.
+func (o *Owner) OutsourceIFMH(tbl record.Table, tpl funcs.Template, domain geometry.Box, opt Options) (*core.Tree, core.PublicParams, error) {
+	tree, err := core.Build(tbl, core.Params{
+		Mode:        opt.Mode,
+		Signer:      o.signer,
+		Domain:      domain,
+		Template:    tpl,
+		Hasher:      opt.Hasher,
+		Shuffle:     opt.Shuffle,
+		Seed:        opt.Seed,
+		Materialize: opt.Materialize,
+	})
+	if err != nil {
+		return nil, core.PublicParams{}, err
+	}
+	return tree, tree.Public(), nil
+}
+
+// OutsourceMesh builds the signature-mesh package (the baseline).
+func (o *Owner) OutsourceMesh(tbl record.Table, tpl funcs.Template, domain geometry.Box, opt Options) (*mesh.Mesh, mesh.PublicParams, error) {
+	m, err := mesh.Build(tbl, mesh.Params{
+		Signer:   o.signer,
+		Domain:   domain,
+		Template: tpl,
+		Hasher:   opt.Hasher,
+	})
+	if err != nil {
+		return nil, mesh.PublicParams{}, err
+	}
+	return m, m.Public(), nil
+}

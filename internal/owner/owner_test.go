@@ -1,0 +1,111 @@
+package owner
+
+import (
+	"testing"
+
+	"aqverify/internal/core"
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+	"aqverify/internal/hashing"
+	"aqverify/internal/metrics"
+	"aqverify/internal/record"
+	"aqverify/internal/sig"
+)
+
+func smallTable(t *testing.T) (record.Table, geometry.Box) {
+	t.Helper()
+	recs := []record.Record{
+		{ID: 1, Attrs: []float64{1, 0}},
+		{ID: 2, Attrs: []float64{-1, 2}},
+		{ID: 3, Attrs: []float64{0.5, 1}},
+	}
+	tbl, err := record.NewTable(record.Schema{
+		Name:    "t",
+		Columns: []record.Column{{Name: "slope"}, {Name: "intercept"}},
+	}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, geometry.MustBox([]float64{-2}, []float64{2})
+}
+
+func TestNewRequiresSigner(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil signer accepted")
+	}
+	s, err := sig.NewSigner(sig.Ed25519, sig.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(s); err != nil {
+		t.Errorf("valid signer rejected: %v", err)
+	}
+}
+
+func TestNewWithScheme(t *testing.T) {
+	if _, err := NewWithScheme("bogus", sig.Options{}); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+	o, err := NewWithScheme(sig.Ed25519, sig.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, dom := smallTable(t)
+	tree, pub, err := o.OutsourceIFMH(tbl, funcs.AffineLine(0, 1), dom, Options{Mode: core.MultiSignature})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.Mode != core.MultiSignature || pub.Verifier == nil {
+		t.Errorf("public params incomplete: %+v", pub)
+	}
+	if tree.SignatureCount() != tree.NumSubdomains() {
+		t.Error("multi-signature count mismatch")
+	}
+}
+
+func TestOutsourceMesh(t *testing.T) {
+	o, err := NewWithScheme(sig.Ed25519, sig.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, dom := smallTable(t)
+	m, pub, err := o.OutsourceMesh(tbl, funcs.AffineLine(0, 1), dom, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.Verifier == nil || m.SignatureCount() == 0 {
+		t.Error("mesh outsourcing incomplete")
+	}
+}
+
+func TestOutsourceWithInstrumentedHasher(t *testing.T) {
+	o, err := NewWithScheme(sig.Ed25519, sig.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, dom := smallTable(t)
+	var ctr metrics.Counter
+	_, _, err = o.OutsourceIFMH(tbl, funcs.AffineLine(0, 1), dom, Options{
+		Hasher: hashing.New(&ctr),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctr.Hashes == 0 || ctr.SigSigns != 1 {
+		t.Errorf("construction not instrumented: %+v", ctr)
+	}
+}
+
+func TestOutsourcePropagatesBuildErrors(t *testing.T) {
+	o, err := NewWithScheme(sig.Ed25519, sig.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, dom := smallTable(t)
+	if _, _, err := o.OutsourceIFMH(tbl, funcs.ScalarProduct(5), dom, Options{}); err == nil {
+		t.Error("bad template accepted")
+	}
+	if _, _, err := o.OutsourceMesh(tbl, funcs.ScalarProduct(2), dom, Options{}); err == nil {
+		t.Error("multivariate mesh accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package query
+
+import (
+	"testing"
+
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+)
+
+func TestSelectWindowBottomK(t *testing.T) {
+	scores := []float64{1, 2, 3, 4, 5}
+	x := geometry.Point{0}
+	if w := win(t, scores, NewBottomK(x, 2)); w.Start != 0 || w.Count != 2 {
+		t.Errorf("bottom-2 = %+v", w)
+	}
+	if w := win(t, scores, NewBottomK(x, 10)); w.Start != 0 || w.Count != 5 {
+		t.Errorf("bottom-10 of 5 = %+v", w)
+	}
+}
+
+func TestBottomKValidate(t *testing.T) {
+	if err := NewBottomK(geometry.Point{1}, 3).Validate(1); err != nil {
+		t.Errorf("valid bottom-k rejected: %v", err)
+	}
+	if err := NewBottomK(geometry.Point{1}, 0).Validate(1); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestExecBottomK(t *testing.T) {
+	tbl := testTable(t, 40, 21)
+	tpl := funcs.ScalarProduct(2)
+	q := NewBottomK(geometry.Point{0.7, 0.3}, 6)
+	res, err := Exec(tbl, tpl, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 6 {
+		t.Fatalf("got %d records", len(res.Records))
+	}
+	inResult := map[uint64]bool{}
+	for _, r := range res.Records {
+		inResult[r.ID] = true
+	}
+	ceiling := res.Scores[len(res.Scores)-1]
+	for _, r := range tbl.Records {
+		if inResult[r.ID] {
+			continue
+		}
+		if s := tpl.Interpret(0, r).Eval(q.X); s < ceiling {
+			t.Fatalf("record %d (score %v) below the bottom-k ceiling %v was omitted", r.ID, s, ceiling)
+		}
+	}
+}
+
+func TestBottomKIsTopKMirror(t *testing.T) {
+	scores := []float64{1, 2, 3, 4, 5, 6, 7}
+	x := geometry.Point{0}
+	for k := 1; k <= 7; k++ {
+		bot := win(t, scores, NewBottomK(x, k))
+		top := win(t, scores, NewTopK(x, k))
+		if bot.Count != top.Count {
+			t.Fatalf("k=%d: counts differ", k)
+		}
+		if bot.Start != 0 || top.End() != len(scores) {
+			t.Fatalf("k=%d: windows not anchored at opposite ends", k)
+		}
+	}
+}

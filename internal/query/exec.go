@@ -1,0 +1,59 @@
+package query
+
+import (
+	"sort"
+
+	"aqverify/internal/funcs"
+	"aqverify/internal/record"
+)
+
+// Result is the outcome of the trusted reference executor: the matching
+// records in ascending score order, plus their scores.
+type Result struct {
+	Records []record.Record
+	Scores  []float64
+	Window  Window
+}
+
+// Exec runs q directly against the raw table under the template — the
+// trusted computation a user could do locally if it had the whole
+// database. It is the oracle every verified result is compared against in
+// tests, and deliberately shares SelectWindow with the production paths
+// so the semantics cannot drift apart.
+func Exec(tbl record.Table, tpl funcs.Template, q Query) (Result, error) {
+	fs, err := tpl.InterpretTable(tbl)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := q.Validate(tpl.Dim()); err != nil {
+		return Result{}, err
+	}
+	type scored struct {
+		idx   int
+		score float64
+	}
+	ss := make([]scored, len(fs))
+	for i, f := range fs {
+		ss[i] = scored{idx: i, score: f.Eval(q.X)}
+	}
+	sort.Slice(ss, func(a, b int) bool {
+		if ss[a].score != ss[b].score {
+			return ss[a].score < ss[b].score
+		}
+		return ss[a].idx < ss[b].idx
+	})
+	scores := make([]float64, len(ss))
+	for i, s := range ss {
+		scores[i] = s.score
+	}
+	w, err := SelectWindow(scores, q, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{Window: w}
+	for pos := w.Start; pos < w.End(); pos++ {
+		out.Records = append(out.Records, tbl.Records[ss[pos].idx])
+		out.Scores = append(out.Scores, scores[pos])
+	}
+	return out, nil
+}

@@ -1,0 +1,26 @@
+package record
+
+import "testing"
+
+// FuzzDecode drives the record decoder with arbitrary bytes: it must
+// never panic, and any accepted record must re-encode canonically (the
+// hash layer depends on one-encoding-per-record).
+func FuzzDecode(f *testing.F) {
+	f.Add(Record{ID: 1, Attrs: []float64{1.5, -2}, Payload: []byte("p")}.Encode(nil))
+	f.Add(Record{ID: 0, Attrs: []float64{0}}.Encode(nil))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, rest, err := Decode(data)
+		if err != nil {
+			return
+		}
+		reenc := rec.Encode(nil)
+		if len(reenc)+len(rest) != len(data) {
+			t.Fatalf("consumed %d of %d bytes but re-encoded to %d", len(data)-len(rest), len(data), len(reenc))
+		}
+		if string(reenc) != string(data[:len(reenc)]) {
+			t.Fatal("decode/encode not canonical")
+		}
+	})
+}

@@ -1,0 +1,110 @@
+// Package server models the cloud service provider: it hosts the data
+// owner's authenticated data structure, processes analytic queries, and
+// returns each result with its verification object serialized over the
+// wire. The backend is pluggable (IFMH-tree or signature mesh) so the
+// benchmark harness can compare them through one interface.
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"aqverify/internal/core"
+	"aqverify/internal/mesh"
+	"aqverify/internal/metrics"
+	"aqverify/internal/query"
+	"aqverify/internal/wire"
+)
+
+// Backend is an authenticated data structure the server can host.
+type Backend interface {
+	// Name identifies the backend ("ifmh-one", "ifmh-multi", "mesh").
+	Name() string
+	// Process answers q, returning the serialized answer. The counter
+	// observes per-query traversal costs.
+	Process(q query.Query, ctr *metrics.Counter) ([]byte, error)
+}
+
+// IFMH hosts a core.Tree.
+type IFMH struct {
+	Tree *core.Tree
+}
+
+// Name implements Backend.
+func (b IFMH) Name() string {
+	if b.Tree.Mode() == core.OneSignature {
+		return "ifmh-one"
+	}
+	return "ifmh-multi"
+}
+
+// Process implements Backend.
+func (b IFMH) Process(q query.Query, ctr *metrics.Counter) ([]byte, error) {
+	ans, err := b.Tree.Process(q, ctr)
+	if err != nil {
+		return nil, err
+	}
+	out := wire.EncodeIFMH(ans)
+	ctr.AddBytes(uint64(len(out)))
+	return out, nil
+}
+
+// Mesh hosts a mesh.Mesh.
+type Mesh struct {
+	M *mesh.Mesh
+}
+
+// Name implements Backend.
+func (Mesh) Name() string { return "mesh" }
+
+// Process implements Backend.
+func (b Mesh) Process(q query.Query, ctr *metrics.Counter) ([]byte, error) {
+	ans, err := b.M.Process(q, ctr)
+	if err != nil {
+		return nil, err
+	}
+	out := wire.EncodeMesh(ans)
+	ctr.AddBytes(uint64(len(out)))
+	return out, nil
+}
+
+// Server wraps a backend with cumulative metrics.
+type Server struct {
+	backend Backend
+
+	mu    sync.Mutex
+	total metrics.Counter
+	count int
+}
+
+// New creates a server for the backend.
+func New(b Backend) (*Server, error) {
+	if b == nil {
+		return nil, fmt.Errorf("server: backend is required")
+	}
+	return &Server{backend: b}, nil
+}
+
+// Name returns the backend name.
+func (s *Server) Name() string { return s.backend.Name() }
+
+// Handle processes one query, accumulating metrics. It returns the
+// serialized answer bytes — what would travel over the network.
+func (s *Server) Handle(q query.Query) ([]byte, error) {
+	var ctr metrics.Counter
+	out, err := s.backend.Process(q, &ctr)
+	s.mu.Lock()
+	s.total.Add(ctr)
+	if err == nil {
+		s.count++
+	}
+	s.mu.Unlock()
+	return out, err
+}
+
+// Stats returns the cumulative metrics and query count.
+func (s *Server) Stats() (metrics.Counter, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total, s.count
+}

@@ -1,0 +1,48 @@
+package sig
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"fmt"
+)
+
+type ecdsaSigner struct {
+	key *ecdsa.PrivateKey
+}
+
+type ecdsaVerifier struct {
+	pub *ecdsa.PublicKey
+}
+
+func newECDSASigner(opt Options) (Signer, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), opt.rand())
+	if err != nil {
+		return nil, fmt.Errorf("sig: ecdsa keygen: %w", err)
+	}
+	return &ecdsaSigner{key: key}, nil
+}
+
+func (s *ecdsaSigner) Scheme() Scheme { return ECDSA }
+
+func (s *ecdsaSigner) Sign(digest []byte) ([]byte, error) {
+	if len(digest) != 32 {
+		return nil, fmt.Errorf("sig: ecdsa: digest must be 32 bytes, got %d", len(digest))
+	}
+	return ecdsa.SignASN1(cryptoRand(), s.key, digest)
+}
+
+func (s *ecdsaSigner) Verifier() Verifier { return &ecdsaVerifier{pub: &s.key.PublicKey} }
+
+func (v *ecdsaVerifier) Scheme() Scheme { return ECDSA }
+
+func (v *ecdsaVerifier) Verify(digest, sig []byte) error {
+	if len(digest) != 32 {
+		return fmt.Errorf("sig: ecdsa: digest must be 32 bytes, got %d", len(digest))
+	}
+	if !ecdsa.VerifyASN1(v.pub, digest, sig) {
+		return fmt.Errorf("%w: ecdsa", ErrBadSignature)
+	}
+	return nil
+}
+
+func (v *ecdsaVerifier) SignatureSize() int { return 72 } // max ASN.1 P-256 size

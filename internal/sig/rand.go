@@ -1,0 +1,15 @@
+package sig
+
+import (
+	"crypto/rand"
+	"io"
+)
+
+// cryptoRand returns the system entropy source. Isolated in one place so
+// the schemes that need per-signature randomness (DSA, ECDSA) share it.
+func cryptoRand() io.Reader { return rand.Reader }
+
+// randReaderForParams returns the source for DSA parameter generation.
+// Parameters are cached process-wide, so they always come from real
+// entropy regardless of any deterministic test reader.
+func randReaderForParams() io.Reader { return rand.Reader }

@@ -1,0 +1,101 @@
+// Package sig provides the digital-signature schemes used to anchor the
+// verification structures: RSA (the paper's default), DSA (the paper's
+// comparison point in Fig 7c), ECDSA and Ed25519 as modern alternatives,
+// and a no-crypto counting scheme for experiments that only tally
+// signature counts (Fig 5a).
+//
+// Every scheme signs a 32-byte digest produced by package hashing; schemes
+// that internally hash again (Ed25519) treat the digest as the message.
+package sig
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+)
+
+// Scheme names a signature algorithm.
+type Scheme string
+
+const (
+	// RSA is RSASSA-PKCS1-v1_5 over SHA-256 digests.
+	RSA Scheme = "rsa"
+	// DSA is FIPS 186-3 DSA (the paper's second algorithm).
+	DSA Scheme = "dsa"
+	// ECDSA is ECDSA over P-256 with ASN.1 signatures.
+	ECDSA Scheme = "ecdsa"
+	// Ed25519 is EdDSA over Curve25519.
+	Ed25519 Scheme = "ed25519"
+	// Counting is a non-cryptographic scheme for signature-count
+	// experiments: structurally valid, integrity-checking, but trivially
+	// forgeable. Never use it outside measurements and tests.
+	Counting Scheme = "counting"
+)
+
+// Signer creates signatures over 32-byte digests.
+type Signer interface {
+	Scheme() Scheme
+	// Sign returns a signature over digest.
+	Sign(digest []byte) ([]byte, error)
+	// Verifier returns the matching public verifier.
+	Verifier() Verifier
+}
+
+// Verifier checks signatures over 32-byte digests.
+type Verifier interface {
+	Scheme() Scheme
+	// Verify returns nil iff sig is a valid signature over digest.
+	Verify(digest, sig []byte) error
+	// SignatureSize returns the nominal signature size in bytes, used for
+	// communication-overhead accounting.
+	SignatureSize() int
+}
+
+// ErrBadSignature is wrapped by every Verify failure caused by an invalid
+// signature (as opposed to malformed input).
+var ErrBadSignature = fmt.Errorf("sig: signature verification failed")
+
+// Options configures key generation.
+type Options struct {
+	// RSABits is the RSA modulus size; 0 means 2048.
+	RSABits int
+	// Rand is the randomness source; nil means crypto/rand.Reader.
+	Rand io.Reader
+}
+
+func (o Options) rand() io.Reader {
+	if o.Rand == nil {
+		return rand.Reader
+	}
+	return o.Rand
+}
+
+func (o Options) rsaBits() int {
+	if o.RSABits == 0 {
+		return 2048
+	}
+	return o.RSABits
+}
+
+// NewSigner generates a fresh key pair for the scheme.
+func NewSigner(scheme Scheme, opt Options) (Signer, error) {
+	switch scheme {
+	case RSA:
+		return newRSASigner(opt)
+	case DSA:
+		return newDSASigner(opt)
+	case ECDSA:
+		return newECDSASigner(opt)
+	case Ed25519:
+		return newEd25519Signer(opt)
+	case Counting:
+		return newCountingSigner(), nil
+	default:
+		return nil, fmt.Errorf("sig: unknown scheme %q", scheme)
+	}
+}
+
+// Schemes lists every supported scheme.
+func Schemes() []Scheme {
+	return []Scheme{RSA, DSA, ECDSA, Ed25519, Counting}
+}

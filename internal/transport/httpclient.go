@@ -1,0 +1,110 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"aqverify/internal/client"
+	"aqverify/internal/core"
+	"aqverify/internal/mesh"
+	"aqverify/internal/query"
+	"aqverify/internal/record"
+	"aqverify/internal/sig"
+	"aqverify/internal/wire"
+)
+
+// maxAnswerBytes bounds response bodies the client will buffer.
+const maxAnswerBytes = 64 << 20
+
+// HTTPClient is a verifying data user over HTTP: it fetches the owner's
+// trust bundle once, then verifies every answer locally before returning
+// records. The HTTP connection is untrusted by construction — any
+// tampering en route fails verification exactly like a lying server.
+type HTTPClient struct {
+	base string
+	hc   *http.Client
+	cli  *client.Client
+	mode string
+}
+
+// Dial fetches /params from the base URL and prepares a verifying client.
+func Dial(base string, hc *http.Client) (*HTTPClient, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	base = strings.TrimRight(base, "/")
+	resp, err := hc.Get(base + "/params")
+	if err != nil {
+		return nil, fmt.Errorf("transport: fetch params: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("transport: params endpoint returned %s", resp.Status)
+	}
+	var p Params
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("transport: parse params: %w", err)
+	}
+	vb, err := base64.StdEncoding.DecodeString(p.Verifier)
+	if err != nil {
+		return nil, fmt.Errorf("transport: verifier encoding: %w", err)
+	}
+	ver, err := sig.UnmarshalVerifier(vb)
+	if err != nil {
+		return nil, err
+	}
+	tpl := fromTplJSON(p.Template)
+
+	out := &HTTPClient{base: base, hc: hc, mode: p.Backend}
+	switch p.Backend {
+	case "ifmh-one", "ifmh-multi":
+		mode := core.OneSignature
+		if p.Backend == "ifmh-multi" {
+			mode = core.MultiSignature
+		}
+		out.cli = client.NewIFMH(core.PublicParams{
+			Verifier: ver, Template: tpl, Mode: mode, SemTol: p.SemTol,
+		})
+	case "mesh":
+		out.cli = client.NewMesh(mesh.PublicParams{
+			Verifier: ver, Template: tpl, SemTol: p.SemTol,
+		})
+	default:
+		return nil, fmt.Errorf("transport: unknown backend %q", p.Backend)
+	}
+	return out, nil
+}
+
+// Backend returns the server's advertised backend name.
+func (c *HTTPClient) Backend() string { return c.mode }
+
+// Query sends q, verifies the answer, and returns the records. Every
+// failure — network, malformed bytes, failed verification — is an error;
+// no unverified record is ever returned.
+func (c *HTTPClient) Query(q query.Query) ([]record.Record, error) {
+	resp, err := c.hc.Post(c.base+"/query", "application/octet-stream",
+		bytes.NewReader(wire.EncodeQuery(q)))
+	if err != nil {
+		return nil, fmt.Errorf("transport: post query: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxAnswerBytes))
+	if err != nil {
+		return nil, fmt.Errorf("transport: read answer: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("transport: server returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return c.cli.Check(q, body)
+}
+
+// Stats returns the client's cumulative verification metrics.
+func (c *HTTPClient) Stats() interface{ String() string } {
+	st := c.cli.Stats()
+	return &st
+}

@@ -1,0 +1,139 @@
+// Package transport puts the outsourcing protocol on the network: an
+// http.Handler exposing the cloud server's query endpoint plus the data
+// owner's published parameters, and an HTTP client that fetches, parses
+// and verifies answers. The data plane is the deterministic binary wire
+// codec; the control plane (/params, /stats) is JSON.
+//
+// Endpoints:
+//
+//	POST /query   body: wire-encoded query  -> wire-encoded answer
+//	GET  /params  -> JSON trust bundle (scheme, verifier key, template, mode)
+//	GET  /stats   -> JSON cumulative server metrics
+package transport
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"aqverify/internal/core"
+	"aqverify/internal/funcs"
+	"aqverify/internal/mesh"
+	"aqverify/internal/server"
+	"aqverify/internal/sig"
+	"aqverify/internal/wire"
+)
+
+// maxQueryBytes bounds the request body; queries are tiny.
+const maxQueryBytes = 1 << 16
+
+// Params is the JSON trust bundle the data owner publishes. Exactly one
+// of IFMHMode ("one"/"multi") and MeshBaseline is meaningful, matching
+// the backend.
+type Params struct {
+	Backend  string  `json:"backend"`  // "ifmh-one", "ifmh-multi", "mesh"
+	Verifier string  `json:"verifier"` // base64 of sig.MarshalVerifier
+	Template TplJSON `json:"template"`
+	SemTol   float64 `json:"semTol,omitempty"`
+}
+
+// TplJSON is the JSON form of a utility-function template.
+type TplJSON struct {
+	Name      string `json:"name"`
+	CoefAttrs []int  `json:"coefAttrs"`
+	BiasAttr  int    `json:"biasAttr"`
+}
+
+func toTplJSON(t funcs.Template) TplJSON {
+	return TplJSON{Name: t.Name, CoefAttrs: t.CoefAttrs, BiasAttr: t.BiasAttr}
+}
+
+func fromTplJSON(t TplJSON) funcs.Template {
+	return funcs.Template{Name: t.Name, CoefAttrs: t.CoefAttrs, BiasAttr: t.BiasAttr}
+}
+
+// Handler serves one outsourced database over HTTP.
+type Handler struct {
+	srv    *server.Server
+	params Params
+	mux    *http.ServeMux
+}
+
+// NewIFMHHandler wraps an IFMH-backed server.
+func NewIFMHHandler(srv *server.Server, pub core.PublicParams) (*Handler, error) {
+	vb, err := sig.MarshalVerifier(pub.Verifier)
+	if err != nil {
+		return nil, err
+	}
+	return newHandler(srv, Params{
+		Backend:  srv.Name(),
+		Verifier: base64.StdEncoding.EncodeToString(vb),
+		Template: toTplJSON(pub.Template),
+		SemTol:   pub.SemTol,
+	})
+}
+
+// NewMeshHandler wraps a mesh-backed server.
+func NewMeshHandler(srv *server.Server, pub mesh.PublicParams) (*Handler, error) {
+	vb, err := sig.MarshalVerifier(pub.Verifier)
+	if err != nil {
+		return nil, err
+	}
+	return newHandler(srv, Params{
+		Backend:  srv.Name(),
+		Verifier: base64.StdEncoding.EncodeToString(vb),
+		Template: toTplJSON(pub.Template),
+		SemTol:   pub.SemTol,
+	})
+}
+
+func newHandler(srv *server.Server, p Params) (*Handler, error) {
+	h := &Handler{srv: srv, params: p, mux: http.NewServeMux()}
+	h.mux.HandleFunc("POST /query", h.handleQuery)
+	h.mux.HandleFunc("GET /params", h.handleParams)
+	h.mux.HandleFunc("GET /stats", h.handleStats)
+	return h, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBytes))
+	if err != nil {
+		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	q, err := wire.DecodeQuery(body)
+	if err != nil {
+		http.Error(w, "bad query: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	out, err := h.srv.Handle(q)
+	if err != nil {
+		http.Error(w, "query failed: "+err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(out)
+}
+
+func (h *Handler) handleParams(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h.params)
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, _ *http.Request) {
+	stats, n := h.srv.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"backend":      h.srv.Name(),
+		"queries":      n,
+		"nodesVisited": stats.NodesVisited,
+		"cellsVisited": stats.CellsVisited,
+		"bytes":        stats.Bytes,
+	})
+}

@@ -1,0 +1,223 @@
+package transport
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"aqverify/internal/core"
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+	"aqverify/internal/mesh"
+	"aqverify/internal/query"
+	"aqverify/internal/record"
+	"aqverify/internal/server"
+	"aqverify/internal/sig"
+)
+
+func fixtures(t *testing.T) (*server.Server, core.PublicParams, *server.Server, mesh.PublicParams, geometry.Box) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	recs := make([]record.Record, 30)
+	for i := range recs {
+		recs[i] = record.Record{ID: uint64(i + 1), Attrs: []float64{rng.NormFloat64(), rng.NormFloat64()}}
+	}
+	tbl, err := record.NewTable(record.Schema{
+		Name:    "t",
+		Columns: []record.Column{{Name: "a"}, {Name: "b"}},
+	}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := sig.NewSigner(sig.ECDSA, sig.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := geometry.MustBox([]float64{-1}, []float64{1})
+	tpl := funcs.AffineLine(0, 1)
+	tree, err := core.Build(tbl, core.Params{Mode: core.MultiSignature, Signer: signer, Domain: dom, Template: tpl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mesh.Build(tbl, mesh.Params{Signer: signer, Domain: dom, Template: tpl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.IFMH{Tree: tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msrv, err := server.New(server.Mesh{M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, tree.Public(), msrv, m.Public(), dom
+}
+
+func TestHTTPRoundTripIFMH(t *testing.T) {
+	srv, pub, _, _, dom := fixtures(t)
+	h, err := NewIFMHHandler(srv, pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	cli, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cli.Backend() != "ifmh-multi" {
+		t.Errorf("backend = %q", cli.Backend())
+	}
+	x := geometry.Point{(dom.Lo[0] + dom.Hi[0]) / 2}
+	for _, q := range []query.Query{
+		query.NewTopK(x, 3),
+		query.NewBottomK(x, 3),
+		query.NewRange(x, -1, 1),
+		query.NewKNN(x, 3, 0),
+	} {
+		recs, err := cli.Query(q)
+		if err != nil {
+			t.Fatalf("%v: %v", q.Kind, err)
+		}
+		if q.Kind != query.Range && len(recs) != 3 {
+			t.Fatalf("%v: got %d records", q.Kind, len(recs))
+		}
+	}
+	if !strings.Contains(cli.Stats().String(), "verifies") {
+		t.Error("client stats missing")
+	}
+}
+
+func TestHTTPRoundTripMesh(t *testing.T) {
+	_, _, msrv, mpub, dom := fixtures(t)
+	h, err := NewMeshHandler(msrv, mpub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	cli, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := geometry.Point{(dom.Lo[0] + dom.Hi[0]) / 2}
+	recs, err := cli.Query(query.NewTopK(x, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("got %d records", len(recs))
+	}
+}
+
+// tamperingProxy forwards to target but flips one bit in every /query
+// response body.
+type tamperingProxy struct {
+	target *url.URL
+	hc     *http.Client
+}
+
+func (p *tamperingProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	u := *p.target
+	u.Path = r.URL.Path
+	var resp *http.Response
+	var err error
+	if r.Method == http.MethodPost {
+		resp, err = p.hc.Post(u.String(), r.Header.Get("Content-Type"), r.Body)
+	} else {
+		resp, err = p.hc.Get(u.String())
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 0, 1<<16)
+	tmp := make([]byte, 4096)
+	for {
+		n, rerr := resp.Body.Read(tmp)
+		buf = append(buf, tmp[:n]...)
+		if rerr != nil {
+			break
+		}
+	}
+	if r.URL.Path == "/query" && len(buf) > 0 {
+		buf[len(buf)/3] ^= 0x10
+	}
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	w.WriteHeader(resp.StatusCode)
+	w.Write(buf)
+}
+
+func TestHTTPTamperingChannelRejected(t *testing.T) {
+	srv, pub, _, _, dom := fixtures(t)
+	h, err := NewIFMHHandler(srv, pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := httptest.NewServer(h)
+	defer origin.Close()
+	target, err := url.Parse(origin.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := httptest.NewServer(&tamperingProxy{target: target, hc: origin.Client()})
+	defer proxy.Close()
+
+	cli, err := Dial(proxy.URL, proxy.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := geometry.Point{(dom.Lo[0] + dom.Hi[0]) / 2}
+	for trial := 0; trial < 10; trial++ {
+		if _, err := cli.Query(query.NewRange(x, -2, 2)); err == nil {
+			t.Fatal("bit-flipped HTTP answer accepted")
+		}
+	}
+}
+
+func TestHTTPErrorPaths(t *testing.T) {
+	srv, pub, _, _, _ := fixtures(t)
+	h, err := NewIFMHHandler(srv, pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	// Malformed query bytes.
+	resp, err := ts.Client().Post(ts.URL+"/query", "application/octet-stream", strings.NewReader("junk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("junk query: status %d", resp.StatusCode)
+	}
+	// Out-of-domain query reaches the server and fails there.
+	cli, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Query(query.NewTopK(geometry.Point{99}, 1)); err == nil {
+		t.Error("out-of-domain query succeeded")
+	}
+	// Stats endpoint responds.
+	resp, err = ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("stats: status %d", resp.StatusCode)
+	}
+	// Dial against a non-server fails cleanly.
+	if _, err := Dial("http://127.0.0.1:1", nil); err == nil {
+		t.Error("Dial to dead address succeeded")
+	}
+}

@@ -1,0 +1,281 @@
+package wire
+
+import (
+	"fmt"
+
+	"aqverify/internal/core"
+	"aqverify/internal/geometry"
+	"aqverify/internal/hashing"
+	"aqverify/internal/mesh"
+	"aqverify/internal/query"
+	"aqverify/internal/record"
+)
+
+// Format magic bytes distinguishing the two answer encodings.
+const (
+	magicIFMH = 0xA1
+	magicMesh = 0xA2
+)
+
+// EncodeQuery serializes one query for network transports.
+func EncodeQuery(q query.Query) []byte {
+	w := &writer{}
+	encodeQuery(w, q)
+	return w.buf
+}
+
+// DecodeQuery parses a query serialized by EncodeQuery.
+func DecodeQuery(b []byte) (query.Query, error) {
+	r := &reader{buf: b}
+	q := decodeQuery(r)
+	if err := r.done(); err != nil {
+		return query.Query{}, err
+	}
+	return q, nil
+}
+
+func encodeQuery(w *writer, q query.Query) {
+	w.u8(uint8(q.Kind))
+	w.u32(uint32(len(q.X)))
+	for _, v := range q.X {
+		w.f64(v)
+	}
+	w.u32(uint32(q.K))
+	w.f64(q.L)
+	w.f64(q.U)
+	w.f64(q.Y)
+}
+
+func decodeQuery(r *reader) query.Query {
+	var q query.Query
+	q.Kind = query.Kind(r.u8("query kind"))
+	n := r.count("query vars", 8)
+	q.X = make(geometry.Point, n)
+	for i := range q.X {
+		q.X[i] = r.f64("query var")
+	}
+	q.K = int(r.u32("query k"))
+	q.L = r.f64("query l")
+	q.U = r.f64("query u")
+	q.Y = r.f64("query y")
+	return q
+}
+
+func encodeRecords(w *writer, recs []record.Record) {
+	w.u32(uint32(len(recs)))
+	for _, rec := range recs {
+		w.bytes(rec.Encode(nil))
+	}
+}
+
+func decodeRecords(r *reader) []record.Record {
+	n := r.count("records", 5)
+	out := make([]record.Record, 0, n)
+	for i := 0; i < n; i++ {
+		b := r.bytes("record")
+		if r.err != nil {
+			return nil
+		}
+		rec, rest, err := record.Decode(b)
+		if err != nil || len(rest) != 0 {
+			r.err = fmt.Errorf("wire: record %d: malformed", i)
+			return nil
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func encodeBoundary(w *writer, b core.Boundary) {
+	w.u8(uint8(b.Kind))
+	if b.Kind == core.BoundaryRecord {
+		w.bytes(b.Rec.Encode(nil))
+	}
+}
+
+func decodeBoundary(r *reader) core.Boundary {
+	var b core.Boundary
+	b.Kind = core.BoundaryKind(r.u8("boundary kind"))
+	if b.Kind == core.BoundaryRecord {
+		raw := r.bytes("boundary record")
+		if r.err != nil {
+			return b
+		}
+		rec, rest, err := record.Decode(raw)
+		if err != nil || len(rest) != 0 {
+			r.err = fmt.Errorf("wire: boundary record malformed")
+			return b
+		}
+		b.Rec = rec
+	}
+	return b
+}
+
+func encodeDigests(w *writer, ds []hashing.Digest) {
+	w.u32(uint32(len(ds)))
+	for _, d := range ds {
+		w.buf = append(w.buf, d[:]...)
+	}
+}
+
+func decodeDigests(r *reader) []hashing.Digest {
+	n := r.count("digests", hashing.Size)
+	out := make([]hashing.Digest, 0, n)
+	for i := 0; i < n; i++ {
+		if len(r.buf) < hashing.Size {
+			r.fail("digest")
+			return nil
+		}
+		var d hashing.Digest
+		copy(d[:], r.buf[:hashing.Size])
+		r.buf = r.buf[hashing.Size:]
+		out = append(out, d)
+	}
+	return out
+}
+
+// EncodeIFMH serializes an IFMH answer. Its length is the communication
+// cost of the one-signature / multi-signature approaches.
+func EncodeIFMH(a *core.Answer) []byte {
+	w := &writer{}
+	w.u8(magicIFMH)
+	encodeQuery(w, a.Query)
+	encodeRecords(w, a.Records)
+	w.u8(uint8(a.VO.Mode))
+	w.u32(uint32(a.VO.ListLen))
+	w.u32(uint32(a.VO.Start))
+	encodeBoundary(w, a.VO.Left)
+	encodeBoundary(w, a.VO.Right)
+	encodeDigests(w, a.VO.FProof.Hashes)
+	w.u32(uint32(len(a.VO.Path)))
+	for _, st := range a.VO.Path {
+		w.bytes(st.Hp.Encode(nil))
+		w.bool(st.TookAbove)
+		w.buf = append(w.buf, st.Sibling[:]...)
+	}
+	w.bytes(geometry.EncodeHalfspaces(nil, a.VO.Ineqs))
+	w.bytes(a.VO.Signature)
+	return w.buf
+}
+
+// DecodeIFMH parses an IFMH answer.
+func DecodeIFMH(b []byte) (*core.Answer, error) {
+	r := &reader{buf: b}
+	if r.u8("magic") != magicIFMH {
+		return nil, fmt.Errorf("wire: not an IFMH answer")
+	}
+	a := &core.Answer{}
+	a.Query = decodeQuery(r)
+	a.Records = decodeRecords(r)
+	a.VO.Mode = core.Mode(r.u8("mode"))
+	a.VO.ListLen = int(r.u32("list len"))
+	a.VO.Start = int(r.u32("start"))
+	a.VO.Left = decodeBoundary(r)
+	a.VO.Right = decodeBoundary(r)
+	a.VO.FProof.Hashes = decodeDigests(r)
+	np := r.count("path", 1+hashing.Size)
+	for i := 0; i < np; i++ {
+		var st core.PathStep
+		raw := r.bytes("path hyperplane")
+		if r.err == nil {
+			hp, rest, err := geometry.DecodeHyperplane(raw)
+			if err != nil || len(rest) != 0 {
+				r.err = fmt.Errorf("wire: path step %d hyperplane malformed", i)
+			}
+			st.Hp = hp
+		}
+		st.TookAbove = r.bool("path dir")
+		if r.err == nil {
+			if len(r.buf) < hashing.Size {
+				r.fail("path sibling")
+			} else {
+				copy(st.Sibling[:], r.buf[:hashing.Size])
+				r.buf = r.buf[hashing.Size:]
+			}
+		}
+		a.VO.Path = append(a.VO.Path, st)
+	}
+	rawIneqs := r.bytes("ineqs")
+	if r.err == nil {
+		// The field always carries a halfspace-list encoding (a zero
+		// count for the one-signature mode); rejecting anything shorter
+		// keeps the codec canonical — every accepted answer re-encodes
+		// to identical bytes.
+		hss, rest, err := geometry.DecodeHalfspaces(rawIneqs)
+		if err != nil || len(rest) != 0 {
+			r.err = fmt.Errorf("wire: inequality set malformed")
+		}
+		if len(hss) > 0 {
+			a.VO.Ineqs = hss
+		}
+	}
+	a.VO.Signature = r.bytes("signature")
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// EncodeMesh serializes a signature-mesh answer.
+func EncodeMesh(a *mesh.Answer) []byte {
+	w := &writer{}
+	w.u8(magicMesh)
+	encodeQuery(w, a.Query)
+	encodeRecords(w, a.Records)
+	w.u32(uint32(a.VO.ListLen))
+	encodeBoundary(w, a.VO.Left)
+	encodeBoundary(w, a.VO.Right)
+	w.u32(uint32(len(a.VO.Pairs)))
+	for _, p := range a.VO.Pairs {
+		w.f64(p.Lo)
+		w.f64(p.Hi)
+		w.bytes(p.Sig)
+	}
+	return w.buf
+}
+
+// DecodeMesh parses a signature-mesh answer.
+func DecodeMesh(b []byte) (*mesh.Answer, error) {
+	r := &reader{buf: b}
+	if r.u8("magic") != magicMesh {
+		return nil, fmt.Errorf("wire: not a mesh answer")
+	}
+	a := &mesh.Answer{}
+	a.Query = decodeQuery(r)
+	a.Records = decodeRecords(r)
+	a.VO.ListLen = int(r.u32("list len"))
+	a.VO.Left = decodeBoundary(r)
+	a.VO.Right = decodeBoundary(r)
+	np := r.count("pairs", 20)
+	for i := 0; i < np; i++ {
+		var p mesh.PairProof
+		p.Lo = r.f64("pair lo")
+		p.Hi = r.f64("pair hi")
+		p.Sig = r.bytes("pair sig")
+		a.VO.Pairs = append(a.VO.Pairs, p)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// VOSizeIFMH returns the byte size of the verification object alone
+// (excluding the query echo and the result records), which is the
+// paper's Fig 8 metric.
+func VOSizeIFMH(a *core.Answer) int {
+	full := len(EncodeIFMH(a))
+	w := &writer{}
+	encodeQuery(w, a.Query)
+	encodeRecords(w, a.Records)
+	return full - len(w.buf) - 1
+}
+
+// VOSizeMesh returns the mesh verification object's byte size.
+func VOSizeMesh(a *mesh.Answer) int {
+	full := len(EncodeMesh(a))
+	w := &writer{}
+	encodeQuery(w, a.Query)
+	encodeRecords(w, a.Records)
+	return full - len(w.buf) - 1
+}

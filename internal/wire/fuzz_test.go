@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"testing"
+
+	"aqverify/internal/core"
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+	"aqverify/internal/mesh"
+	"aqverify/internal/query"
+	"aqverify/internal/record"
+)
+
+// Fuzz targets: the decoders face attacker-controlled bytes by design
+// (the channel is untrusted), so they must never panic and every accepted
+// input must re-encode canonically. Seeds come from real answers; run
+// longer campaigns with `go test -fuzz=FuzzDecodeIFMH ./internal/wire`.
+
+func seedAnswers(f *testing.F) {
+	tbl := lineTableF(f, 12, 77)
+	tree, err := core.Build(tbl, core.Params{
+		Mode:     core.OneSignature,
+		Signer:   testSigner,
+		Domain:   geometry.MustBox([]float64{-1}, []float64{1}),
+		Template: funcs.AffineLine(0, 1),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, q := range []query.Query{
+		query.NewTopK(geometry.Point{0.2}, 3),
+		query.NewRange(geometry.Point{-0.4}, -1, 1),
+		query.NewKNN(geometry.Point{0.6}, 2, 0),
+	} {
+		ans, err := tree.Process(q, nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(EncodeIFMH(ans))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xA1})
+	f.Add([]byte{0xA2, 0, 0, 0})
+}
+
+func lineTableF(f *testing.F, n int, seed int64) record.Table {
+	recs := make([]record.Record, n)
+	for i := range recs {
+		recs[i] = record.Record{ID: uint64(i + 1), Attrs: []float64{float64(i%5) - 2, float64(i % 3)}}
+	}
+	tbl, err := record.NewTable(record.Schema{
+		Name:    "lines",
+		Columns: []record.Column{{Name: "slope"}, {Name: "intercept"}},
+	}, recs)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return tbl
+}
+
+func FuzzDecodeIFMH(f *testing.F) {
+	seedAnswers(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ans, err := DecodeIFMH(data)
+		if err != nil {
+			return
+		}
+		// Accepted input must re-encode to the identical bytes: the
+		// codec admits exactly one encoding per answer.
+		if got := EncodeIFMH(ans); string(got) != string(data) {
+			t.Fatalf("decode/encode not canonical: %d vs %d bytes", len(got), len(data))
+		}
+	})
+}
+
+func FuzzDecodeMesh(f *testing.F) {
+	tbl := lineTableF(f, 10, 78)
+	m, err := mesh.Build(tbl, mesh.Params{
+		Signer:   testSigner,
+		Domain:   geometry.MustBox([]float64{-1}, []float64{1}),
+		Template: funcs.AffineLine(0, 1),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	ans, err := m.Process(query.NewTopK(geometry.Point{0.1}, 3), nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(EncodeMesh(ans))
+	f.Add([]byte{0xA2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := DecodeMesh(data)
+		if err != nil {
+			return
+		}
+		if got := EncodeMesh(dec); string(got) != string(data) {
+			t.Fatalf("decode/encode not canonical: %d vs %d bytes", len(got), len(data))
+		}
+	})
+}
+
+func FuzzDecodeQuery(f *testing.F) {
+	f.Add(EncodeQuery(query.NewTopK(geometry.Point{0.5}, 3)))
+	f.Add(EncodeQuery(query.NewRange(geometry.Point{0.1, 0.2}, -1, 1)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := DecodeQuery(data)
+		if err != nil {
+			return
+		}
+		if got := EncodeQuery(q); string(got) != string(data) {
+			t.Fatalf("decode/encode not canonical")
+		}
+	})
+}

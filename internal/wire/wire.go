@@ -1,0 +1,125 @@
+// Package wire provides the deterministic binary encoding of query
+// answers (result + verification object) for both the IFMH-tree and the
+// signature mesh. The paper's communication-overhead experiments (Fig 8)
+// measure exactly these bytes, so the format is explicit and compact
+// rather than reflective: every field is written big-endian with
+// length-prefixed variable parts.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// writer appends primitives to a byte slice.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) bool(v bool)  { w.u8(map[bool]uint8{false: 0, true: 1}[v]) }
+func (w *writer) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *writer) f64(v float64) {
+	w.u64(math.Float64bits(v))
+}
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// reader consumes primitives from a byte slice, remembering the first
+// error so call sites stay linear.
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: truncated %s", what)
+	}
+}
+
+func (r *reader) u8(what string) uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 1 {
+		r.fail(what)
+		return 0
+	}
+	v := r.buf[0]
+	r.buf = r.buf[1:]
+	return v
+}
+
+func (r *reader) bool(what string) bool { return r.u8(what) == 1 }
+
+func (r *reader) u32(what string) uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 4 {
+		r.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf)
+	r.buf = r.buf[4:]
+	return v
+}
+
+func (r *reader) u64(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 8 {
+		r.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf)
+	r.buf = r.buf[8:]
+	return v
+}
+
+func (r *reader) f64(what string) float64 { return math.Float64frombits(r.u64(what)) }
+
+func (r *reader) bytes(what string) []byte {
+	n := int(r.u32(what))
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.buf) < n {
+		r.fail(what)
+		return nil
+	}
+	out := append([]byte(nil), r.buf[:n]...)
+	r.buf = r.buf[n:]
+	return out
+}
+
+// count reads a u32 element count and sanity-bounds it against the
+// remaining buffer (each element needs at least min bytes) so a forged
+// count cannot drive huge allocations.
+func (r *reader) count(what string, min int) int {
+	n := int(r.u32(what))
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || (min > 0 && n > len(r.buf)/min+1) {
+		r.fail(what + " count")
+		return 0
+	}
+	return n
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.buf) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes", len(r.buf))
+	}
+	return nil
+}

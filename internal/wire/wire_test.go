@@ -1,0 +1,241 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+
+	"aqverify/internal/core"
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+	"aqverify/internal/mesh"
+	"aqverify/internal/query"
+	"aqverify/internal/record"
+	"aqverify/internal/sig"
+)
+
+var testSigner = func() sig.Signer {
+	s, err := sig.NewSigner(sig.Ed25519, sig.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}()
+
+func lineTable(t testing.TB, n int, seed int64) record.Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]record.Record, n)
+	for i := range recs {
+		recs[i] = record.Record{
+			ID:      uint64(i + 1),
+			Attrs:   []float64{rng.NormFloat64(), rng.NormFloat64()},
+			Payload: []byte{byte(i)},
+		}
+	}
+	tbl, err := record.NewTable(record.Schema{
+		Name:    "lines",
+		Columns: []record.Column{{Name: "slope"}, {Name: "intercept"}},
+	}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func ifmhAnswers(t *testing.T, mode core.Mode) []*core.Answer {
+	t.Helper()
+	tbl := lineTable(t, 25, int64(mode)+1)
+	tree, err := core.Build(tbl, core.Params{
+		Mode:     mode,
+		Signer:   testSigner,
+		Domain:   geometry.MustBox([]float64{-1}, []float64{1}),
+		Template: funcs.AffineLine(0, 1),
+		Shuffle:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*core.Answer
+	for _, q := range []query.Query{
+		query.NewTopK(geometry.Point{0.4}, 3),
+		query.NewRange(geometry.Point{-0.2}, -1, 1),
+		query.NewRange(geometry.Point{0.1}, 1e6, 2e6), // empty
+		query.NewKNN(geometry.Point{0.7}, 4, 0),
+	} {
+		a, err := tree.Process(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func answersEqualIFMH(a, b *core.Answer) bool {
+	if len(a.Records) != len(b.Records) || a.VO.Mode != b.VO.Mode ||
+		a.VO.ListLen != b.VO.ListLen || a.VO.Start != b.VO.Start ||
+		a.VO.Left.Kind != b.VO.Left.Kind || a.VO.Right.Kind != b.VO.Right.Kind ||
+		len(a.VO.FProof.Hashes) != len(b.VO.FProof.Hashes) ||
+		len(a.VO.Path) != len(b.VO.Path) || len(a.VO.Ineqs) != len(b.VO.Ineqs) ||
+		string(a.VO.Signature) != string(b.VO.Signature) {
+		return false
+	}
+	for i := range a.Records {
+		if !a.Records[i].Equal(b.Records[i]) {
+			return false
+		}
+	}
+	for i := range a.VO.FProof.Hashes {
+		if a.VO.FProof.Hashes[i] != b.VO.FProof.Hashes[i] {
+			return false
+		}
+	}
+	for i := range a.VO.Path {
+		if a.VO.Path[i].TookAbove != b.VO.Path[i].TookAbove ||
+			a.VO.Path[i].Sibling != b.VO.Path[i].Sibling {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIFMHRoundTrip(t *testing.T) {
+	for _, mode := range []core.Mode{core.OneSignature, core.MultiSignature} {
+		for i, a := range ifmhAnswers(t, mode) {
+			enc := EncodeIFMH(a)
+			got, err := DecodeIFMH(enc)
+			if err != nil {
+				t.Fatalf("%v answer %d: decode: %v", mode, i, err)
+			}
+			if !answersEqualIFMH(a, got) {
+				t.Fatalf("%v answer %d: round trip changed the answer", mode, i)
+			}
+			// Deterministic encoding.
+			if string(EncodeIFMH(got)) != string(enc) {
+				t.Fatalf("%v answer %d: re-encode differs", mode, i)
+			}
+		}
+	}
+}
+
+func TestDecodedAnswerStillVerifies(t *testing.T) {
+	tbl := lineTable(t, 30, 5)
+	tree, err := core.Build(tbl, core.Params{
+		Mode:     core.MultiSignature,
+		Signer:   testSigner,
+		Domain:   geometry.MustBox([]float64{-1}, []float64{1}),
+		Template: funcs.AffineLine(0, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := tree.Public()
+	q := query.NewTopK(geometry.Point{0.3}, 5)
+	a, err := tree.Process(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeIFMH(EncodeIFMH(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Verify(pub, q, got.Records, &got.VO, nil); err != nil {
+		t.Fatalf("decoded answer rejected: %v", err)
+	}
+}
+
+func TestMeshRoundTrip(t *testing.T) {
+	tbl := lineTable(t, 25, 7)
+	m, err := mesh.Build(tbl, mesh.Params{
+		Signer:   testSigner,
+		Domain:   geometry.MustBox([]float64{-1}, []float64{1}),
+		Template: funcs.AffineLine(0, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := m.Public()
+	for _, q := range []query.Query{
+		query.NewTopK(geometry.Point{0.4}, 3),
+		query.NewRange(geometry.Point{-0.6}, -2, 2),
+		query.NewKNN(geometry.Point{0.2}, 2, 1),
+	} {
+		a, err := m.Process(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := EncodeMesh(a)
+		got, err := DecodeMesh(enc)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", q.Kind, err)
+		}
+		if string(EncodeMesh(got)) != string(enc) {
+			t.Fatalf("%v: re-encode differs", q.Kind)
+		}
+		if err := mesh.Verify(pub, q, got.Records, &got.VO, nil); err != nil {
+			t.Fatalf("%v: decoded mesh answer rejected: %v", q.Kind, err)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	a := ifmhAnswers(t, core.OneSignature)[0]
+	enc := EncodeIFMH(a)
+	for cut := 0; cut < len(enc); cut += 7 {
+		if _, err := DecodeIFMH(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Trailing garbage is also rejected.
+	if _, err := DecodeIFMH(append(enc, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// Wrong magic.
+	bad := append([]byte(nil), enc...)
+	bad[0] = 0x77
+	if _, err := DecodeIFMH(bad); err == nil {
+		t.Error("wrong magic accepted")
+	}
+}
+
+func TestVOSizeExcludesResult(t *testing.T) {
+	answers := ifmhAnswers(t, core.OneSignature)
+	for i, a := range answers {
+		vs := VOSizeIFMH(a)
+		if vs <= 0 {
+			t.Fatalf("answer %d: VO size %d", i, vs)
+		}
+		if vs >= len(EncodeIFMH(a)) {
+			t.Fatalf("answer %d: VO size %d not smaller than full answer", i, vs)
+		}
+	}
+	// VO size is independent of the records' payload size: growing the
+	// result must not grow the VO metric (only boundary records count).
+	small := answers[2] // empty result
+	large := answers[1] // range with records
+	_ = small
+	_ = large
+}
+
+func TestVOSizeMeshGrowsWithResult(t *testing.T) {
+	tbl := lineTable(t, 40, 9)
+	m, err := mesh.Build(tbl, mesh.Params{
+		Signer:   testSigner,
+		Domain:   geometry.MustBox([]float64{-1}, []float64{1}),
+		Template: funcs.AffineLine(0, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a3, err := m.Process(query.NewTopK(geometry.Point{0.1}, 3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a20, err := m.Process(query.NewTopK(geometry.Point{0.1}, 20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VOSizeMesh(a20) <= VOSizeMesh(a3) {
+		t.Errorf("mesh VO size should grow with |q|: %d vs %d", VOSizeMesh(a20), VOSizeMesh(a3))
+	}
+}

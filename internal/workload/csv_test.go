@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl, dom, err := Applicants(25, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tbl, dom); err != nil {
+		t.Fatal(err)
+	}
+	got, gotDom, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema.Name != tbl.Schema.Name || got.Schema.Arity() != tbl.Schema.Arity() {
+		t.Fatalf("schema changed: %+v", got.Schema)
+	}
+	if gotDom.Lo[0] != dom.Lo[0] || gotDom.Hi[0] != dom.Hi[0] {
+		t.Fatalf("domain changed: %+v vs %+v", gotDom, dom)
+	}
+	if got.Len() != tbl.Len() {
+		t.Fatalf("rows: %d vs %d", got.Len(), tbl.Len())
+	}
+	for i := range tbl.Records {
+		a, b := tbl.Records[i], got.Records[i]
+		if a.ID != b.ID || len(a.Attrs) != len(b.Attrs) {
+			t.Fatalf("row %d identity changed", i)
+		}
+		for j := range a.Attrs {
+			if a.Attrs[j] != b.Attrs[j] {
+				t.Fatalf("row %d attr %d: %v vs %v (float round trip must be exact via 'g' -1)", i, j, a.Attrs[j], b.Attrs[j])
+			}
+		}
+		// Payloads round-trip modulo the comma substitution.
+		if strings.ReplaceAll(string(a.Payload), ",", ";") != string(b.Payload) {
+			t.Fatalf("row %d payload changed: %q vs %q", i, a.Payload, b.Payload)
+		}
+	}
+}
+
+func TestCSVRoundTripLines(t *testing.T) {
+	tbl, dom, err := Lines(LinesConfig{N: 50, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tbl, dom); err != nil {
+		t.Fatal(err)
+	}
+	got, gotDom, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact float round trip matters: hashes are computed over bit
+	// patterns, so a lossy CSV would break verification for datasets
+	// shipped through files.
+	for i := range tbl.Records {
+		for j := range tbl.Records[i].Attrs {
+			if tbl.Records[i].Attrs[j] != got.Records[i].Attrs[j] {
+				t.Fatalf("row %d attr %d not exact", i, j)
+			}
+		}
+	}
+	if gotDom.Lo[0] != dom.Lo[0] {
+		t.Fatal("domain lo not exact")
+	}
+}
+
+func TestReadCSVRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"no header comment", "id,a,payload\n1,2,x\n"},
+		{"missing domain", "# schema=t\nid,a,payload\n1,2,x\n"},
+		{"bad columns", "# schema=t domain_lo=[0] domain_hi=[1]\nfoo,bar\n"},
+		{"payload column missing", "# schema=t domain_lo=[0] domain_hi=[1]\nid,a\n"},
+		{"wrong field count", "# schema=t domain_lo=[0] domain_hi=[1]\nid,a,payload\n1,2\n"},
+		{"bad id", "# schema=t domain_lo=[0] domain_hi=[1]\nid,a,payload\nx,2,p\n"},
+		{"bad attr", "# schema=t domain_lo=[0] domain_hi=[1]\nid,a,payload\n1,zz,p\n"},
+		{"dup id", "# schema=t domain_lo=[0] domain_hi=[1]\nid,a,payload\n1,2,p\n1,3,q\n"},
+		{"empty domain", "# schema=t domain_lo=[] domain_hi=[]\nid,a,payload\n1,2,p\n"},
+		{"inverted domain", "# schema=t domain_lo=[5] domain_hi=[1]\nid,a,payload\n1,2,p\n"},
+	}
+	for _, tc := range cases {
+		if _, _, err := ReadCSV(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	in := "# schema=t domain_lo=[0] domain_hi=[1]\nid,a,payload\n1,2,p\n\n2,3,\n"
+	tbl, _, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("rows = %d", tbl.Len())
+	}
+	if tbl.Records[1].Payload != nil {
+		t.Error("empty payload should stay nil")
+	}
+}
+
+func TestCSVMultiDimDomain(t *testing.T) {
+	tbl, dom, err := RiskPatients(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tbl, dom); err != nil {
+		t.Fatal(err)
+	}
+	_, gotDom, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDom.Dim() != 2 || gotDom.Lo[1] != dom.Lo[1] || gotDom.Hi[1] != dom.Hi[1] {
+		t.Fatalf("2-D domain mangled: %+v", gotDom)
+	}
+}
