@@ -22,6 +22,17 @@
 //	ans, _ := tree.Process(aqverify.NewTopK(x, 10), nil)     // server side
 //	err := aqverify.Verify(tree.Public(), ans.Query, ans.Records, &ans.VO, nil) // client side
 //
+// # Scaling
+//
+// Construction shards its embarrassingly parallel steps — record
+// digesting, per-subdomain FMH-list building, multi-signature signing —
+// across Params.Workers goroutines (0 = one per CPU, 1 = serial); the
+// built tree is byte-identical for every worker count. VerifyBatch
+// checks many answers concurrently on the client side. Over HTTP,
+// cmd/vqserve exposes POST /query/batch, which carries many queries in
+// one length-prefixed frame and answers them concurrently on the
+// server (see internal/transport).
+//
 // The facade re-exports the stable surface of the internal packages; the
 // examples/ directory shows complete programs, and cmd/vqbench
 // regenerates the paper's evaluation figures.
@@ -81,6 +92,8 @@ type (
 	Answer = core.Answer
 	// TreeStats describes a built tree's footprint.
 	TreeStats = core.Stats
+	// BatchItem bundles one (query, result, VO) triple for VerifyBatch.
+	BatchItem = core.BatchItem
 	// SignatureMesh is the baseline structure of Yang, Cai & Hu.
 	SignatureMesh = mesh.Mesh
 	// MeshParams configures the baseline build.
@@ -174,6 +187,12 @@ func BuildMesh(tbl Table, p MeshParams) (*SignatureMesh, error) { return mesh.Bu
 // nil return means the result is sound and complete.
 func Verify(pub PublicParams, q Query, recs []Record, vo *VO, ctr *Counter) error {
 	return core.Verify(pub, q, recs, vo, ctr)
+}
+
+// VerifyBatch verifies many answers concurrently (workers <= 0 means one
+// per CPU); the returned slice is parallel to items.
+func VerifyBatch(pub PublicParams, items []BatchItem, workers int, ctr *Counter) []error {
+	return core.VerifyBatch(pub, items, workers, ctr)
 }
 
 // Exec runs a query directly over a local table — the trusted reference

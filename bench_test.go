@@ -6,12 +6,16 @@
 package aqverify_test
 
 import (
+	"fmt"
+	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
 	"aqverify"
 	"aqverify/internal/bench"
 	"aqverify/internal/metrics"
+	"aqverify/internal/server"
 	"aqverify/internal/workload"
 )
 
@@ -121,6 +125,83 @@ func BenchmarkProcessTopK(b *testing.B) {
 		if _, err := tree.Process(q, nil); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// workerCounts is the serial-vs-parallel sweep of the scaling
+// benchmarks: 1 worker and one per CPU (deduplicated on 1-CPU hosts).
+func workerCounts() []int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
+}
+
+// BenchmarkBuildParallel measures the Fig 5b construction workload —
+// the paper's literal materialized multi-signature layout, whose S
+// independent FMH builds and signatures dominate — serial (Workers=1)
+// versus one worker per CPU. Compare the workers=1 and workers=N lines:
+//
+//	go test -bench BenchmarkBuildParallel -benchtime 3x
+func BenchmarkBuildParallel(b *testing.B) {
+	tbl, dom, err := workload.Lines(workload.LinesConfig{N: 1000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	signer, err := aqverify.NewSigner(aqverify.Ed25519, aqverify.SignerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := aqverify.Build(tbl, aqverify.Params{
+					Mode: aqverify.MultiSignature, Signer: signer, Domain: dom,
+					Template: aqverify.AffineLine(0, 1), Shuffle: true,
+					Materialize: true, Workers: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHandleBatch measures the batched query plane: 256 mixed
+// queries per batch against one IFMH server, sequential versus fanned
+// out across the CPUs.
+func BenchmarkHandleBatch(b *testing.B) {
+	tree, dom := buildFixture(b, 2000, aqverify.OneSignature)
+	srv, err := server.New(server.IFMH{Tree: tree})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	qs := make([]aqverify.Query, 256)
+	for i := range qs {
+		x := aqverify.Point{rng.Float64()*(dom.Hi[0]-dom.Lo[0]) + dom.Lo[0]}
+		switch i % 3 {
+		case 0:
+			qs[i] = aqverify.NewTopK(x, 1+rng.Intn(16))
+		case 1:
+			qs[i] = aqverify.NewRange(x, -2, 2)
+		default:
+			qs[i] = aqverify.NewKNN(x, 1+rng.Intn(16), rng.NormFloat64())
+		}
+	}
+	for _, workers := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, errs := srv.HandleBatch(qs, workers)
+				for j, err := range errs {
+					if err != nil {
+						b.Fatalf("query %d: %v", j, err)
+					}
+				}
+			}
+		})
 	}
 }
 

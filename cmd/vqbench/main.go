@@ -17,6 +17,8 @@
 //	-dist name     uniform|gaussian|correlated|anticorrelated|clustered
 //	-reps n        queries averaged per data point
 //	-seed n        workload seed
+//	-workers n     construction worker pool per build (0 = one per CPU;
+//	               default 1 keeps the paper's single-threaded timings)
 //	-csv dir       also write one CSV per figure into dir
 package main
 
@@ -53,6 +55,7 @@ func run() error {
 		dist     = flag.String("dist", "", "attribute distribution")
 		reps     = flag.Int("reps", 0, "queries per data point")
 		seed     = flag.Int64("seed", 0, "workload seed")
+		workers  = flag.Int("workers", 1, "construction worker pool per build (0 = one per CPU, 1 = the paper's serial timings)")
 		csvDir   = flag.String("csv", "", "write CSVs into this directory")
 	)
 	flag.Parse()
@@ -93,6 +96,7 @@ func run() error {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Workers = *workers
 
 	h, err := bench.NewHarness(cfg)
 	if err != nil {

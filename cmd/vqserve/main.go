@@ -7,9 +7,11 @@
 // Usage:
 //
 //	vqserve [-addr :8080] [-n 1000] [-backend ifmh|mesh] [-mode one|multi]
-//	        [-scheme ed25519] [-seed 1]
+//	        [-scheme ed25519] [-seed 1] [-workers 0]
 //
-// Endpoints: POST /query (binary), GET /params, GET /stats.
+// Endpoints: POST /query and POST /query/batch (binary), GET /params,
+// GET /stats. -workers sizes the IFMH construction worker pool (0 = one
+// per CPU, 1 = serial).
 //
 // Try it:
 //
@@ -54,6 +56,7 @@ func run() error {
 		dataPath = flag.String("data", "", "serve a CSV dataset (vqgen format) instead of synthetic data")
 		slopeCol = flag.Int("slopecol", 0, "attribute index of the slope column (with -data)")
 		biasCol  = flag.Int("biascol", 1, "attribute index of the intercept column (with -data)")
+		workers  = flag.Int("workers", 0, "construction worker pool size (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -93,7 +96,7 @@ func run() error {
 		if *modeStr == "multi" {
 			mode = core.MultiSignature
 		}
-		tree, pub, err := o.OutsourceIFMH(tbl, tpl, dom, owner.Options{Mode: mode, Shuffle: true, Seed: *seed})
+		tree, pub, err := o.OutsourceIFMH(tbl, tpl, dom, owner.Options{Mode: mode, Shuffle: true, Seed: *seed, Workers: *workers})
 		if err != nil {
 			return err
 		}
@@ -125,7 +128,7 @@ func run() error {
 		return fmt.Errorf("unknown backend %q", *backend)
 	}
 
-	fmt.Printf("serving on %s (domain [%g, %g]); endpoints: POST /query, GET /params, GET /stats\n",
+	fmt.Printf("serving on %s (domain [%g, %g]); endpoints: POST /query, POST /query/batch, GET /params, GET /stats\n",
 		*addr, dom.Lo[0], dom.Hi[0])
 	httpSrv := &http.Server{
 		Addr:              *addr,

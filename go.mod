@@ -1,0 +1,3 @@
+module aqverify
+
+go 1.22

@@ -47,6 +47,7 @@ func ablationDelta(h *Harness) (*Table, error) {
 				Shuffle:     true,
 				Seed:        h.Cfg.Seed,
 				Materialize: materialize,
+				Workers:     h.Cfg.Workers,
 			})
 			if err != nil {
 				return core.Stats{}, 0, err
@@ -97,6 +98,7 @@ func ablationShuffle(h *Harness) (*Table, error) {
 				Template: funcs.AffineLine(0, 1),
 				Shuffle:  shuffle,
 				Seed:     h.Cfg.Seed,
+				Workers:  h.Cfg.Workers,
 			})
 		}
 		shuffled, err := build(true)

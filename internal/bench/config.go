@@ -42,6 +42,11 @@ type Config struct {
 	Seed int64
 	// Reps is the number of queries averaged per data point.
 	Reps int
+	// Workers sizes the construction worker pool for every measured
+	// build (see core.Params.Workers). Zero means one per CPU; 1 — the
+	// DefaultConfig/QuickConfig value — times the serial paths, which
+	// is what the paper's single-threaded Fig 5b numbers correspond to.
+	Workers int
 }
 
 // DefaultConfig approximates the paper's scale. The full sweep builds
@@ -59,6 +64,7 @@ func DefaultConfig() Config {
 		Dist:          workload.Gaussian,
 		Seed:          1,
 		Reps:          20,
+		Workers:       1,
 	}
 }
 
@@ -75,6 +81,7 @@ func QuickConfig() Config {
 		Dist:          workload.Gaussian,
 		Seed:          1,
 		Reps:          8,
+		Workers:       1,
 	}
 }
 

@@ -46,6 +46,7 @@ func ablationDimensions(h *Harness) (*Table, error) {
 		tree, err := core.Build(tbl, core.Params{
 			Mode: core.OneSignature, Signer: h.signer, Domain: dom,
 			Template: funcs.ScalarProduct(d), Shuffle: true, Seed: h.Cfg.Seed,
+			Workers: h.Cfg.Workers,
 		})
 		if err != nil {
 			return nil, err

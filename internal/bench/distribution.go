@@ -47,6 +47,7 @@ func ablationDistributions(h *Harness) (*Table, error) {
 			Template: funcs.AffineLine(0, 1),
 			Shuffle:  true,
 			Seed:     h.Cfg.Seed,
+			Workers:  h.Cfg.Workers,
 		})
 		if err != nil {
 			return nil, err

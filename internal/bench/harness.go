@@ -97,6 +97,7 @@ func (h *Harness) Env(n int) (*Env, error) {
 			Hasher:   hashing.New(&ctr),
 			Shuffle:  true,
 			Seed:     h.Cfg.Seed,
+			Workers:  h.Cfg.Workers,
 		})
 		if err != nil {
 			return nil, BuildStat{}, err

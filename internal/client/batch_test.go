@@ -1,0 +1,111 @@
+package client
+
+import (
+	"errors"
+	"testing"
+
+	"aqverify/internal/geometry"
+	"aqverify/internal/query"
+	"aqverify/internal/server"
+)
+
+func batchQueries(dom geometry.Box) []query.Query {
+	x := geometry.Point{(dom.Lo[0] + dom.Hi[0]) / 2}
+	return []query.Query{
+		query.NewTopK(x, 3),
+		query.NewBottomK(x, 3),
+		query.NewRange(x, -2, 2),
+		query.NewKNN(x, 3, 0),
+		query.NewTopK(geometry.Point{dom.Hi[0] + 7}, 1), // refused by the server
+	}
+}
+
+// TestQueryBatchVerifies: the batched client path returns exactly what
+// per-query Query returns — verified records for honest answers, a
+// server error for the refused query — for IFMH and mesh backends alike
+// and for every worker count.
+func TestQueryBatchVerifies(t *testing.T) {
+	srv, pub, msrv, mpub, dom := fixtures(t)
+	qs := batchQueries(dom)
+	for _, tc := range []struct {
+		name string
+		cli  *Client
+		srv  *server.Server
+	}{
+		{"ifmh", NewIFMH(pub), srv},
+		{"mesh", NewMesh(mpub), msrv},
+	} {
+		// Sequential reference results.
+		want := make([]BatchResult, len(qs))
+		for i, q := range qs {
+			recs, err := tc.cli.Query(tc.srv, nil, q)
+			want[i] = BatchResult{Records: recs, Err: err}
+		}
+		for _, workers := range []int{0, 1, 4} {
+			results := tc.cli.QueryBatch(tc.srv, nil, qs, workers)
+			if len(results) != len(qs) {
+				t.Fatalf("%s workers=%d: %d results for %d queries", tc.name, workers, len(results), len(qs))
+			}
+			for i, r := range results {
+				if (r.Err != nil) != (want[i].Err != nil) {
+					t.Errorf("%s workers=%d query %d: err = %v, want err = %v", tc.name, workers, i, r.Err, want[i].Err)
+					continue
+				}
+				if len(r.Records) != len(want[i].Records) {
+					t.Errorf("%s workers=%d query %d: %d records, want %d", tc.name, workers, i, len(r.Records), len(want[i].Records))
+					continue
+				}
+				for j := range r.Records {
+					if r.Records[j].ID != want[i].Records[j].ID {
+						t.Errorf("%s workers=%d query %d record %d: ID %d, want %d",
+							tc.name, workers, i, j, r.Records[j].ID, want[i].Records[j].ID)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQueryBatchTamperingRejected: a channel corrupting one answer in
+// the batch takes down exactly that item.
+func TestQueryBatchTamperingRejected(t *testing.T) {
+	srv, pub, _, _, dom := fixtures(t)
+	cli := NewIFMH(pub)
+	qs := batchQueries(dom)[:4] // drop the refused query: all honest here
+	var calls int
+	ch := func(b []byte) []byte {
+		calls++
+		if calls == 2 { // corrupt only the second answer
+			out := append([]byte(nil), b...)
+			out[len(out)/2] ^= 0x40
+			return out
+		}
+		return b
+	}
+	results := cli.QueryBatch(srv, ch, qs, 4)
+	for i, r := range results {
+		if i == 1 {
+			if !errors.Is(r.Err, ErrRejected) {
+				t.Errorf("tampered item error = %v, want ErrRejected", r.Err)
+			}
+			if len(r.Records) != 0 {
+				t.Error("tampered item still returned records")
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Errorf("untampered query %d rejected: %v", i, r.Err)
+		}
+	}
+}
+
+// TestCheckBatchNilAnswer: a missing answer is a rejection, not a panic.
+func TestCheckBatchNilAnswer(t *testing.T) {
+	_, pub, _, _, dom := fixtures(t)
+	cli := NewIFMH(pub)
+	qs := batchQueries(dom)[:1]
+	results := cli.CheckBatch(qs, [][]byte{nil}, 2)
+	if !errors.Is(results[0].Err, ErrRejected) {
+		t.Errorf("nil answer error = %v, want ErrRejected", results[0].Err)
+	}
+}

@@ -17,6 +17,13 @@ import (
 // following the paper's four steps: build the I-tree over all pairwise
 // intersections, build an FMH-tree per sorted function list, propagate
 // Merkle hashes up the IMH-tree, and sign (the root, or every subdomain).
+//
+// The embarrassingly parallel steps — record digesting, per-subdomain
+// FMH-list construction (materialized 1-D and multivariate layouts) and
+// multi-signature signing — are sharded across Params.Workers goroutines.
+// The output is byte-identical for every worker count: every digest and
+// signature input depends only on its own index, and per-worker hash
+// counters are merged after each join.
 func Build(tbl record.Table, p Params) (*Tree, error) {
 	if p.Signer == nil {
 		return nil, fmt.Errorf("core: Params.Signer is required")
@@ -49,9 +56,16 @@ func Build(tbl record.Table, p Params) (*Tree, error) {
 		fs:       fs,
 		verifier: p.Signer.Verifier(),
 	}
+	workers := p.workers()
 	t.recDigests = make([]hashing.Digest, tbl.Len())
-	for i, r := range tbl.Records {
-		t.recDigests[i] = h.Record(r)
+	err = t.parallelChunks(workers, tbl.Len(), func(h *hashing.Hasher, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			t.recDigests[i] = h.Record(tbl.Records[i])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	opt := itree.BuildOptions{Shuffle: p.Shuffle, Seed: p.Seed}
@@ -69,7 +83,7 @@ func Build(tbl record.Table, p Params) (*Tree, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := t.buildLists1D(inters, p.Materialize); err != nil {
+		if err := t.buildLists1D(inters, p.Materialize, workers); err != nil {
 			return nil, err
 		}
 	} else {
@@ -82,7 +96,7 @@ func Build(tbl record.Table, p Params) (*Tree, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := t.buildListsND(); err != nil {
+		if err := t.buildListsND(workers); err != nil {
 			return nil, err
 		}
 	}
@@ -94,10 +108,11 @@ func Build(tbl record.Table, p Params) (*Tree, error) {
 	return t, nil
 }
 
-// fmhFromPerm builds a fresh FMH-tree for a permutation.
-func (t *Tree) fmhFromPerm(perm []int) (*fmh.List, error) {
-	return fmh.Build(t.hasher, len(perm), func(p int) hashing.Digest {
-		return t.hasher.Leaf(t.recDigests[perm[p]])
+// fmhFromPerm builds a fresh FMH-tree for a permutation with the given
+// hasher (a worker-local one inside parallel sections).
+func (t *Tree) fmhFromPerm(h *hashing.Hasher, perm []int) (*fmh.List, error) {
+	return fmh.Build(h, len(perm), func(p int) hashing.Digest {
+		return h.Leaf(t.recDigests[perm[p]])
 	})
 }
 
@@ -135,7 +150,14 @@ func SweepInputs1D(space *geometry.Space1D, subs []*itree.Subdomain, boundaries 
 // then cross each boundary by applying the adjacent transpositions of the
 // function pairs intersecting there, deriving each FMH-tree persistently
 // from its left neighbor.
-func (t *Tree) buildLists1D(inters []itree.Intersection, materialize bool) error {
+//
+// In materialized mode the sweep only replays permutations (cheap swaps);
+// the S independent O(n) FMH-tree constructions — the dominant cost of
+// the paper's literal layout — are then sharded across the worker pool.
+// Delta mode stays serial past the base list: each persistent tree is
+// derived from its left neighbor, an inherently sequential chain that is
+// already O(S log n) in total.
+func (t *Tree) buildLists1D(inters []itree.Intersection, materialize bool, workers int) error {
 	space := t.space.(*geometry.Space1D)
 	subs := t.itree.Subs
 	t.subs = make([]*SubInfo, len(subs))
@@ -156,37 +178,41 @@ func (t *Tree) buildLists1D(inters []itree.Intersection, materialize bool) error
 	t.cursor = sweep.NewCursor(plan)
 
 	perm := append([]int(nil), plan.BasePerm...)
-	list, err := t.fmhFromPerm(perm)
+
+	if materialize {
+		perms := make([][]int, len(subs))
+		perms[0] = append([]int(nil), perm...)
+		for k := range boundaries {
+			for _, pos := range plan.Swaps[k] {
+				perm[pos], perm[pos+1] = perm[pos+1], perm[pos]
+			}
+			perms[k+1] = append([]int(nil), perm...)
+		}
+		return t.parallelChunks(workers, len(subs), func(h *hashing.Hasher, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				list, err := t.fmhFromPerm(h, perms[i])
+				if err != nil {
+					return err
+				}
+				t.subs[i] = &SubInfo{Sub: subs[i], List: list, Perm: perms[i]}
+			}
+			return nil
+		})
+	}
+
+	list, err := t.fmhFromPerm(t.hasher, perm)
 	if err != nil {
 		return err
 	}
 	t.subs[0] = &SubInfo{Sub: subs[0], List: list}
-	if materialize {
-		t.subs[0].Perm = append([]int(nil), perm...)
-	}
-
 	for k := range boundaries {
 		for _, pos := range plan.Swaps[k] {
-			perm[pos], perm[pos+1] = perm[pos+1], perm[pos]
-		}
-		if materialize {
-			fresh, err := t.fmhFromPerm(perm)
+			list, err = list.DeriveSwap(t.hasher, pos)
 			if err != nil {
 				return err
 			}
-			list = fresh
-		} else {
-			for _, pos := range plan.Swaps[k] {
-				list, err = list.DeriveSwap(t.hasher, pos)
-				if err != nil {
-					return err
-				}
-			}
 		}
 		t.subs[k+1] = &SubInfo{Sub: subs[k+1], List: list}
-		if materialize {
-			t.subs[k+1].Perm = append([]int(nil), perm...)
-		}
 	}
 	return nil
 }
@@ -207,20 +233,24 @@ func (t *Tree) permFor(id int) ([]int, error) {
 
 // buildListsND sorts each subdomain independently at an interior witness
 // point — there is no sweep order to exploit in d >= 2 — and always
-// materializes.
-func (t *Tree) buildListsND() error {
+// materializes. The subdomains are independent, so the sort + FMH build
+// shards across the worker pool.
+func (t *Tree) buildListsND(workers int) error {
 	subs := t.itree.Subs
 	t.subs = make([]*SubInfo, len(subs))
-	for i, sub := range subs {
-		w := t.space.Witness(sub.Region)
-		perm := funcs.SortAt(t.fs, w)
-		list, err := t.fmhFromPerm(perm)
-		if err != nil {
-			return err
+	return t.parallelChunks(workers, len(subs), func(h *hashing.Hasher, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			sub := subs[i]
+			w := t.space.Witness(sub.Region)
+			perm := funcs.SortAt(t.fs, w)
+			list, err := t.fmhFromPerm(h, perm)
+			if err != nil {
+				return err
+			}
+			t.subs[i] = &SubInfo{Sub: sub, List: list, Perm: perm}
 		}
-		t.subs[i] = &SubInfo{Sub: sub, List: list, Perm: perm}
-	}
-	return nil
+		return nil
+	})
 }
 
 // propagateHashes fills every IMH node's hash bottom-up (paper §3.1 step
@@ -242,29 +272,39 @@ func (t *Tree) propagateHashes() {
 	t.rootDigest = t.hasher.Root(imhRoot)
 }
 
-// sign executes step 4 for the configured mode.
+// sign executes step 4 for the configured mode. Multi-signature mode
+// shards the S independent subdomain signatures across the worker pool;
+// each signed digest depends only on its own subdomain, so the signatures
+// are independent of the worker count (schemes with per-signature
+// randomness differ run to run regardless). Every sig.Signer is safe for
+// concurrent use: the schemes are stateless apart from crypto/rand.
 func (t *Tree) sign(p Params) error {
-	ctr := t.hasher.Counter()
 	switch p.Mode {
 	case OneSignature:
 		s, err := p.Signer.Sign(t.rootDigest[:])
 		if err != nil {
 			return fmt.Errorf("core: signing root: %w", err)
 		}
-		ctr.AddSign(1)
+		t.hasher.Counter().AddSign(1)
 		t.rootSig = s
 		t.sigCount = 1
 	case MultiSignature:
-		for _, si := range t.subs {
-			si.Ineqs = t.space.Halfspaces(si.Sub.Region)
-			si.IneqEnc = geometry.EncodeHalfspaces(nil, si.Ineqs)
-			d := t.hasher.MultiSig(t.hasher.Ineqs(si.IneqEnc), si.List.Root())
-			s, err := p.Signer.Sign(d[:])
-			if err != nil {
-				return fmt.Errorf("core: signing subdomain %d: %w", si.Sub.ID, err)
+		err := t.parallelChunks(p.workers(), len(t.subs), func(h *hashing.Hasher, lo, hi int) error {
+			for _, si := range t.subs[lo:hi] {
+				si.Ineqs = t.space.Halfspaces(si.Sub.Region)
+				si.IneqEnc = geometry.EncodeHalfspaces(nil, si.Ineqs)
+				d := h.MultiSig(h.Ineqs(si.IneqEnc), si.List.Root())
+				s, err := p.Signer.Sign(d[:])
+				if err != nil {
+					return fmt.Errorf("core: signing subdomain %d: %w", si.Sub.ID, err)
+				}
+				h.Counter().AddSign(1)
+				si.Sig = s
 			}
-			ctr.AddSign(1)
-			si.Sig = s
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 		t.sigCount = len(t.subs)
 	default:

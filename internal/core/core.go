@@ -21,6 +21,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"aqverify/internal/fmh"
 	"aqverify/internal/funcs"
@@ -88,6 +89,21 @@ type Params struct {
 	// structure, costing O(n + S log n). Multivariate databases always
 	// materialize (there is no sweep order to exploit).
 	Materialize bool
+	// Workers bounds the construction worker pool sharding record
+	// digesting, per-subdomain FMH-list building and multi-signature
+	// signing. Zero (the default) means runtime.GOMAXPROCS(0); 1
+	// reproduces the serial path. The built tree — root digest,
+	// signatures, hash counts — is identical for every worker count.
+	Workers int
+}
+
+// workers resolves the configured worker count; zero or negative means
+// one worker per available CPU.
+func (p Params) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // PublicParams is what the data owner publishes out of band: everything a

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"sync"
+
+	"aqverify/internal/hashing"
+	"aqverify/internal/metrics"
+)
+
+// parallelChunks splits the index range [0, n) into one contiguous chunk
+// per worker and runs fn on each chunk concurrently. Every worker gets a
+// hasher bound to its own metrics counter (a Hasher is not safe for
+// concurrent use); after the join, the per-worker counts are merged into
+// the tree's main counter, so hash/sign totals match the serial path
+// exactly. The first non-nil chunk error (lowest chunk index) is
+// returned.
+//
+// Each chunk writes only its own index range of any shared output slice,
+// which keeps the fan-out deterministic: the bytes produced for index i
+// never depend on the worker count.
+func (t *Tree) parallelChunks(workers, n int, fn func(h *hashing.Hasher, lo, hi int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return fn(t.hasher, 0, n)
+	}
+	ctrs := make([]metrics.Counter, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = fn(t.hasher.WithCounter(&ctrs[w]), lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	main := t.hasher.Counter()
+	for i := range ctrs {
+		main.Add(ctrs[i])
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+	"aqverify/internal/hashing"
+	"aqverify/internal/metrics"
+	"aqverify/internal/query"
+	"aqverify/internal/record"
+)
+
+// buildWorkers builds a 1-D tree with an explicit worker count and its
+// own counter, so tests can compare both outputs and instrumentation.
+func buildWorkers(t testing.TB, tbl record.Table, mode Mode, materialize bool, workers int, ctr *metrics.Counter) *Tree {
+	t.Helper()
+	tree, err := Build(tbl, Params{
+		Mode:        mode,
+		Signer:      testSigner,
+		Domain:      geometry.MustBox([]float64{-1}, []float64{1}),
+		Template:    funcs.AffineLine(0, 1),
+		Hasher:      hashing.New(ctr),
+		Shuffle:     true,
+		Seed:        42,
+		Materialize: materialize,
+		Workers:     workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// sigsOf collects every signature a tree holds (one root signature or S
+// subdomain signatures).
+func sigsOf(tr *Tree) [][]byte {
+	if tr.mode == OneSignature {
+		return [][]byte{tr.rootSig}
+	}
+	out := make([][]byte, len(tr.subs))
+	for i, si := range tr.subs {
+		out[i] = si.Sig
+	}
+	return out
+}
+
+// TestParallelBuildIdentical is the byte-identity contract of the
+// parallel construction: for every mode and layout, Workers=1 (the
+// serial path) and Workers=8 must produce the same root digest, the
+// same signatures (Ed25519 is deterministic) and the same hash/sign
+// operation counts.
+func TestParallelBuildIdentical(t *testing.T) {
+	tbl := lineTable(t, 80, 7)
+	for _, mode := range []Mode{OneSignature, MultiSignature} {
+		for _, mat := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%v/materialize=%v", mode, mat), func(t *testing.T) {
+				var serialCtr, parCtr metrics.Counter
+				serial := buildWorkers(t, tbl, mode, mat, 1, &serialCtr)
+				parallel := buildWorkers(t, tbl, mode, mat, 8, &parCtr)
+
+				if serial.rootDigest != parallel.rootDigest {
+					t.Fatal("root digests differ between Workers=1 and Workers=8")
+				}
+				ss, ps := sigsOf(serial), sigsOf(parallel)
+				if len(ss) != len(ps) {
+					t.Fatalf("signature counts differ: %d vs %d", len(ss), len(ps))
+				}
+				for i := range ss {
+					if !bytes.Equal(ss[i], ps[i]) {
+						t.Fatalf("signature %d differs between serial and parallel build", i)
+					}
+				}
+				if serialCtr != parCtr {
+					t.Errorf("instrumentation differs:\nserial:   %v\nparallel: %v", &serialCtr, &parCtr)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelBuildIdenticalND covers the multivariate path, where the
+// per-subdomain sort + FMH build itself is sharded.
+func TestParallelBuildIdenticalND(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	recs := make([]record.Record, 10)
+	for i := range recs {
+		recs[i] = record.Record{
+			ID:    uint64(i + 1),
+			Attrs: []float64{rng.Float64()*4 + 0.5, rng.Float64()*4 + 0.5},
+		}
+	}
+	tbl, err := record.NewTable(record.Schema{
+		Name:    "points",
+		Columns: []record.Column{{Name: "a"}, {Name: "b"}},
+	}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(workers int) *Tree {
+		tree, err := Build(tbl, Params{
+			Mode:     MultiSignature,
+			Signer:   testSigner,
+			Domain:   geometry.MustBox([]float64{0.1, 0.1}, []float64{1, 1}),
+			Template: funcs.ScalarProduct(2),
+			Shuffle:  true,
+			Seed:     5,
+			Workers:  workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tree
+	}
+	serial, parallel := build(1), build(8)
+	if serial.rootDigest != parallel.rootDigest {
+		t.Fatal("ND root digests differ between Workers=1 and Workers=8")
+	}
+	ss, ps := sigsOf(serial), sigsOf(parallel)
+	for i := range ss {
+		if !bytes.Equal(ss[i], ps[i]) {
+			t.Fatalf("ND signature %d differs between serial and parallel build", i)
+		}
+	}
+}
+
+// TestParallelBuildServes sanity-checks that a parallel-built tree
+// serves verifiable answers end to end.
+func TestParallelBuildServes(t *testing.T) {
+	tbl := lineTable(t, 60, 11)
+	tree := buildWorkers(t, tbl, MultiSignature, false, 8, nil)
+	pub := tree.Public()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		for _, q := range queriesFor(rng, 4) {
+			ans, err := tree.Process(q, nil)
+			if err != nil {
+				t.Fatalf("%v: %v", q.Kind, err)
+			}
+			if err := Verify(pub, q, ans.Records, &ans.VO, nil); err != nil {
+				t.Fatalf("%v: %v", q.Kind, err)
+			}
+		}
+	}
+}
+
+// TestVerifyBatch checks the parallel verifier: every genuine answer
+// passes, a tampered item fails without affecting its neighbors, and
+// the merged counter matches the sum of serial verifications.
+func TestVerifyBatch(t *testing.T) {
+	tbl := lineTable(t, 60, 13)
+	tree := build1D(t, tbl, MultiSignature, false)
+	pub := tree.Public()
+
+	rng := rand.New(rand.NewSource(17))
+	var items []BatchItem
+	for i := 0; i < 12; i++ {
+		x := geometry.Point{rng.Float64()*2 - 1}
+		q := query.NewTopK(x, 1+rng.Intn(6))
+		ans, err := tree.Process(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items = append(items, BatchItem{Query: q, Records: ans.Records, VO: &ans.VO})
+	}
+
+	var serialCtr metrics.Counter
+	for _, it := range items {
+		if err := Verify(pub, it.Query, it.Records, it.VO, &serialCtr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var batchCtr metrics.Counter
+	for _, workers := range []int{0, 1, 4} {
+		for i, err := range VerifyBatch(pub, items, workers, &batchCtr) {
+			if err != nil {
+				t.Fatalf("workers=%d: item %d: %v", workers, i, err)
+			}
+		}
+	}
+	// Three passes, each costing exactly the serial total.
+	want := metrics.Counter{}
+	for i := 0; i < 3; i++ {
+		want.Add(serialCtr)
+	}
+	if batchCtr != want {
+		t.Errorf("batch counter %v, want 3x serial %v", &batchCtr, &want)
+	}
+
+	// Tamper with one item: only it may fail.
+	bad := make([]BatchItem, len(items))
+	copy(bad, items)
+	tampered := append([]record.Record(nil), bad[5].Records...)
+	tampered[0].Attrs = append([]float64(nil), tampered[0].Attrs...)
+	tampered[0].Attrs[1] += 1e6
+	bad[5] = BatchItem{Query: bad[5].Query, Records: tampered, VO: bad[5].VO}
+	errs := VerifyBatch(pub, bad, 4, nil)
+	for i, err := range errs {
+		if i == 5 && err == nil {
+			t.Error("tampered item verified")
+		}
+		if i != 5 && err != nil {
+			t.Errorf("item %d rejected: %v", i, err)
+		}
+	}
+
+	if got := VerifyBatch(pub, nil, 4, nil); len(got) != 0 {
+		t.Errorf("empty batch returned %d errors", len(got))
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"aqverify/internal/geometry"
 	"aqverify/internal/hashing"
 	"aqverify/internal/metrics"
+	"aqverify/internal/pool"
 	"aqverify/internal/query"
 	"aqverify/internal/record"
 )
@@ -142,6 +143,39 @@ func Verify(pub PublicParams, q query.Query, recs []record.Record, vo *VO, ctr *
 
 	// --- Step 2: semantic re-check of the query over the window. ---
 	return CheckWindowSemantics(pub.Template, q, recs, vo.Left, vo.Right, vo.ListLen, semTol)
+}
+
+// BatchItem bundles one (query, result, verification object) triple for
+// VerifyBatch.
+type BatchItem struct {
+	Query   query.Query
+	Records []record.Record
+	VO      *VO
+}
+
+// VerifyBatch verifies many answers against one set of public parameters
+// concurrently, sharding the items across min(workers, len(items))
+// goroutines; workers <= 0 means runtime.GOMAXPROCS(0). The result slice
+// is parallel to items: errs[i] is nil iff items[i] is sound and
+// complete, and each failure reports exactly what Verify would. The
+// counter, if non-nil, accumulates every item's verification cost; items
+// are claimed off a shared index so unevenly sized proofs still load-
+// balance.
+func VerifyBatch(pub PublicParams, items []BatchItem, workers int, ctr *metrics.Counter) []error {
+	errs := make([]error, len(items))
+	if len(items) == 0 {
+		return errs
+	}
+	workers = pool.Workers(workers, len(items))
+	ctrs := make([]metrics.Counter, workers)
+	pool.Run(len(items), workers, func(w, i int) {
+		it := items[i]
+		errs[i] = Verify(pub, it.Query, it.Records, it.VO, &ctrs[w])
+	})
+	for i := range ctrs {
+		ctr.Add(ctrs[i])
+	}
+	return errs
 }
 
 // CheckWindowSemantics mimics the server's query processing over an

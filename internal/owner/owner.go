@@ -50,6 +50,9 @@ type Options struct {
 	Materialize bool
 	// Hasher may carry a metrics counter to measure construction cost.
 	Hasher *hashing.Hasher
+	// Workers bounds the IFMH construction worker pool (see
+	// core.Params.Workers); zero means one per CPU, one is serial.
+	Workers int
 }
 
 // OutsourceIFMH builds the IFMH-tree package for the cloud plus the
@@ -64,6 +67,7 @@ func (o *Owner) OutsourceIFMH(tbl record.Table, tpl funcs.Template, domain geome
 		Shuffle:     opt.Shuffle,
 		Seed:        opt.Seed,
 		Materialize: opt.Materialize,
+		Workers:     opt.Workers,
 	})
 	if err != nil {
 		return nil, core.PublicParams{}, err

@@ -1,0 +1,61 @@
+// Package pool provides the bounded worker-pool primitive shared by the
+// batched code paths (server.HandleBatch, core.VerifyBatch, the client's
+// batch checker): workers claim item indexes off a shared atomic, so
+// unevenly sized items load-balance instead of straggling in a fixed
+// shard.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested worker count for n items: non-positive
+// means one per CPU, and the count never exceeds n. Callers use the
+// result to size per-worker state (e.g. metrics counters) before Run.
+func Workers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Run executes fn(worker, i) for every i in [0, n) across at most
+// workers goroutines (pass the value returned by Workers). fn is called
+// concurrently with distinct i; worker identifies the calling goroutine
+// in [0, workers) so fn can index per-worker state without locking. Run
+// returns once every index has been processed.
+func Run(n, workers int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,44 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	for _, tc := range []struct{ workers, n, wantMax int }{
+		{1, 10, 1},
+		{4, 10, 4},
+		{4, 2, 2},
+		{0, 0, 1},
+		{-3, 5, 5},
+	} {
+		got := Workers(tc.workers, tc.n)
+		if got < 1 || got > tc.wantMax {
+			t.Errorf("Workers(%d, %d) = %d, want in [1,%d]", tc.workers, tc.n, got, tc.wantMax)
+		}
+	}
+}
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		const n = 100
+		var hits [n]atomic.Int32
+		var perWorker [8]int
+		Run(n, workers, func(w, i int) {
+			hits[i].Add(1)
+			if w < 0 || w >= workers {
+				t.Errorf("worker id %d out of [0,%d)", w, workers)
+			}
+			if workers == 1 {
+				perWorker[w]++
+			}
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d processed %d times", workers, i, got)
+			}
+		}
+	}
+	Run(0, 4, func(w, i int) { t.Error("fn called for n=0") })
+}

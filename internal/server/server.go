@@ -2,7 +2,10 @@
 // owner's authenticated data structure, processes analytic queries, and
 // returns each result with its verification object serialized over the
 // wire. The backend is pluggable (IFMH-tree or signature mesh) so the
-// benchmark harness can compare them through one interface.
+// benchmark harness can compare them through one interface. Queries are
+// served one at a time through Handle or fanned out across a worker
+// pool through HandleBatch; either way cumulative metrics stay
+// consistent under concurrency.
 package server
 
 import (
@@ -12,6 +15,7 @@ import (
 	"aqverify/internal/core"
 	"aqverify/internal/mesh"
 	"aqverify/internal/metrics"
+	"aqverify/internal/pool"
 	"aqverify/internal/query"
 	"aqverify/internal/wire"
 )
@@ -68,13 +72,17 @@ func (b Mesh) Process(q query.Query, ctr *metrics.Counter) ([]byte, error) {
 	return out, nil
 }
 
-// Server wraps a backend with cumulative metrics.
+// Server wraps a backend with cumulative metrics. All methods are safe
+// for concurrent use; the pluggable backends answer queries from
+// immutable (or internally synchronized) state, so many queries may be
+// in flight at once.
 type Server struct {
 	backend Backend
 
-	mu    sync.Mutex
-	total metrics.Counter
-	count int
+	mu       sync.Mutex
+	total    metrics.Counter
+	count    int
+	errCount int
 }
 
 // New creates a server for the backend.
@@ -89,22 +97,57 @@ func New(b Backend) (*Server, error) {
 func (s *Server) Name() string { return s.backend.Name() }
 
 // Handle processes one query, accumulating metrics. It returns the
-// serialized answer bytes — what would travel over the network.
+// serialized answer bytes — what would travel over the network. Failed
+// queries count toward ErrorCount only; their partial traversal cost is
+// kept out of the cumulative totals so per-query averages stay averages
+// over answered queries.
 func (s *Server) Handle(q query.Query) ([]byte, error) {
 	var ctr metrics.Counter
 	out, err := s.backend.Process(q, &ctr)
-	s.mu.Lock()
-	s.total.Add(ctr)
-	if err == nil {
-		s.count++
-	}
-	s.mu.Unlock()
+	s.record(ctr, err)
 	return out, err
 }
 
-// Stats returns the cumulative metrics and query count.
+// HandleBatch processes a batch of queries across a bounded worker pool,
+// sized by workers (<= 0 means runtime.GOMAXPROCS(0)). Both returned
+// slices are parallel to qs: outs[i] holds the serialized answer for
+// qs[i] and errs[i] its failure, exactly as Handle would have produced
+// them — the backends answer from immutable state, so batched answers
+// are byte-identical to sequential ones. Metrics accumulate per query
+// under the server's lock, as if each query had been handled alone.
+func (s *Server) HandleBatch(qs []query.Query, workers int) (outs [][]byte, errs []error) {
+	outs = make([][]byte, len(qs))
+	errs = make([]error, len(qs))
+	pool.Run(len(qs), pool.Workers(workers, len(qs)), func(_, i int) {
+		var ctr metrics.Counter
+		outs[i], errs[i] = s.backend.Process(qs[i], &ctr)
+		s.record(ctr, errs[i])
+	})
+	return outs, errs
+}
+
+// record folds one query's cost into the cumulative metrics.
+func (s *Server) record(ctr metrics.Counter, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.errCount++
+		return
+	}
+	s.total.Add(ctr)
+	s.count++
+}
+
+// Stats returns the cumulative metrics and the answered-query count.
 func (s *Server) Stats() (metrics.Counter, int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.total, s.count
+}
+
+// ErrorCount returns how many queries the backend refused.
+func (s *Server) ErrorCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.errCount
 }

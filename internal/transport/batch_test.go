@@ -1,0 +1,168 @@
+package transport
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"aqverify/internal/geometry"
+	"aqverify/internal/query"
+)
+
+// TestMethodNotAllowed: routes use Go 1.22 method patterns, so a request
+// with the wrong method must be a 405, not a silent 404 — the regression
+// that hid behind the missing go.mod.
+func TestMethodNotAllowed(t *testing.T) {
+	srv, pub, _, _, _ := fixtures(t)
+	h, err := NewIFMHHandler(srv, pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	for _, tc := range []struct{ method, path string }{
+		{http.MethodGet, "/query"},
+		{http.MethodGet, "/query/batch"},
+		{http.MethodPost, "/params"},
+		{http.MethodPost, "/stats"},
+		{http.MethodDelete, "/query"},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, http.StatusMethodNotAllowed)
+		}
+	}
+}
+
+// TestHTTPBatchRoundTrip drives the batched query plane end to end: many
+// queries in one frame, per-item verification on the client, and
+// per-item server refusals that do not fail the batch.
+func TestHTTPBatchRoundTrip(t *testing.T) {
+	srv, pub, _, _, dom := fixtures(t)
+	h, err := NewIFMHHandler(srv, pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	cli, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := geometry.Point{(dom.Lo[0] + dom.Hi[0]) / 2}
+	qs := []query.Query{
+		query.NewTopK(x, 3),
+		query.NewBottomK(x, 3),
+		query.NewTopK(geometry.Point{dom.Hi[0] + 9}, 1), // refused: outside the domain
+		query.NewRange(x, -2, 2),
+		query.NewKNN(x, 3, 0),
+	}
+	results, err := cli.QueryBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(qs) {
+		t.Fatalf("got %d results for %d queries", len(results), len(qs))
+	}
+	for i, r := range results {
+		if i == 2 {
+			if r.Err == nil {
+				t.Error("out-of-domain query succeeded in batch")
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Errorf("query %d: %v", i, r.Err)
+			continue
+		}
+		if qs[i].Kind != query.Range && len(r.Records) != 3 {
+			t.Errorf("query %d: got %d records", i, len(r.Records))
+		}
+	}
+
+	// The batched answers must match the sequential endpoint's.
+	for i, q := range qs {
+		if i == 2 {
+			continue
+		}
+		recs, err := cli.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != len(results[i].Records) {
+			t.Errorf("query %d: batch returned %d records, sequential %d", i, len(results[i].Records), len(recs))
+		}
+		for j := range recs {
+			if recs[j].ID != results[i].Records[j].ID {
+				t.Errorf("query %d record %d: batch ID %d, sequential %d", i, j, results[i].Records[j].ID, recs[j].ID)
+			}
+		}
+	}
+}
+
+// TestHTTPBatchTamperingRejected: a channel flipping bits inside the
+// batch frame must not get any record past verification.
+func TestHTTPBatchTamperingRejected(t *testing.T) {
+	srv, pub, _, _, dom := fixtures(t)
+	h, err := NewIFMHHandler(srv, pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := httptest.NewServer(h)
+	defer origin.Close()
+	target, err := url.Parse(origin.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := httptest.NewServer(&tamperingProxy{target: target, hc: origin.Client()})
+	defer proxy.Close()
+
+	cli, err := Dial(proxy.URL, proxy.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := geometry.Point{(dom.Lo[0] + dom.Hi[0]) / 2}
+	qs := []query.Query{query.NewRange(x, -2, 2), query.NewTopK(x, 3)}
+	for trial := 0; trial < 10; trial++ {
+		results, err := cli.QueryBatch(qs)
+		if err != nil {
+			continue // the flipped bit broke the outer frame: also a rejection
+		}
+		// Every byte of the frame is load-bearing, so the flipped bit
+		// must take down at least one item.
+		if results[0].Err == nil && results[1].Err == nil {
+			t.Fatal("bit-flipped batch answer fully accepted")
+		}
+	}
+}
+
+// TestHTTPBatchBadFrame: junk bytes to the batch endpoint are a 400.
+func TestHTTPBatchBadFrame(t *testing.T) {
+	srv, pub, _, _, _ := fixtures(t)
+	h, err := NewIFMHHandler(srv, pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := ts.Client().Post(ts.URL+"/query/batch", "application/octet-stream", strings.NewReader("junk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("junk batch: status %d, want %d", resp.StatusCode, http.StatusBadRequest)
+	}
+}

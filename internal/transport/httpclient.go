@@ -21,6 +21,11 @@ import (
 // maxAnswerBytes bounds response bodies the client will buffer.
 const maxAnswerBytes = 64 << 20
 
+// maxBatchAnswerBytes bounds a batched response body: a frame of many
+// answers legitimately outgrows a single answer, and a silent
+// truncation would fail the whole batch with an opaque parse error.
+const maxBatchAnswerBytes = 512 << 20
+
 // HTTPClient is a verifying data user over HTTP: it fetches the owner's
 // trust bundle once, then verifies every answer locally before returning
 // records. The HTTP connection is untrusted by construction — any
@@ -93,14 +98,65 @@ func (c *HTTPClient) Query(q query.Query) ([]record.Record, error) {
 		return nil, fmt.Errorf("transport: post query: %w", err)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxAnswerBytes))
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxAnswerBytes+1))
 	if err != nil {
 		return nil, fmt.Errorf("transport: read answer: %w", err)
+	}
+	if len(body) > maxAnswerBytes {
+		return nil, fmt.Errorf("transport: answer exceeds %d bytes", maxAnswerBytes)
 	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("transport: server returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
 	}
 	return c.cli.Check(q, body)
+}
+
+// QueryBatch sends all queries in one POST /query/batch exchange and
+// verifies every answer locally, fanning the verification out across the
+// CPUs. The result slice is parallel to qs: a per-item Err reports that
+// query's server refusal or failed verification without aborting the
+// rest. The returned error covers transport-level failures only —
+// network errors, non-200 statuses, or a response frame that does not
+// parse.
+func (c *HTTPClient) QueryBatch(qs []query.Query) ([]client.BatchResult, error) {
+	resp, err := c.hc.Post(c.base+"/query/batch", "application/octet-stream",
+		bytes.NewReader(wire.EncodeQueryBatch(qs)))
+	if err != nil {
+		return nil, fmt.Errorf("transport: post batch: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBatchAnswerBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("transport: read batch answer: %w", err)
+	}
+	if len(body) > maxBatchAnswerBytes {
+		return nil, fmt.Errorf("transport: batch answer exceeds %d bytes; split the batch", maxBatchAnswerBytes)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("transport: server returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	items, err := wire.DecodeAnswerBatch(body)
+	if err != nil {
+		return nil, fmt.Errorf("transport: parse batch answer: %w", err)
+	}
+	if len(items) != len(qs) {
+		return nil, fmt.Errorf("transport: batch answered %d of %d queries", len(items), len(qs))
+	}
+	results := make([]client.BatchResult, len(qs))
+	raws := make([][]byte, len(qs))
+	for i, it := range items {
+		if it.Err != "" {
+			results[i].Err = fmt.Errorf("transport: server refused query %d: %s", i, it.Err)
+			continue
+		}
+		raws[i] = it.Answer
+	}
+	for i, r := range c.cli.CheckBatch(qs, raws, 0) {
+		if results[i].Err == nil {
+			results[i] = r
+		}
+	}
+	return results, nil
 }
 
 // Stats returns the client's cumulative verification metrics.

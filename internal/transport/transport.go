@@ -6,15 +6,25 @@
 //
 // Endpoints:
 //
-//	POST /query   body: wire-encoded query  -> wire-encoded answer
-//	GET  /params  -> JSON trust bundle (scheme, verifier key, template, mode)
-//	GET  /stats   -> JSON cumulative server metrics
+//	POST /query        body: wire-encoded query        -> wire-encoded answer
+//	POST /query/batch  body: wire-encoded query batch  -> wire-encoded answer batch
+//	GET  /params       -> JSON trust bundle (scheme, verifier key, template, mode)
+//	GET  /stats        -> JSON cumulative server metrics
+//
+// The batch endpoint carries many queries in one length-prefixed frame
+// (see wire.EncodeQueryBatch) and answers them concurrently on the
+// server; each item of the response is either that query's answer bytes
+// or its error string, so one bad query never fails the batch. Routes
+// are registered with Go 1.22 method patterns, so a wrong-method request
+// is a 405, not a 404.
 package transport
 
 import (
+	"bytes"
 	"encoding/base64"
 	"encoding/json"
 	"io"
+	"log"
 	"net/http"
 
 	"aqverify/internal/core"
@@ -27,6 +37,9 @@ import (
 
 // maxQueryBytes bounds the request body; queries are tiny.
 const maxQueryBytes = 1 << 16
+
+// maxBatchBytes bounds a batched request body (many queries per frame).
+const maxBatchBytes = 1 << 22
 
 // Params is the JSON trust bundle the data owner publishes. Exactly one
 // of IFMHMode ("one"/"multi") and MeshBaseline is meaningful, matching
@@ -91,6 +104,7 @@ func NewMeshHandler(srv *server.Server, pub mesh.PublicParams) (*Handler, error)
 func newHandler(srv *server.Server, p Params) (*Handler, error) {
 	h := &Handler{srv: srv, params: p, mux: http.NewServeMux()}
 	h.mux.HandleFunc("POST /query", h.handleQuery)
+	h.mux.HandleFunc("POST /query/batch", h.handleBatch)
 	h.mux.HandleFunc("GET /params", h.handleParams)
 	h.mux.HandleFunc("GET /stats", h.handleStats)
 	return h, nil
@@ -121,19 +135,66 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	w.Write(out)
 }
 
+// handleBatch answers many queries in one exchange. The whole batch is
+// decoded up front; the server fans the queries out across its worker
+// pool, and every per-query failure travels inside the frame so the
+// other answers still arrive.
+func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBatchBytes+1))
+	if err != nil {
+		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxBatchBytes {
+		http.Error(w, "batch request exceeds the size limit; split it", http.StatusRequestEntityTooLarge)
+		return
+	}
+	qs, err := wire.DecodeQueryBatch(body)
+	if err != nil {
+		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	outs, errs := h.srv.HandleBatch(qs, 0)
+	items := make([]wire.BatchAnswer, len(qs))
+	for i := range qs {
+		if errs[i] != nil {
+			items[i] = wire.BatchAnswer{Err: errs[i].Error()}
+		} else {
+			items[i] = wire.BatchAnswer{Answer: outs[i]}
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(wire.EncodeAnswerBatch(items))
+}
+
 func (h *Handler) handleParams(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(h.params)
+	writeJSON(w, h.params)
 }
 
 func (h *Handler) handleStats(w http.ResponseWriter, _ *http.Request) {
 	stats, n := h.srv.Stats()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	writeJSON(w, map[string]any{
 		"backend":      h.srv.Name(),
 		"queries":      n,
+		"errors":       h.srv.ErrorCount(),
 		"nodesVisited": stats.NodesVisited,
 		"cellsVisited": stats.CellsVisited,
 		"bytes":        stats.Bytes,
 	})
+}
+
+// writeJSON encodes v to a buffer first so an encoding failure can still
+// surface as a 500 — once bytes hit the wire the status is committed —
+// and sets Content-Type before any write. A failed response write is
+// logged; there is no one left to report it to.
+func writeJSON(w http.ResponseWriter, v any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		http.Error(w, "encode: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		log.Printf("transport: writing JSON response: %v", err)
+	}
 }

@@ -116,7 +116,7 @@ func TestHTTPRoundTripMesh(t *testing.T) {
 }
 
 // tamperingProxy forwards to target but flips one bit in every /query
-// response body.
+// and /query/batch response body.
 type tamperingProxy struct {
 	target *url.URL
 	hc     *http.Client
@@ -146,7 +146,7 @@ func (p *tamperingProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 	}
-	if r.URL.Path == "/query" && len(buf) > 0 {
+	if strings.HasPrefix(r.URL.Path, "/query") && len(buf) > 0 {
 		buf[len(buf)/3] ^= 0x10
 	}
 	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))

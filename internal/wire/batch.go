@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"fmt"
+
+	"aqverify/internal/query"
+)
+
+// Batch framing magic bytes. A batch frame is a magic byte, a u32 item
+// count, and length-prefixed items, mirroring the single-answer codecs:
+// deterministic, big-endian, no reflection.
+const (
+	magicQueryBatch  = 0xB1
+	magicAnswerBatch = 0xB2
+)
+
+// maxBatchItems bounds the item count a decoder accepts, so a forged
+// frame cannot drive huge allocations before the length checks kick in.
+const maxBatchItems = 1 << 20
+
+// BatchAnswer is one entry of a batched response: either the serialized
+// answer bytes (the same bytes POST /query would have returned) or the
+// server's refusal. Exactly one of the fields is set.
+type BatchAnswer struct {
+	Answer []byte
+	Err    string
+}
+
+// EncodeQueryBatch frames many queries into one request body.
+func EncodeQueryBatch(qs []query.Query) []byte {
+	w := &writer{}
+	w.u8(magicQueryBatch)
+	w.u32(uint32(len(qs)))
+	for _, q := range qs {
+		w.bytes(EncodeQuery(q))
+	}
+	return w.buf
+}
+
+// DecodeQueryBatch parses a request body framed by EncodeQueryBatch.
+func DecodeQueryBatch(b []byte) ([]query.Query, error) {
+	r := &reader{buf: b}
+	if r.u8("magic") != magicQueryBatch {
+		return nil, fmt.Errorf("wire: not a query batch")
+	}
+	n := r.count("batch queries", 4)
+	if n > maxBatchItems {
+		return nil, fmt.Errorf("wire: batch of %d queries exceeds the limit", n)
+	}
+	out := make([]query.Query, 0, n)
+	for i := 0; i < n; i++ {
+		raw := r.bytes("batch query")
+		if r.err != nil {
+			break
+		}
+		q, err := DecodeQuery(raw)
+		if err != nil {
+			return nil, fmt.Errorf("wire: batch query %d: %w", i, err)
+		}
+		out = append(out, q)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EncodeAnswerBatch frames many per-query outcomes into one response
+// body. Each item is a status byte (1 = answer, 0 = error) followed by
+// the length-prefixed payload.
+func EncodeAnswerBatch(items []BatchAnswer) []byte {
+	w := &writer{}
+	w.u8(magicAnswerBatch)
+	w.u32(uint32(len(items)))
+	for _, it := range items {
+		if it.Err != "" {
+			w.u8(0)
+			w.bytes([]byte(it.Err))
+		} else {
+			w.u8(1)
+			w.bytes(it.Answer)
+		}
+	}
+	return w.buf
+}
+
+// DecodeAnswerBatch parses a response body framed by EncodeAnswerBatch.
+func DecodeAnswerBatch(b []byte) ([]BatchAnswer, error) {
+	r := &reader{buf: b}
+	if r.u8("magic") != magicAnswerBatch {
+		return nil, fmt.Errorf("wire: not an answer batch")
+	}
+	n := r.count("batch answers", 5)
+	if n > maxBatchItems {
+		return nil, fmt.Errorf("wire: batch of %d answers exceeds the limit", n)
+	}
+	out := make([]BatchAnswer, 0, n)
+	for i := 0; i < n; i++ {
+		status := r.u8("batch status")
+		payload := r.bytes("batch payload")
+		if r.err != nil {
+			break
+		}
+		switch status {
+		case 0:
+			out = append(out, BatchAnswer{Err: string(payload)})
+		case 1:
+			out = append(out, BatchAnswer{Answer: payload})
+		default:
+			return nil, fmt.Errorf("wire: batch item %d has unknown status %d", i, status)
+		}
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

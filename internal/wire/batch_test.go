@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"aqverify/internal/geometry"
+	"aqverify/internal/query"
+)
+
+func batchQueries() []query.Query {
+	return []query.Query{
+		query.NewTopK(geometry.Point{0.4}, 3),
+		query.NewRange(geometry.Point{-0.2}, -1, 1),
+		query.NewKNN(geometry.Point{0.7}, 4, 0),
+		query.NewBottomK(geometry.Point{0.1}, 2),
+	}
+}
+
+func TestQueryBatchRoundTrip(t *testing.T) {
+	for _, qs := range [][]query.Query{nil, batchQueries()} {
+		enc := EncodeQueryBatch(qs)
+		got, err := DecodeQueryBatch(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(qs) {
+			t.Fatalf("decoded %d queries, want %d", len(got), len(qs))
+		}
+		for i := range qs {
+			if !bytes.Equal(EncodeQuery(got[i]), EncodeQuery(qs[i])) {
+				t.Errorf("query %d changed across the round trip", i)
+			}
+		}
+	}
+}
+
+func TestAnswerBatchRoundTrip(t *testing.T) {
+	items := []BatchAnswer{
+		{Answer: []byte{0xA1, 1, 2, 3}},
+		{Err: "core: function input outside the owner-specified domain"},
+		{Answer: []byte{}},
+	}
+	got, err := DecodeAnswerBatch(EncodeAnswerBatch(items))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("decoded %d items, want %d", len(got), len(items))
+	}
+	for i := range items {
+		if got[i].Err != items[i].Err || !bytes.Equal(got[i].Answer, items[i].Answer) {
+			t.Errorf("item %d = %+v, want %+v", i, got[i], items[i])
+		}
+	}
+}
+
+func TestBatchDecodeRejectsMalformed(t *testing.T) {
+	qs := batchQueries()
+	qenc := EncodeQueryBatch(qs)
+	aenc := EncodeAnswerBatch([]BatchAnswer{{Answer: []byte{1, 2}}, {Err: "x"}})
+
+	// Wrong magic: a query batch is not an answer batch and vice versa.
+	if _, err := DecodeAnswerBatch(qenc); err == nil {
+		t.Error("query batch decoded as answer batch")
+	}
+	if _, err := DecodeQueryBatch(aenc); err == nil {
+		t.Error("answer batch decoded as query batch")
+	}
+
+	// Every strict prefix must fail (no silent truncation).
+	for cut := 0; cut < len(qenc); cut++ {
+		if _, err := DecodeQueryBatch(qenc[:cut]); err == nil {
+			t.Fatalf("query batch truncated to %d bytes decoded", cut)
+		}
+	}
+	for cut := 0; cut < len(aenc); cut++ {
+		if _, err := DecodeAnswerBatch(aenc[:cut]); err == nil {
+			t.Fatalf("answer batch truncated to %d bytes decoded", cut)
+		}
+	}
+
+	// Trailing bytes are rejected.
+	if _, err := DecodeQueryBatch(append(append([]byte(nil), qenc...), 0)); err == nil {
+		t.Error("query batch with trailing byte decoded")
+	}
+
+	// An unknown status byte is rejected.
+	bad := EncodeAnswerBatch([]BatchAnswer{{Answer: []byte{1}}})
+	bad[5] = 7 // magic + u32 count, then the status byte
+	if _, err := DecodeAnswerBatch(bad); err == nil {
+		t.Error("unknown status byte decoded")
+	}
+}
