@@ -33,6 +33,16 @@
 // one length-prefixed frame and answers them concurrently on the
 // server (see internal/transport).
 //
+// # Sharding
+//
+// One logical database can be split across several independently built
+// and signed trees by cutting the domain into contiguous sub-boxes:
+// NewShardPlan + BuildSharded construct one tree per sub-box in
+// parallel, and every query routes deterministically to the shard that
+// owns its function input (points exactly on a cut go right). The
+// published parameters — and therefore client-side verification — are
+// identical to the single-tree deployment; see ARCHITECTURE.md.
+//
 // The facade re-exports the stable surface of the internal packages; the
 // examples/ directory shows complete programs, and cmd/vqbench
 // regenerates the paper's evaluation figures.
@@ -46,6 +56,7 @@ import (
 	"aqverify/internal/metrics"
 	"aqverify/internal/query"
 	"aqverify/internal/record"
+	"aqverify/internal/shard"
 	"aqverify/internal/sig"
 )
 
@@ -98,6 +109,17 @@ type (
 	SignatureMesh = mesh.Mesh
 	// MeshParams configures the baseline build.
 	MeshParams = mesh.Params
+)
+
+// Domain sharding.
+type (
+	// ShardPlan is a contiguous split of the domain into sub-boxes.
+	ShardPlan = shard.Plan
+	// ShardSet is a domain-sharded deployment: one signed tree per
+	// sub-box.
+	ShardSet = shard.Set
+	// ShardRouter maps queries to their owning shard.
+	ShardRouter = shard.Router
 )
 
 // Signatures and instrumentation.
@@ -182,6 +204,23 @@ func Build(tbl Table, p Params) (*Tree, error) { return core.Build(tbl, p) }
 
 // BuildMesh constructs the signature-mesh baseline.
 func BuildMesh(tbl Table, p MeshParams) (*SignatureMesh, error) { return mesh.Build(tbl, p) }
+
+// NewShardPlan splits the domain into k evenly sized sub-boxes along the
+// given axis (k = 1 is the trivial plan).
+func NewShardPlan(domain Box, axis, k int) (ShardPlan, error) {
+	return shard.NewPlan(domain, axis, k)
+}
+
+// BuildSharded constructs one independently signed IFMH-tree per sub-box
+// of the plan, in parallel; p.Domain must equal plan.Domain. Answers
+// from any shard verify against the same Public() bundle a single-tree
+// build would publish.
+func BuildSharded(tbl Table, p Params, plan ShardPlan) (*ShardSet, error) {
+	return shard.Build(tbl, p, plan)
+}
+
+// NewShardRouter wraps a built shard set for query routing.
+func NewShardRouter(s *ShardSet) (*ShardRouter, error) { return shard.NewRouter(s) }
 
 // Verify checks a query answer against the owner's public parameters; a
 // nil return means the result is sound and complete.

@@ -168,6 +168,42 @@ func BenchmarkBuildParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedBuild measures the domain-sharded builder: the same
+// database built as one tree (K=1) versus split into K sub-box trees
+// constructed concurrently. Each shard owns ~S/K subdomains, so the
+// serial work shrinks with K even before the shard builds overlap;
+// multicore speedup curves belong in EXPERIMENTS.md (this container is
+// 1-CPU).
+//
+//	go test -bench BenchmarkShardedBuild -benchtime 3x
+func BenchmarkShardedBuild(b *testing.B) {
+	tbl, dom, err := workload.Lines(workload.LinesConfig{N: 1000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	signer, err := aqverify.NewSigner(aqverify.Ed25519, aqverify.SignerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		plan, err := aqverify.NewShardPlan(dom, 0, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := aqverify.BuildSharded(tbl, aqverify.Params{
+					Mode: aqverify.MultiSignature, Signer: signer, Domain: dom,
+					Template: aqverify.AffineLine(0, 1), Shuffle: true,
+				}, plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkHandleBatch measures the batched query plane: 256 mixed
 // queries per batch against one IFMH server, sequential versus fanned
 // out across the CPUs.

@@ -6,7 +6,7 @@
 //
 //	vqbench [flags]
 //
-//	-figure id     run one figure (fig5a..fig8b, ablationA1, ablationA2);
+//	-figure id     run one figure (fig5a..fig8b, ablationA1..A4, shardS1);
 //	               default runs all
 //	-quick         scaled-down sweep (seconds instead of minutes)
 //	-sizes list    comma-separated database sizes (default paper scale)
@@ -19,6 +19,8 @@
 //	-seed n        workload seed
 //	-workers n     construction worker pool per build (0 = one per CPU;
 //	               default 1 keeps the paper's single-threaded timings)
+//	-shards list   comma-separated domain-shard counts for the shardS1
+//	               sharding figure (default 1,2,4,8)
 //	-csv dir       also write one CSV per figure into dir
 package main
 
@@ -56,6 +58,7 @@ func run() error {
 		reps     = flag.Int("reps", 0, "queries per data point")
 		seed     = flag.Int64("seed", 0, "workload seed")
 		workers  = flag.Int("workers", 1, "construction worker pool per build (0 = one per CPU, 1 = the paper's serial timings)")
+		shards   = flag.String("shards", "", "comma-separated shard counts for the sharding figure")
 		csvDir   = flag.String("csv", "", "write CSVs into this directory")
 	)
 	flag.Parse()
@@ -97,6 +100,13 @@ func run() error {
 		cfg.Seed = *seed
 	}
 	cfg.Workers = *workers
+	if *shards != "" {
+		v, err := parseInts(*shards)
+		if err != nil {
+			return fmt.Errorf("-shards: %w", err)
+		}
+		cfg.ShardCounts = v
+	}
 
 	h, err := bench.NewHarness(cfg)
 	if err != nil {

@@ -7,11 +7,15 @@
 // Usage:
 //
 //	vqserve [-addr :8080] [-n 1000] [-backend ifmh|mesh] [-mode one|multi]
-//	        [-scheme ed25519] [-seed 1] [-workers 0]
+//	        [-scheme ed25519] [-seed 1] [-workers 0] [-shards 1] [-shardaxis 0]
 //
 // Endpoints: POST /query and POST /query/batch (binary), GET /params,
 // GET /stats. -workers sizes the IFMH construction worker pool (0 = one
-// per CPU, 1 = serial).
+// per CPU, 1 = serial). -shards K splits the domain into K contiguous
+// sub-boxes along -shardaxis and serves one independently built and
+// signed IFMH-tree per sub-box; queries route to their owning shard and
+// batches are grouped per shard before dispatch. Verification is
+// unchanged — clients cannot tell a sharded server from a single tree.
 //
 // Try it:
 //
@@ -33,6 +37,7 @@ import (
 	"aqverify/internal/owner"
 	"aqverify/internal/record"
 	"aqverify/internal/server"
+	"aqverify/internal/shard"
 	"aqverify/internal/sig"
 	"aqverify/internal/transport"
 	"aqverify/internal/workload"
@@ -57,6 +62,8 @@ func run() error {
 		slopeCol = flag.Int("slopecol", 0, "attribute index of the slope column (with -data)")
 		biasCol  = flag.Int("biascol", 1, "attribute index of the intercept column (with -data)")
 		workers  = flag.Int("workers", 0, "construction worker pool size (0 = one per CPU, 1 = serial)")
+		shards   = flag.Int("shards", 1, "domain-shard count (ifmh backend; 1 = single tree)")
+		shardAx  = flag.Int("shardaxis", 0, "domain axis the shard cuts are perpendicular to")
 	)
 	flag.Parse()
 
@@ -96,7 +103,38 @@ func run() error {
 		if *modeStr == "multi" {
 			mode = core.MultiSignature
 		}
-		tree, pub, err := o.OutsourceIFMH(tbl, tpl, dom, owner.Options{Mode: mode, Shuffle: true, Seed: *seed, Workers: *workers})
+		opt := owner.Options{Mode: mode, Shuffle: true, Seed: *seed, Workers: *workers}
+		if *shards > 1 {
+			plan, err := shard.NewPlan(dom, *shardAx, *shards)
+			if err != nil {
+				return err
+			}
+			set, pub, err := o.OutsourceShardedIFMH(tbl, tpl, dom, opt, plan)
+			if err != nil {
+				return err
+			}
+			backend, err := server.NewShardedIFMH(set)
+			if err != nil {
+				return err
+			}
+			srv, err := server.New(backend)
+			if err != nil {
+				return err
+			}
+			if h, err = transport.NewIFMHHandler(srv, pub); err != nil {
+				return err
+			}
+			fmt.Printf("built %s over %d records in %.1fs: %d shards, %d subdomains total, %d signature(s)\n",
+				srv.Name(), tbl.Len(), time.Since(start).Seconds(),
+				set.NumShards(), set.NumSubdomains(), set.SignatureCount())
+			for i, st := range set.Stats() {
+				box := set.Plan.Boxes[i]
+				fmt.Printf("  shard %d [%g, %g]: %d subdomains, %d signature(s)\n",
+					i, box.Lo[set.Plan.Axis], box.Hi[set.Plan.Axis], st.Subdomains, st.Signatures)
+			}
+			break
+		}
+		tree, pub, err := o.OutsourceIFMH(tbl, tpl, dom, opt)
 		if err != nil {
 			return err
 		}
@@ -111,6 +149,9 @@ func run() error {
 		fmt.Printf("built %s over %d records in %.1fs: %d subdomains, %d signature(s)\n",
 			srv.Name(), tbl.Len(), time.Since(start).Seconds(), st.Subdomains, st.Signatures)
 	case "mesh":
+		if *shards > 1 {
+			return fmt.Errorf("-shards applies to the ifmh backend only")
+		}
 		m, pub, err := o.OutsourceMesh(tbl, tpl, dom, owner.Options{})
 		if err != nil {
 			return err

@@ -47,6 +47,9 @@ type Config struct {
 	// DefaultConfig/QuickConfig value — times the serial paths, which
 	// is what the paper's single-threaded Fig 5b numbers correspond to.
 	Workers int
+	// ShardCounts is the domain-shard sweep of the sharding figure
+	// (shardS1): one sharded build per K, over AblationSizes.
+	ShardCounts []int
 }
 
 // DefaultConfig approximates the paper's scale. The full sweep builds
@@ -115,6 +118,14 @@ func (c *Config) validate() error {
 	}
 	if len(c.AblationSizes) == 0 {
 		c.AblationSizes = []int{250, 500, 1000}
+	}
+	if len(c.ShardCounts) == 0 {
+		c.ShardCounts = []int{1, 2, 4, 8}
+	}
+	for _, k := range c.ShardCounts {
+		if k < 1 {
+			return fmt.Errorf("bench: shard count %d must be positive", k)
+		}
 	}
 	return nil
 }

@@ -30,6 +30,7 @@ func Figures() []Figure {
 		{"ablationA2", "Ablation: shuffled vs in-order insertion", ablationShuffle},
 		{"ablationA3", "Ablation: attribute-distribution sensitivity", ablationDistributions},
 		{"ablationA4", "Ablation: dimension sweep (LP-backed space)", ablationDimensions},
+		{"shardS1", "Sharding: build cost and subdomain split by shard count", shardScaling},
 	}
 }
 

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"aqverify/internal/core"
+	"aqverify/internal/funcs"
+	"aqverify/internal/metrics"
+	"aqverify/internal/query"
+	"aqverify/internal/shard"
+	"aqverify/internal/workload"
+)
+
+// shardScaling measures the domain-sharded builder against the single
+// tree: for each ablation size and each shard count K it builds a
+// K-shard set, reports the wall-clock build time, the per-shard and
+// total subdomain counts, and the signature count, then cross-checks a
+// sample of routed queries against the K=1 answers — every verdict and
+// every result window must be identical, the identity the shard
+// subsystem promises. On a 1-CPU host the build-time column shows
+// overhead only; record speedup curves on a multicore runner (see
+// EXPERIMENTS.md).
+func shardScaling(h *Harness) (*Table, error) {
+	t := &Table{
+		ID:    "shardS1",
+		Title: "Sharding: build cost and subdomain split by shard count",
+		Columns: []string{"n", "K", "build-sec", "subdomains-total",
+			"subdomains-max-shard", "signatures", "identity"},
+		Notes: []string{h.schemeNote(),
+			"identity: sampled routed queries answered by the K-shard set match the K=1 build record-for-record"},
+	}
+	for _, n := range h.Cfg.AblationSizes {
+		tbl, dom, err := workload.Lines(workload.LinesConfig{
+			N: n, Seed: h.Cfg.Seed, Dist: h.Cfg.Dist, Density: h.Cfg.Density,
+		})
+		if err != nil {
+			return nil, err
+		}
+		params := core.Params{
+			Mode:     core.MultiSignature,
+			Signer:   h.signer,
+			Domain:   dom,
+			Template: funcs.AffineLine(0, 1),
+			Shuffle:  true,
+			Seed:     h.Cfg.Seed,
+			Workers:  h.Cfg.Workers,
+		}
+		// The identity baseline is always a true K=1 build, whatever
+		// shard counts the sweep was configured with; a K=1 sweep row
+		// reuses it (and its timing) instead of rebuilding.
+		basePlan, err := shard.NewPlan(dom, 0, 1)
+		if err != nil {
+			return nil, err
+		}
+		baseStart := time.Now()
+		baseline, err := shard.Build(tbl, params, basePlan)
+		if err != nil {
+			return nil, fmt.Errorf("bench: n=%d K=1 baseline: %w", n, err)
+		}
+		baseSecs := time.Since(baseStart).Seconds()
+		for _, k := range h.Cfg.ShardCounts {
+			set, secs := baseline, baseSecs
+			if k != 1 {
+				plan, err := shard.NewPlan(dom, 0, k)
+				if err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				if set, err = shard.Build(tbl, params, plan); err != nil {
+					return nil, fmt.Errorf("bench: n=%d K=%d: %w", n, k, err)
+				}
+				secs = time.Since(start).Seconds()
+			}
+			subsTotal, subsMax := 0, 0
+			for _, st := range set.Stats() {
+				subsTotal += st.Subdomains
+				if st.Subdomains > subsMax {
+					subsMax = st.Subdomains
+				}
+			}
+			identity, err := shardIdentity(baseline, set, h.Cfg.Reps, h.Cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(fmt.Sprint(n), fmt.Sprint(k),
+				fmt.Sprintf("%.3f", secs), fmt.Sprint(subsTotal),
+				fmt.Sprint(subsMax), fmt.Sprint(set.SignatureCount()), identity)
+		}
+	}
+	return t, nil
+}
+
+// shardIdentity answers reps random top-k queries on both sets and
+// compares verdicts and result windows.
+func shardIdentity(base, set *shard.Set, reps int, seed int64) (string, error) {
+	rbase, err := shard.NewRouter(base)
+	if err != nil {
+		return "", err
+	}
+	rset, err := shard.NewRouter(set)
+	if err != nil {
+		return "", err
+	}
+	dom := base.Plan.Domain
+	pub := base.Public()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < reps; i++ {
+		x := dom.Lo[0] + rng.Float64()*(dom.Hi[0]-dom.Lo[0])
+		q := query.NewTopK([]float64{x}, 1+rng.Intn(8))
+		var ctr metrics.Counter
+		_, a1, err1 := rbase.Process(q, &ctr)
+		_, a2, err2 := rset.Process(q, &ctr)
+		if (err1 == nil) != (err2 == nil) {
+			return "MISMATCH", nil
+		}
+		if err1 != nil {
+			continue
+		}
+		v1 := core.Verify(pub, q, a1.Records, &a1.VO, &ctr)
+		v2 := core.Verify(pub, q, a2.Records, &a2.VO, &ctr)
+		if (v1 == nil) != (v2 == nil) || len(a1.Records) != len(a2.Records) {
+			return "MISMATCH", nil
+		}
+		for j := range a1.Records {
+			if a1.Records[j].ID != a2.Records[j].ID {
+				return "MISMATCH", nil
+			}
+		}
+	}
+	return "ok", nil
+}

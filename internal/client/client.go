@@ -65,9 +65,13 @@ func (c *Client) Query(s *server.Server, ch Channel, q query.Query) ([]record.Re
 
 // BatchResult is one query's outcome in a batched exchange. Err wraps
 // ErrRejected whenever the answer bytes failed to parse or verify.
+// Shard reports which shard of a domain-sharded server answered (-1
+// when the server is unsharded or the shard is unknown); verification
+// never depends on it.
 type BatchResult struct {
 	Records []record.Record
 	Err     error
+	Shard   int
 }
 
 // QueryBatch sends a batch of queries through the server's batch path
@@ -76,11 +80,12 @@ type BatchResult struct {
 // aborts the rest of the batch. Metrics accumulate exactly as if each
 // query had been issued through Query.
 func (c *Client) QueryBatch(s *server.Server, ch Channel, qs []query.Query, workers int) []BatchResult {
-	raws, errs := s.HandleBatch(qs, workers)
-	results := make([]BatchResult, len(qs))
+	raws, shards, errs := s.HandleBatchShards(qs, workers)
+	results := newBatchResults(len(qs))
 	for i := range raws {
+		results[i].Shard = shards[i]
 		if errs[i] != nil {
-			results[i] = BatchResult{Err: fmt.Errorf("client: server error: %w", errs[i])}
+			results[i].Err = fmt.Errorf("client: server error: %w", errs[i])
 			raws[i] = nil
 			continue
 		}
@@ -96,8 +101,17 @@ func (c *Client) QueryBatch(s *server.Server, ch Channel, qs []query.Query, work
 // without contacting a server — the batched counterpart of Check. raws
 // is parallel to qs; a nil raws[i] yields a rejected item.
 func (c *Client) CheckBatch(qs []query.Query, raws [][]byte, workers int) []BatchResult {
-	results := make([]BatchResult, len(qs))
+	results := newBatchResults(len(qs))
 	c.checkBatch(qs, raws, workers, results)
+	return results
+}
+
+// newBatchResults allocates a result slice with every shard unknown.
+func newBatchResults(n int) []BatchResult {
+	results := make([]BatchResult, n)
+	for i := range results {
+		results[i].Shard = wire.ShardNone
+	}
 	return results
 }
 
@@ -134,7 +148,8 @@ func (c *Client) checkBatch(qs []query.Query, raws [][]byte, workers int, result
 		}
 		for j, err := range core.VerifyBatch(*c.IFMH, items, workers, &total) {
 			if err != nil {
-				results[idx[j]] = BatchResult{Err: fmt.Errorf("%w: %v", ErrRejected, err)}
+				results[idx[j]].Records = nil
+				results[idx[j]].Err = fmt.Errorf("%w: %v", ErrRejected, err)
 			}
 		}
 	default:
@@ -147,7 +162,7 @@ func (c *Client) checkBatch(qs []query.Query, raws [][]byte, workers int, result
 			}
 			ctrs[w].AddBytes(uint64(len(raws[i])))
 			recs, err := c.verify(qs[i], raws[i], &ctrs[w])
-			results[i] = BatchResult{Records: recs, Err: err}
+			results[i].Records, results[i].Err = recs, err
 		})
 		for i := range ctrs {
 			total.Add(ctrs[i])

@@ -75,9 +75,11 @@ func Build(tbl record.Table, p Params) (*Tree, error) {
 			return nil, err
 		}
 		t.space = space
-		inters, err := itree.Pairs1D(fs, p.Domain)
-		if err != nil {
-			return nil, err
+		inters := p.Inters1D
+		if inters == nil {
+			if inters, err = itree.Pairs1D(fs, p.Domain); err != nil {
+				return nil, err
+			}
 		}
 		t.itree, err = itree.Build(space, inters, opt)
 		if err != nil {

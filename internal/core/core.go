@@ -95,6 +95,15 @@ type Params struct {
 	// reproduces the serial path. The built tree — root digest,
 	// signatures, hash counts — is identical for every worker count.
 	Workers int
+	// Inters1D optionally supplies a precomputed intersection
+	// enumeration for 1-D builds. The domain-sharded builder (package
+	// shard) partitions one global itree.PairsPartition1D enumeration
+	// across its sub-box builds through this field instead of paying the
+	// O(n²) pair scan once per shard. It must contain every pair whose
+	// breakpoint lies inside Domain (a superset is fine: out-of-domain
+	// entries are pruned by the exact insertion checks). Nil means Build
+	// enumerates via itree.Pairs1D; ignored for multivariate templates.
+	Inters1D []itree.Intersection
 }
 
 // workers resolves the configured worker count; zero or negative means
@@ -172,6 +181,10 @@ func (t *Tree) Public() PublicParams {
 
 // NumSubdomains returns the subdomain (FMH-tree) count.
 func (t *Tree) NumSubdomains() int { return len(t.subs) }
+
+// Domain returns the owner-specified bounded domain the tree partitions
+// (one shard's sub-box in a domain-sharded deployment).
+func (t *Tree) Domain() geometry.Box { return t.domain }
 
 // NumRecords returns the database size.
 func (t *Tree) NumRecords() int { return t.table.Len() }

@@ -84,34 +84,15 @@ type BuildOptions struct {
 // a widened margin so no in-domain breakpoint is ever excluded) avoids
 // allocating hyperplanes for the quadratically many out-of-domain pairs;
 // the exact rational check in Space1D.Partition remains the authority.
+// It is the trivial single-bucket case of PairsPartition1D, which keeps
+// the enumeration loop — margin, hyperplane sign convention and all — in
+// one place.
 func Pairs1D(fs []funcs.Linear, domain geometry.Box) ([]Intersection, error) {
-	if domain.Dim() != 1 {
-		return nil, fmt.Errorf("itree: Pairs1D needs a 1-D domain")
+	buckets, err := PairsPartition1D(fs, domain, nil)
+	if err != nil {
+		return nil, err
 	}
-	lo, hi := domain.Lo[0], domain.Hi[0]
-	margin := (hi - lo) * 1e-9
-	var out []Intersection
-	for i := 0; i < len(fs); i++ {
-		if fs[i].Dim() != 1 {
-			return nil, fmt.Errorf("itree: function %d is not univariate", i)
-		}
-		ci, bi := fs[i].Coef[0], fs[i].Bias
-		for j := i + 1; j < len(fs); j++ {
-			dc := ci - fs[j].Coef[0]
-			if dc == 0 {
-				continue // parallel
-			}
-			t := (fs[j].Bias - bi) / dc
-			if t < lo-margin || t > hi+margin {
-				continue
-			}
-			out = append(out, Intersection{
-				I: i, J: j,
-				H: geometry.Hyperplane{C: []float64{dc}, B: bi - fs[j].Bias},
-			})
-		}
-	}
-	return out, nil
+	return buckets[0], nil
 }
 
 // PairsND enumerates all non-degenerate pairwise intersections for

@@ -1,0 +1,96 @@
+package itree
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+)
+
+// PairsPartition1D enumerates the pairwise intersections of univariate
+// linear functions once and partitions them across a contiguous split of
+// the domain: cuts lists the K-1 interior cut points (strictly ascending,
+// strictly inside the domain) separating K sub-boxes, and bucket k of the
+// result holds exactly the intersections owned by sub-box k.
+//
+// Ownership is half-open: a breakpoint t belongs to sub-box k iff
+// cuts[k-1] <= t < cuts[k] (with the domain edges closing the first and
+// last bucket), so an intersection exactly on a cut lands in exactly one
+// bucket — the sub-box on the cut's right, matching shard.Plan.Route —
+// and every in-domain intersection lands in exactly one bucket: no drop,
+// no double count. Breakpoints within float rounding distance of a cut
+// are placed by the exact rational solution of the crossing, so ownership
+// never disagrees with the exact-rational splitting checks used during
+// tree construction; pairs sharing one concurrent crossing point always
+// land in the same bucket, keeping each sub-box's sweep groups complete.
+//
+// The outer domain edges keep Pairs1D's widened-margin prefilter: a
+// breakpoint within margin outside the domain is still enumerated (into
+// the nearest bucket) and left for the exact insertion checks to prune.
+func PairsPartition1D(fs []funcs.Linear, domain geometry.Box, cuts []float64) ([][]Intersection, error) {
+	if domain.Dim() != 1 {
+		return nil, fmt.Errorf("itree: 1-D pair enumeration needs a 1-D domain")
+	}
+	lo, hi := domain.Lo[0], domain.Hi[0]
+	for i, c := range cuts {
+		if c <= lo || c >= hi {
+			return nil, fmt.Errorf("itree: cut %d (%v) outside the open domain (%v,%v)", i, c, lo, hi)
+		}
+		if i > 0 && c <= cuts[i-1] {
+			return nil, fmt.Errorf("itree: cuts not strictly ascending at %d", i)
+		}
+	}
+	margin := (hi - lo) * 1e-9
+	out := make([][]Intersection, len(cuts)+1)
+	// exactCuts materializes lazily: only breakpoints within margin of a
+	// cut pay for rational arithmetic.
+	var exactCuts []*big.Rat
+	for i := 0; i < len(fs); i++ {
+		if fs[i].Dim() != 1 {
+			return nil, fmt.Errorf("itree: function %d is not univariate", i)
+		}
+		ci, bi := fs[i].Coef[0], fs[i].Bias
+		for j := i + 1; j < len(fs); j++ {
+			dc := ci - fs[j].Coef[0]
+			if dc == 0 {
+				continue // parallel
+			}
+			t := (fs[j].Bias - bi) / dc
+			if t < lo-margin || t > hi+margin {
+				continue
+			}
+			in := Intersection{
+				I: i, J: j,
+				H: geometry.Hyperplane{C: []float64{dc}, B: bi - fs[j].Bias},
+			}
+			// Bucket k is the count of cuts at or below t.
+			k := sort.SearchFloat64s(cuts, t)
+			if k < len(cuts) && cuts[k] == t {
+				k++
+			}
+			// Near a cut the float solution can sit on the wrong side of
+			// it; re-decide exactly there so ownership agrees with the
+			// exact-rational Partition used while building each sub-tree.
+			if nearCut := (k > 0 && t-cuts[k-1] <= margin) ||
+				(k < len(cuts) && cuts[k]-t <= margin); nearCut {
+				if exactCuts == nil {
+					exactCuts = make([]*big.Rat, len(cuts))
+					for m, c := range cuts {
+						exactCuts[m] = new(big.Rat).SetFloat64(c)
+					}
+				}
+				bp, ok := geometry.Breakpoint1D(in.H)
+				if !ok {
+					continue // degenerate after float widening; cannot split
+				}
+				k = sort.Search(len(cuts), func(m int) bool {
+					return exactCuts[m].Cmp(bp) > 0
+				})
+			}
+			out[k] = append(out[k], in)
+		}
+	}
+	return out, nil
+}

@@ -14,6 +14,7 @@ import (
 	"aqverify/internal/hashing"
 	"aqverify/internal/mesh"
 	"aqverify/internal/record"
+	"aqverify/internal/shard"
 	"aqverify/internal/sig"
 )
 
@@ -73,6 +74,29 @@ func (o *Owner) OutsourceIFMH(tbl record.Table, tpl funcs.Template, domain geome
 		return nil, core.PublicParams{}, err
 	}
 	return tree, tree.Public(), nil
+}
+
+// OutsourceShardedIFMH builds one independently signed IFMH-tree per
+// sub-box of the plan — the outsource-to-many-servers posture: each
+// shard could be handed to a different cloud server. The published
+// parameters are identical to the single-tree bundle, so data users
+// verify shard answers with no knowledge of the split.
+func (o *Owner) OutsourceShardedIFMH(tbl record.Table, tpl funcs.Template, domain geometry.Box, opt Options, plan shard.Plan) (*shard.Set, core.PublicParams, error) {
+	set, err := shard.Build(tbl, core.Params{
+		Mode:        opt.Mode,
+		Signer:      o.signer,
+		Domain:      domain,
+		Template:    tpl,
+		Hasher:      opt.Hasher,
+		Shuffle:     opt.Shuffle,
+		Seed:        opt.Seed,
+		Materialize: opt.Materialize,
+		Workers:     opt.Workers,
+	}, plan)
+	if err != nil {
+		return nil, core.PublicParams{}, err
+	}
+	return set, set.Public(), nil
 }
 
 // OutsourceMesh builds the signature-mesh package (the baseline).

@@ -72,17 +72,27 @@ func (b Mesh) Process(q query.Query, ctr *metrics.Counter) ([]byte, error) {
 	return out, nil
 }
 
+// ShardStat is one shard's serving tally.
+type ShardStat struct {
+	Queries int `json:"queries"`
+	Errors  int `json:"errors"`
+}
+
 // Server wraps a backend with cumulative metrics. All methods are safe
 // for concurrent use; the pluggable backends answer queries from
 // immutable (or internally synchronized) state, so many queries may be
-// in flight at once.
+// in flight at once. When the backend is sharded (ShardedBackend) the
+// server additionally routes batches shard-by-shard and keeps per-shard
+// tallies.
 type Server struct {
 	backend Backend
+	sharded ShardedBackend // nil for single-tree backends
 
 	mu       sync.Mutex
 	total    metrics.Counter
 	count    int
 	errCount int
+	perShard []ShardStat
 }
 
 // New creates a server for the backend.
@@ -90,11 +100,25 @@ func New(b Backend) (*Server, error) {
 	if b == nil {
 		return nil, fmt.Errorf("server: backend is required")
 	}
-	return &Server{backend: b}, nil
+	s := &Server{backend: b}
+	if sb, ok := b.(ShardedBackend); ok {
+		s.sharded = sb
+		s.perShard = make([]ShardStat, sb.NumShards())
+	}
+	return s, nil
 }
 
 // Name returns the backend name.
 func (s *Server) Name() string { return s.backend.Name() }
+
+// NumShards returns the backend's shard count, or 0 for a single-tree
+// backend.
+func (s *Server) NumShards() int {
+	if s.sharded == nil {
+		return 0
+	}
+	return s.sharded.NumShards()
+}
 
 // Handle processes one query, accumulating metrics. It returns the
 // serialized answer bytes — what would travel over the network. Failed
@@ -103,8 +127,18 @@ func (s *Server) Name() string { return s.backend.Name() }
 // over answered queries.
 func (s *Server) Handle(q query.Query) ([]byte, error) {
 	var ctr metrics.Counter
+	if s.sharded != nil {
+		sh, err := s.sharded.Shard(q)
+		if err != nil {
+			s.record(ctr, wire.ShardNone, err)
+			return nil, err
+		}
+		out, err := s.sharded.ProcessOn(sh, q, &ctr)
+		s.record(ctr, sh, err)
+		return out, err
+	}
 	out, err := s.backend.Process(q, &ctr)
-	s.record(ctr, err)
+	s.record(ctr, wire.ShardNone, err)
 	return out, err
 }
 
@@ -116,20 +150,70 @@ func (s *Server) Handle(q query.Query) ([]byte, error) {
 // are byte-identical to sequential ones. Metrics accumulate per query
 // under the server's lock, as if each query had been handled alone.
 func (s *Server) HandleBatch(qs []query.Query, workers int) (outs [][]byte, errs []error) {
-	outs = make([][]byte, len(qs))
-	errs = make([]error, len(qs))
-	pool.Run(len(qs), pool.Workers(workers, len(qs)), func(_, i int) {
-		var ctr metrics.Counter
-		outs[i], errs[i] = s.backend.Process(qs[i], &ctr)
-		s.record(ctr, errs[i])
-	})
+	outs, _, errs = s.HandleBatchShards(qs, workers)
 	return outs, errs
 }
 
-// record folds one query's cost into the cumulative metrics.
-func (s *Server) record(ctr metrics.Counter, err error) {
+// HandleBatchShards is HandleBatch plus shard attribution: shards[i] is
+// the shard that answered qs[i], or -1 when the backend is unsharded or
+// the query was unroutable. Against a sharded backend the batch is
+// grouped per shard before dispatch — every query is routed once up
+// front, unroutable ones fail without occupying a worker, and the pool
+// walks the batch shard-by-shard so consecutive workers hit the same
+// tree instead of interleaving all K.
+func (s *Server) HandleBatchShards(qs []query.Query, workers int) (outs [][]byte, shards []int, errs []error) {
+	outs = make([][]byte, len(qs))
+	errs = make([]error, len(qs))
+	shards = make([]int, len(qs))
+	if s.sharded == nil {
+		for i := range shards {
+			shards[i] = wire.ShardNone
+		}
+		pool.Run(len(qs), pool.Workers(workers, len(qs)), func(_, i int) {
+			var ctr metrics.Counter
+			outs[i], errs[i] = s.backend.Process(qs[i], &ctr)
+			s.record(ctr, wire.ShardNone, errs[i])
+		})
+		return outs, shards, errs
+	}
+
+	// Route the whole batch first, then dispatch it in shard-contiguous
+	// order: order lists the routable indexes grouped by owning shard.
+	var rerrs []error
+	var groups [][]int
+	shards, groups, rerrs = s.sharded.Group(qs)
+	for i, err := range rerrs {
+		if err != nil {
+			errs[i] = err
+			s.record(metrics.Counter{}, wire.ShardNone, err)
+		}
+	}
+	order := make([]int, 0, len(qs))
+	for _, g := range groups {
+		order = append(order, g...)
+	}
+	pool.Run(len(order), pool.Workers(workers, len(order)), func(_, k int) {
+		i := order[k]
+		var ctr metrics.Counter
+		outs[i], errs[i] = s.sharded.ProcessOn(shards[i], qs[i], &ctr)
+		s.record(ctr, shards[i], errs[i])
+	})
+	return outs, shards, errs
+}
+
+// record folds one query's cost into the cumulative metrics; sh
+// attributes it to a shard (-1 for unsharded backends and unroutable
+// queries).
+func (s *Server) record(ctr metrics.Counter, sh int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if sh >= 0 && sh < len(s.perShard) {
+		if err != nil {
+			s.perShard[sh].Errors++
+		} else {
+			s.perShard[sh].Queries++
+		}
+	}
 	if err != nil {
 		s.errCount++
 		return
@@ -143,6 +227,17 @@ func (s *Server) Stats() (metrics.Counter, int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.total, s.count
+}
+
+// ShardStats returns per-shard serving tallies, or nil for a
+// single-tree backend. Unroutable queries appear in ErrorCount only.
+func (s *Server) ShardStats() []ShardStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.perShard == nil {
+		return nil
+	}
+	return append([]ShardStat(nil), s.perShard...)
 }
 
 // ErrorCount returns how many queries the backend refused.

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"fmt"
+
+	"aqverify/internal/metrics"
+	"aqverify/internal/query"
+	"aqverify/internal/shard"
+	"aqverify/internal/wire"
+)
+
+// ShardedBackend is a backend hosting several trees behind one query
+// surface. The server uses it to place each query with its owning shard
+// before dispatch — batches are grouped per shard so one tree's working
+// set stays hot — and to keep per-shard serving statistics.
+type ShardedBackend interface {
+	Backend
+	// NumShards returns the shard count.
+	NumShards() int
+	// Shard returns the shard owning q, deterministically (boundary
+	// points included).
+	Shard(q query.Query) (int, error)
+	// Group partitions a batch by owning shard: shards[i] is qs[i]'s
+	// shard (or -1 with errs[i] set when unroutable) and groups[k]
+	// lists the batch indexes owned by shard k in arrival order.
+	Group(qs []query.Query) (shards []int, groups [][]int, errs []error)
+	// ProcessOn answers q on the given shard. Callers pass a shard
+	// obtained from Shard; answering on a non-owning shard fails (the
+	// query's input lies outside that shard's sub-domain).
+	ProcessOn(sh int, q query.Query, ctr *metrics.Counter) ([]byte, error)
+}
+
+// ShardedIFMH hosts a domain-sharded set of IFMH-trees behind a router.
+// It advertises the same backend name as the equivalent single tree —
+// sharding is invisible to verifying clients, which check every answer
+// against the owner's one published parameter bundle.
+type ShardedIFMH struct {
+	Router *shard.Router
+}
+
+// NewShardedIFMH wraps a built shard set.
+func NewShardedIFMH(s *shard.Set) (ShardedIFMH, error) {
+	r, err := shard.NewRouter(s)
+	if err != nil {
+		return ShardedIFMH{}, err
+	}
+	return ShardedIFMH{Router: r}, nil
+}
+
+// Name implements Backend, reporting the underlying signing mode.
+func (b ShardedIFMH) Name() string {
+	return IFMH{Tree: b.Router.Set().Trees[0]}.Name()
+}
+
+// NumShards implements ShardedBackend.
+func (b ShardedIFMH) NumShards() int { return b.Router.NumShards() }
+
+// Shard implements ShardedBackend.
+func (b ShardedIFMH) Shard(q query.Query) (int, error) { return b.Router.Route(q) }
+
+// Group implements ShardedBackend.
+func (b ShardedIFMH) Group(qs []query.Query) ([]int, [][]int, []error) {
+	return b.Router.Group(qs)
+}
+
+// ProcessOn implements ShardedBackend.
+func (b ShardedIFMH) ProcessOn(sh int, q query.Query, ctr *metrics.Counter) ([]byte, error) {
+	if sh < 0 || sh >= b.NumShards() {
+		return nil, fmt.Errorf("server: shard %d out of range", sh)
+	}
+	ans, err := b.Router.Set().Trees[sh].Process(q, ctr)
+	if err != nil {
+		return nil, err
+	}
+	out := wire.EncodeIFMH(ans)
+	ctr.AddBytes(uint64(len(out)))
+	return out, nil
+}
+
+// Process implements Backend: route, then answer on the owning shard.
+func (b ShardedIFMH) Process(q query.Query, ctr *metrics.Counter) ([]byte, error) {
+	sh, err := b.Shard(q)
+	if err != nil {
+		return nil, err
+	}
+	return b.ProcessOn(sh, q, ctr)
+}

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"aqverify/internal/core"
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+	"aqverify/internal/metrics"
+	"aqverify/internal/query"
+	"aqverify/internal/shard"
+	"aqverify/internal/sig"
+	"aqverify/internal/wire"
+	"aqverify/internal/workload"
+)
+
+func shardedFixture(t *testing.T, k int) (*Server, *shard.Set, geometry.Box) {
+	t.Helper()
+	tbl, dom, err := workload.Lines(workload.LinesConfig{N: 120, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := sig.NewSigner(sig.Ed25519, sig.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := shard.NewPlan(dom, 0, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := shard.Build(tbl, core.Params{
+		Mode: core.MultiSignature, Signer: signer, Domain: dom,
+		Template: funcs.AffineLine(0, 1), Shuffle: true, Seed: 1,
+	}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend, err := NewShardedIFMH(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, set, dom
+}
+
+func TestShardedServerBasics(t *testing.T) {
+	srv, set, dom := shardedFixture(t, 4)
+	if got := srv.Name(); got != "ifmh-multi" {
+		t.Errorf("sharded backend advertises %q, want the underlying mode name", got)
+	}
+	if got := srv.NumShards(); got != 4 {
+		t.Errorf("NumShards = %d, want 4", got)
+	}
+	q := query.NewTopK(geometry.Point{(dom.Lo[0] + dom.Hi[0]) / 2}, 3)
+	out, err := srv.Handle(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := wire.DecodeIFMH(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Verify(set.Public(), q, ans.Records, &ans.VO, &metrics.Counter{}); err != nil {
+		t.Fatalf("sharded answer rejected: %v", err)
+	}
+	// Out-of-domain input: refused before routing, tallied as an error.
+	if _, err := srv.Handle(query.NewTopK(geometry.Point{dom.Hi[0] + 1}, 1)); err == nil {
+		t.Fatal("out-of-domain query answered")
+	}
+	if got := srv.ErrorCount(); got != 1 {
+		t.Errorf("ErrorCount = %d, want 1", got)
+	}
+	ss := srv.ShardStats()
+	if len(ss) != 4 {
+		t.Fatalf("ShardStats has %d entries, want 4", len(ss))
+	}
+	total := 0
+	for _, s := range ss {
+		total += s.Queries + s.Errors
+	}
+	if total != 1 {
+		t.Errorf("per-shard tallies sum to %d, want 1 (the answered query)", total)
+	}
+}
+
+// TestShardedBatchGrouping checks the batch path: shard attribution
+// matches the plan's routing, grouped dispatch returns every item in
+// its original slot, per-shard tallies account for every query, and the
+// answers match what the single-query path produces.
+func TestShardedBatchGrouping(t *testing.T) {
+	srv, set, dom := shardedFixture(t, 4)
+	rng := rand.New(rand.NewSource(2))
+	qs := make([]query.Query, 0, 40)
+	for i := 0; i < 32; i++ {
+		x := dom.Lo[0] + rng.Float64()*(dom.Hi[0]-dom.Lo[0])
+		qs = append(qs, query.NewTopK(geometry.Point{x}, 1+rng.Intn(5)))
+	}
+	for _, c := range set.Plan.Cuts {
+		qs = append(qs, query.NewTopK(geometry.Point{c}, 2)) // on-cut
+	}
+	qs = append(qs, query.NewTopK(geometry.Point{dom.Hi[0] + 5}, 1)) // unroutable
+
+	outs, shards, errs := srv.HandleBatchShards(qs, 3)
+	seenShards := make(map[int]bool)
+	for i, q := range qs {
+		want, werr := set.Plan.Route(q.X)
+		if werr != nil {
+			if errs[i] == nil || shards[i] != -1 {
+				t.Fatalf("item %d: unroutable query got shard %d err %v", i, shards[i], errs[i])
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("item %d failed: %v", i, errs[i])
+		}
+		if shards[i] != want {
+			t.Fatalf("item %d attributed to shard %d, routing says %d", i, shards[i], want)
+		}
+		seenShards[shards[i]] = true
+		single, err := srv.Handle(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(single, outs[i]) {
+			t.Fatalf("item %d: batched answer differs from the single-query path", i)
+		}
+	}
+	if len(seenShards) < 2 {
+		t.Fatalf("batch exercised %d shards; want a real fan-out", len(seenShards))
+	}
+
+	routable := len(qs) - 1
+	ss := srv.ShardStats()
+	got := 0
+	for _, s := range ss {
+		got += s.Queries
+	}
+	// Each routable query was answered twice: once batched, once via the
+	// cross-check Handle above.
+	if got != 2*routable {
+		t.Errorf("per-shard query tallies sum to %d, want %d", got, 2*routable)
+	}
+	if srv.ErrorCount() != 1 {
+		t.Errorf("ErrorCount = %d, want 1", srv.ErrorCount())
+	}
+
+	// HandleBatch must agree with HandleBatchShards minus attribution.
+	outs2, errs2 := srv.HandleBatch(qs, 0)
+	for i := range qs {
+		if (errs2[i] == nil) != (errs[i] == nil) || !bytes.Equal(outs2[i], outs[i]) {
+			t.Fatalf("item %d: HandleBatch disagrees with HandleBatchShards", i)
+		}
+	}
+}
+
+// TestUnshardedBatchShards: single-tree backends report every shard as
+// -1 through the attributed batch path.
+func TestUnshardedBatchShards(t *testing.T) {
+	tree, _, dom := fixtures(t)
+	srv, err := New(IFMH{Tree: tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.NumShards() != 0 {
+		t.Errorf("NumShards = %d, want 0", srv.NumShards())
+	}
+	if srv.ShardStats() != nil {
+		t.Error("single-tree server reports shard stats")
+	}
+	qs := []query.Query{query.NewTopK(geometry.Point{(dom.Lo[0] + dom.Hi[0]) / 2}, 2)}
+	_, shards, errs := srv.HandleBatchShards(qs, 0)
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	if shards[0] != -1 {
+		t.Errorf("shard = %d, want -1", shards[0])
+	}
+}

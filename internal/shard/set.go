@@ -1,0 +1,145 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"aqverify/internal/core"
+	"aqverify/internal/geometry"
+	"aqverify/internal/itree"
+	"aqverify/internal/record"
+)
+
+// Set is a domain-sharded deployment: one built IFMH-tree per sub-box of
+// the plan, all signed by the same owner key over the same record table.
+type Set struct {
+	Plan  Plan
+	Trees []*core.Tree
+}
+
+// Build constructs the K shard trees concurrently. p is the single-tree
+// build configuration; p.Domain must equal plan.Domain, and each shard's
+// tree is built with its sub-box substituted for it. Every shard reuses
+// p.Workers for its own internal worker pool, so on a large machine the
+// effective parallelism is K × Workers; shard builds are independent and
+// could equally run on K different machines.
+//
+// For univariate templates the O(n²) pairwise-intersection enumeration
+// runs once and is partitioned across shards by the half-open ownership
+// rule of itree.PairsPartition1D, instead of once per shard.
+// Intersection insertion order is shuffled per shard with a seed derived
+// from p.Seed and the shard index, keeping builds reproducible.
+func Build(tbl record.Table, p core.Params, plan Plan) (*Set, error) {
+	if plan.K() == 0 {
+		return nil, fmt.Errorf("shard: empty plan; use NewPlan")
+	}
+	if !sameBox(p.Domain, plan.Domain) {
+		return nil, fmt.Errorf("shard: plan covers %v-%v but Params.Domain is %v-%v",
+			plan.Domain.Lo, plan.Domain.Hi, p.Domain.Lo, p.Domain.Hi)
+	}
+	if p.Inters1D != nil {
+		return nil, fmt.Errorf("shard: Params.Inters1D is owned by the shard builder; leave it nil")
+	}
+	buckets := make([][]itree.Intersection, plan.K())
+	if p.Template.Dim() == 1 {
+		if err := p.Template.Validate(tbl.Schema.Arity()); err != nil {
+			return nil, err
+		}
+		fs, err := p.Template.InterpretTable(tbl)
+		if err != nil {
+			return nil, err
+		}
+		if buckets, err = itree.PairsPartition1D(fs, plan.Domain, plan.Cuts); err != nil {
+			return nil, err
+		}
+	}
+
+	s := &Set{Plan: plan, Trees: make([]*core.Tree, plan.K())}
+	errs := make([]error, plan.K())
+	var wg sync.WaitGroup
+	for i := 0; i < plan.K(); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := p
+			sp.Domain = plan.Boxes[i]
+			sp.Seed = p.Seed + int64(i)
+			sp.Inters1D = buckets[i]
+			if sp.Inters1D == nil && p.Template.Dim() == 1 {
+				// An interior shard may legitimately own zero
+				// intersections; distinguish that from "enumerate for me".
+				sp.Inters1D = []itree.Intersection{}
+			}
+			tree, err := core.Build(tbl, sp)
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+				return
+			}
+			s.Trees[i] = tree
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// NumShards returns the shard count.
+func (s *Set) NumShards() int { return len(s.Trees) }
+
+// NumRecords returns the database size (every shard holds the full
+// table; the split is over the domain, not the rows).
+func (s *Set) NumRecords() int { return s.Trees[0].NumRecords() }
+
+// Mode returns the signing scheme shared by every shard.
+func (s *Set) Mode() core.Mode { return s.Trees[0].Mode() }
+
+// Public returns the parameters the owner publishes for clients — the
+// same bundle for every shard, which is what makes sharding transparent
+// to verifying clients.
+func (s *Set) Public() core.PublicParams { return s.Trees[0].Public() }
+
+// Stats returns each shard's structure footprint, index-aligned with
+// Plan.Boxes.
+func (s *Set) Stats() []core.Stats {
+	out := make([]core.Stats, len(s.Trees))
+	for i, t := range s.Trees {
+		out[i] = t.Stats()
+	}
+	return out
+}
+
+// SignatureCount sums the owner signatures across shards (K for
+// one-signature mode, the total subdomain count for multi-signature).
+func (s *Set) SignatureCount() int {
+	n := 0
+	for _, t := range s.Trees {
+		n += t.SignatureCount()
+	}
+	return n
+}
+
+// NumSubdomains sums the subdomain (FMH-tree) count across shards.
+func (s *Set) NumSubdomains() int {
+	n := 0
+	for _, t := range s.Trees {
+		n += t.NumSubdomains()
+	}
+	return n
+}
+
+// sameBox reports whether two boxes have identical corners.
+func sameBox(a, b geometry.Box) bool {
+	if a.Dim() != b.Dim() {
+		return false
+	}
+	for i := range a.Lo {
+		if a.Lo[i] != b.Lo[i] || a.Hi[i] != b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,124 @@
+// Package shard splits one logical outsourced database across several
+// independently built and signed IFMH-trees, partitioned by domain: a
+// Plan cuts the owner-specified domain into K contiguous sub-boxes along
+// one axis, Build constructs one core.Tree per sub-box in parallel (each
+// reusing core.Params.Workers internally), and a Router maps every
+// query's function input to the one shard whose sub-box owns it.
+//
+// Sharding is transparent to verification. Every shard holds the full
+// record table — the split is over the query domain, not the rows — so a
+// query answered by its owning shard returns exactly the window the
+// single-tree build would have returned, under the same published
+// PublicParams (same signer, template and mode). What sharding buys is
+// construction and serving scale: each shard sees only the intersections
+// whose breakpoints fall in its sub-box, so its subdomain count — the S
+// that drives build time, structure size and multi-signature count —
+// shrinks by roughly a factor of K, and the K builds run concurrently,
+// potentially on K different machines (the outsource-to-many-servers
+// posture of the source paper).
+//
+// Routing is deterministic on boundaries: a function input exactly on a
+// cut belongs to the sub-box on the cut's right. The same half-open rule
+// assigns intersections to shards during construction (see
+// itree.PairsPartition1D), so a shard's tree always covers every query
+// routed to it.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"aqverify/internal/geometry"
+)
+
+// Plan is a contiguous split of the owner's domain into K sub-boxes
+// along one axis. The zero value is not valid; use NewPlan.
+type Plan struct {
+	// Domain is the full owner-specified domain being split.
+	Domain geometry.Box
+	// Axis is the dimension the cuts are perpendicular to.
+	Axis int
+	// Cuts lists the K-1 interior cut coordinates, strictly ascending.
+	Cuts []float64
+	// Boxes lists the K sub-boxes left to right along Axis. Adjacent
+	// boxes share their cut coordinate (boxes are closed); Route breaks
+	// the tie to the right.
+	Boxes []geometry.Box
+}
+
+// NewPlan splits the domain into k evenly sized sub-boxes along the
+// given axis. k = 1 yields the trivial single-shard plan.
+func NewPlan(domain geometry.Box, axis, k int) (Plan, error) {
+	if axis < 0 || axis >= domain.Dim() {
+		return Plan{}, fmt.Errorf("shard: axis %d out of range for a %d-D domain", axis, domain.Dim())
+	}
+	if k < 1 {
+		return Plan{}, fmt.Errorf("shard: need at least one shard, got %d", k)
+	}
+	lo, hi := domain.Lo[axis], domain.Hi[axis]
+	cuts := make([]float64, 0, k-1)
+	for i := 1; i < k; i++ {
+		c := lo + (hi-lo)*float64(i)/float64(k)
+		if len(cuts) > 0 && c <= cuts[len(cuts)-1] || c <= lo || c >= hi {
+			return Plan{}, fmt.Errorf("shard: domain axis %d too narrow for %d shards", axis, k)
+		}
+		cuts = append(cuts, c)
+	}
+	return NewPlanCuts(domain, axis, cuts)
+}
+
+// NewPlanCuts builds a plan from explicit interior cut coordinates,
+// which must be strictly ascending and strictly inside the domain along
+// the axis. An empty cut list yields the single-shard plan.
+func NewPlanCuts(domain geometry.Box, axis int, cuts []float64) (Plan, error) {
+	if axis < 0 || axis >= domain.Dim() {
+		return Plan{}, fmt.Errorf("shard: axis %d out of range for a %d-D domain", axis, domain.Dim())
+	}
+	lo, hi := domain.Lo[axis], domain.Hi[axis]
+	for i, c := range cuts {
+		if c <= lo || c >= hi {
+			return Plan{}, fmt.Errorf("shard: cut %d (%v) outside the open domain (%v,%v)", i, c, lo, hi)
+		}
+		if i > 0 && c <= cuts[i-1] {
+			return Plan{}, fmt.Errorf("shard: cuts not strictly ascending at %d", i)
+		}
+	}
+	p := Plan{
+		Domain: domain,
+		Axis:   axis,
+		Cuts:   append([]float64(nil), cuts...),
+		Boxes:  make([]geometry.Box, 0, len(cuts)+1),
+	}
+	edges := append(append([]float64{lo}, cuts...), hi)
+	for i := 0; i+1 < len(edges); i++ {
+		blo := append([]float64(nil), domain.Lo...)
+		bhi := append([]float64(nil), domain.Hi...)
+		blo[axis], bhi[axis] = edges[i], edges[i+1]
+		box, err := geometry.NewBox(blo, bhi)
+		if err != nil {
+			return Plan{}, fmt.Errorf("shard: sub-box %d: %w", i, err)
+		}
+		p.Boxes = append(p.Boxes, box)
+	}
+	return p, nil
+}
+
+// K returns the shard count.
+func (p Plan) K() int { return len(p.Boxes) }
+
+// Route returns the index of the shard owning the function input x. A
+// point exactly on a cut routes deterministically to the shard on the
+// cut's right — the same tie-break itree.PairsPartition1D applies to
+// intersections during construction. Points outside the domain error.
+func (p Plan) Route(x geometry.Point) (int, error) {
+	if !p.Domain.Contains(x) {
+		return 0, fmt.Errorf("shard: function input %v outside the owner-specified domain", x)
+	}
+	v := x[p.Axis]
+	// Owner = count of cuts at or below v: on-cut points go right.
+	k := sort.SearchFloat64s(p.Cuts, v)
+	if k < len(p.Cuts) && p.Cuts[k] == v {
+		k++
+	}
+	return k, nil
+}

@@ -31,10 +31,11 @@ const maxBatchAnswerBytes = 512 << 20
 // records. The HTTP connection is untrusted by construction — any
 // tampering en route fails verification exactly like a lying server.
 type HTTPClient struct {
-	base string
-	hc   *http.Client
-	cli  *client.Client
-	mode string
+	base   string
+	hc     *http.Client
+	cli    *client.Client
+	mode   string
+	shards int
 }
 
 // Dial fetches /params from the base URL and prepares a verifying client.
@@ -65,7 +66,7 @@ func Dial(base string, hc *http.Client) (*HTTPClient, error) {
 	}
 	tpl := fromTplJSON(p.Template)
 
-	out := &HTTPClient{base: base, hc: hc, mode: p.Backend}
+	out := &HTTPClient{base: base, hc: hc, mode: p.Backend, shards: p.Shards}
 	switch p.Backend {
 	case "ifmh-one", "ifmh-multi":
 		mode := core.OneSignature
@@ -87,6 +88,10 @@ func Dial(base string, hc *http.Client) (*HTTPClient, error) {
 
 // Backend returns the server's advertised backend name.
 func (c *HTTPClient) Backend() string { return c.mode }
+
+// Shards returns the server's advertised domain-shard count (0 = single
+// tree). Verification is identical either way.
+func (c *HTTPClient) Shards() int { return c.shards }
 
 // Query sends q, verifies the answer, and returns the records. Every
 // failure — network, malformed bytes, failed verification — is an error;
@@ -145,6 +150,7 @@ func (c *HTTPClient) QueryBatch(qs []query.Query) ([]client.BatchResult, error) 
 	results := make([]client.BatchResult, len(qs))
 	raws := make([][]byte, len(qs))
 	for i, it := range items {
+		results[i].Shard = it.Shard
 		if it.Err != "" {
 			results[i].Err = fmt.Errorf("transport: server refused query %d: %s", i, it.Err)
 			continue
@@ -153,7 +159,7 @@ func (c *HTTPClient) QueryBatch(qs []query.Query) ([]client.BatchResult, error) 
 	}
 	for i, r := range c.cli.CheckBatch(qs, raws, 0) {
 		if results[i].Err == nil {
-			results[i] = r
+			results[i].Records, results[i].Err = r.Records, r.Err
 		}
 	}
 	return results, nil

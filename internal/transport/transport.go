@@ -14,9 +14,13 @@
 // The batch endpoint carries many queries in one length-prefixed frame
 // (see wire.EncodeQueryBatch) and answers them concurrently on the
 // server; each item of the response is either that query's answer bytes
-// or its error string, so one bad query never fails the batch. Routes
-// are registered with Go 1.22 method patterns, so a wrong-method request
-// is a 405, not a 404.
+// or its error string, so one bad query never fails the batch. Against
+// a domain-sharded server, batch items are grouped per shard before
+// dispatch and each response item carries the answering shard's id
+// (docs/WIRE.md specifies the byte layout); /params advertises the
+// shard count and /stats the per-shard tallies. Routes are registered
+// with Go 1.22 method patterns, so a wrong-method request is a 405,
+// not a 404.
 package transport
 
 import (
@@ -49,6 +53,9 @@ type Params struct {
 	Verifier string  `json:"verifier"` // base64 of sig.MarshalVerifier
 	Template TplJSON `json:"template"`
 	SemTol   float64 `json:"semTol,omitempty"`
+	// Shards advertises the server's domain-shard count (0 or absent =
+	// single tree). Informational: verification is shard-transparent.
+	Shards int `json:"shards,omitempty"`
 }
 
 // TplJSON is the JSON form of a utility-function template.
@@ -102,6 +109,7 @@ func NewMeshHandler(srv *server.Server, pub mesh.PublicParams) (*Handler, error)
 }
 
 func newHandler(srv *server.Server, p Params) (*Handler, error) {
+	p.Shards = srv.NumShards()
 	h := &Handler{srv: srv, params: p, mux: http.NewServeMux()}
 	h.mux.HandleFunc("POST /query", h.handleQuery)
 	h.mux.HandleFunc("POST /query/batch", h.handleBatch)
@@ -154,13 +162,14 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	outs, errs := h.srv.HandleBatch(qs, 0)
+	outs, shards, errs := h.srv.HandleBatchShards(qs, 0)
 	items := make([]wire.BatchAnswer, len(qs))
 	for i := range qs {
+		items[i].Shard = shards[i]
 		if errs[i] != nil {
-			items[i] = wire.BatchAnswer{Err: errs[i].Error()}
+			items[i].Err = errs[i].Error()
 		} else {
-			items[i] = wire.BatchAnswer{Answer: outs[i]}
+			items[i].Answer = outs[i]
 		}
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -173,14 +182,19 @@ func (h *Handler) handleParams(w http.ResponseWriter, _ *http.Request) {
 
 func (h *Handler) handleStats(w http.ResponseWriter, _ *http.Request) {
 	stats, n := h.srv.Stats()
-	writeJSON(w, map[string]any{
+	body := map[string]any{
 		"backend":      h.srv.Name(),
 		"queries":      n,
 		"errors":       h.srv.ErrorCount(),
 		"nodesVisited": stats.NodesVisited,
 		"cellsVisited": stats.CellsVisited,
 		"bytes":        stats.Bytes,
-	})
+	}
+	if ss := h.srv.ShardStats(); ss != nil {
+		body["shards"] = len(ss)
+		body["perShard"] = ss
+	}
+	writeJSON(w, body)
 }
 
 // writeJSON encodes v to a buffer first so an encoding failure can still

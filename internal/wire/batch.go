@@ -8,22 +8,33 @@ import (
 
 // Batch framing magic bytes. A batch frame is a magic byte, a u32 item
 // count, and length-prefixed items, mirroring the single-answer codecs:
-// deterministic, big-endian, no reflection.
+// deterministic, big-endian, no reflection. There is exactly one valid
+// layout per magic: 0xB2 was the answer-batch layout without the
+// per-item shard id and is retired — a frame carrying it fails decoding
+// rather than being misparsed under the current layout.
 const (
 	magicQueryBatch  = 0xB1
-	magicAnswerBatch = 0xB2
+	magicAnswerBatch = 0xB3
 )
 
 // maxBatchItems bounds the item count a decoder accepts, so a forged
 // frame cannot drive huge allocations before the length checks kick in.
 const maxBatchItems = 1 << 20
 
+// ShardNone marks a batch answer that was not attributed to a shard —
+// a single-tree server, or a query the router refused.
+const ShardNone = -1
+
 // BatchAnswer is one entry of a batched response: either the serialized
 // answer bytes (the same bytes POST /query would have returned) or the
-// server's refusal. Exactly one of the fields is set.
+// server's refusal; exactly one of those two is set. Shard records which
+// shard of a domain-sharded deployment answered (ShardNone when
+// unsharded or refused before routing). Verification never depends on
+// it — it is observability for clients and load balancers.
 type BatchAnswer struct {
 	Answer []byte
 	Err    string
+	Shard  int
 }
 
 // EncodeQueryBatch frames many queries into one request body.
@@ -66,8 +77,9 @@ func DecodeQueryBatch(b []byte) ([]query.Query, error) {
 }
 
 // EncodeAnswerBatch frames many per-query outcomes into one response
-// body. Each item is a status byte (1 = answer, 0 = error) followed by
-// the length-prefixed payload.
+// body. Each item is a status byte (1 = answer, 0 = error), a u32 shard
+// id biased by one (0 = ShardNone, k = shard k-1), and the
+// length-prefixed payload. See docs/WIRE.md for worked byte layouts.
 func EncodeAnswerBatch(items []BatchAnswer) []byte {
 	w := &writer{}
 	w.u8(magicAnswerBatch)
@@ -75,9 +87,17 @@ func EncodeAnswerBatch(items []BatchAnswer) []byte {
 	for _, it := range items {
 		if it.Err != "" {
 			w.u8(0)
-			w.bytes([]byte(it.Err))
 		} else {
 			w.u8(1)
+		}
+		if it.Shard < 0 {
+			w.u32(0)
+		} else {
+			w.u32(uint32(it.Shard) + 1)
+		}
+		if it.Err != "" {
+			w.bytes([]byte(it.Err))
+		} else {
 			w.bytes(it.Answer)
 		}
 	}
@@ -90,22 +110,23 @@ func DecodeAnswerBatch(b []byte) ([]BatchAnswer, error) {
 	if r.u8("magic") != magicAnswerBatch {
 		return nil, fmt.Errorf("wire: not an answer batch")
 	}
-	n := r.count("batch answers", 5)
+	n := r.count("batch answers", 9)
 	if n > maxBatchItems {
 		return nil, fmt.Errorf("wire: batch of %d answers exceeds the limit", n)
 	}
 	out := make([]BatchAnswer, 0, n)
 	for i := 0; i < n; i++ {
 		status := r.u8("batch status")
+		shard := int(r.u32("batch shard")) - 1
 		payload := r.bytes("batch payload")
 		if r.err != nil {
 			break
 		}
 		switch status {
 		case 0:
-			out = append(out, BatchAnswer{Err: string(payload)})
+			out = append(out, BatchAnswer{Err: string(payload), Shard: shard})
 		case 1:
-			out = append(out, BatchAnswer{Answer: payload})
+			out = append(out, BatchAnswer{Answer: payload, Shard: shard})
 		default:
 			return nil, fmt.Errorf("wire: batch item %d has unknown status %d", i, status)
 		}

@@ -37,9 +37,11 @@ func TestQueryBatchRoundTrip(t *testing.T) {
 
 func TestAnswerBatchRoundTrip(t *testing.T) {
 	items := []BatchAnswer{
-		{Answer: []byte{0xA1, 1, 2, 3}},
-		{Err: "core: function input outside the owner-specified domain"},
-		{Answer: []byte{}},
+		{Answer: []byte{0xA1, 1, 2, 3}, Shard: ShardNone},
+		{Err: "core: function input outside the owner-specified domain", Shard: ShardNone},
+		{Answer: []byte{}, Shard: 0},
+		{Answer: []byte{0xA1, 9}, Shard: 3},
+		{Err: "shard refused", Shard: 7},
 	}
 	got, err := DecodeAnswerBatch(EncodeAnswerBatch(items))
 	if err != nil {
@@ -49,7 +51,8 @@ func TestAnswerBatchRoundTrip(t *testing.T) {
 		t.Fatalf("decoded %d items, want %d", len(got), len(items))
 	}
 	for i := range items {
-		if got[i].Err != items[i].Err || !bytes.Equal(got[i].Answer, items[i].Answer) {
+		if got[i].Err != items[i].Err || !bytes.Equal(got[i].Answer, items[i].Answer) ||
+			got[i].Shard != items[i].Shard {
 			t.Errorf("item %d = %+v, want %+v", i, got[i], items[i])
 		}
 	}

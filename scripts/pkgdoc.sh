@@ -1,0 +1,39 @@
+#!/bin/sh
+# pkgdoc.sh — fail when a Go package has no package-level doc comment.
+#
+# The CI gate behind the documentation policy (see ARCHITECTURE.md):
+# every package — internal libraries, commands, examples — must carry a
+# doc comment immediately above its `package` clause in at least one
+# non-test file, the comment `go doc` surfaces. This is the grep
+# equivalent of revive's package-comments rule, so it needs no tools
+# beyond POSIX sh + awk.
+#
+# Usage: scripts/pkgdoc.sh [root]   (default: repo root)
+set -eu
+root=${1:-$(dirname "$0")/..}
+fail=0
+# Every directory containing at least one non-test Go file is a package.
+for dir in $(find "$root" -name '*.go' ! -name '*_test.go' ! -path '*/.git/*' \
+	-exec dirname {} \; | sort -u); do
+	ok=0
+	for f in "$dir"/*.go; do
+		case $f in (*_test.go) continue ;; esac
+		# Documented iff the line right before the package clause closes a
+		# comment ("// ..." or "... */").
+		if awk 'prev ~ /^\/\// || prev ~ /\*\/[[:space:]]*$/ { if ($0 ~ /^package[[:space:]]/) { found = 1; exit } }
+		        { prev = $0 }
+		        END { exit !found }' "$f"; then
+			ok=1
+			break
+		fi
+	done
+	if [ "$ok" -eq 0 ]; then
+		echo "pkgdoc: no package-level doc comment in $dir" >&2
+		fail=1
+	fi
+done
+if [ "$fail" -ne 0 ]; then
+	echo "pkgdoc: add a '// Package <name> ...' (or '// Command <name> ...') comment" >&2
+	exit 1
+fi
+echo "pkgdoc: all packages documented"
