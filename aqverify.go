@@ -19,8 +19,23 @@
 //	        Domain:   domain,
 //	        Template: aqverify.AffineLine(0, 1),
 //	})
-//	ans, _ := tree.Process(aqverify.NewTopK(x, 10), nil)     // server side
-//	err := aqverify.Verify(tree.Public(), ans.Query, ans.Records, &ans.VO, nil) // client side
+//	b, _ := aqverify.NewLocalBackend(tree)
+//	ans, err := b.Query(ctx, aqverify.NewTopK(x, 10),
+//	        aqverify.WithVerify(tree.Public())) // verified: ans.Records is trustworthy
+//
+// # The query plane
+//
+// Every evaluator — a local tree, a domain-sharded tree set, the
+// in-process server, a vqserve process over HTTP, a multi-process
+// fanout — implements one Backend interface: Query answers one query,
+// QueryBatch a whole batch (slices parallel to the input), and
+// QueryStream yields results as they complete. Calls are tuned by
+// functional options: WithWorkers bounds the fan-out, WithCounter
+// collects cost metrics, WithVerify checks every answer against the
+// owner's published parameters before it is returned. Contexts cancel
+// cooperatively: a done context stops new work promptly. The lower-level
+// primitives (Tree.Process server-side, Verify/VerifyBatch client-side)
+// remain for code that handles wire bytes itself.
 //
 // # Scaling
 //
@@ -41,7 +56,10 @@
 // parallel, and every query routes deterministically to the shard that
 // owns its function input (points exactly on a cut go right). The
 // published parameters — and therefore client-side verification — are
-// identical to the single-tree deployment; see ARCHITECTURE.md.
+// identical to the single-tree deployment; see ARCHITECTURE.md. To
+// spread the shards across processes, run one vqserve per shard and
+// compose them with cmd/vqfront (a Fanout over K remote backends) — or
+// build the same topology in Go with NewFanout.
 //
 // The facade re-exports the stable surface of the internal packages; the
 // examples/ directory shows complete programs, and cmd/vqbench
@@ -49,6 +67,9 @@
 package aqverify
 
 import (
+	"context"
+
+	"aqverify/internal/backend"
 	"aqverify/internal/core"
 	"aqverify/internal/funcs"
 	"aqverify/internal/geometry"
@@ -120,6 +141,25 @@ type (
 	ShardSet = shard.Set
 	// ShardRouter maps queries to their owning shard.
 	ShardRouter = shard.Router
+)
+
+// The unified query plane (see internal/backend): one context-aware
+// interface over every evaluator — local tree, shard set, in-process
+// server, HTTP remote, multi-process fanout.
+type (
+	// Backend is the unified query surface: Query, QueryBatch and
+	// QueryStream with functional options.
+	Backend = backend.Backend
+	// BackendAnswer is one query's outcome on any backend: the
+	// serialized answer bytes, the answering shard, and — once verified —
+	// the result records.
+	BackendAnswer = backend.Answer
+	// BackendResult pairs a streamed item's answer with its error.
+	BackendResult = backend.BatchResult
+	// BackendOption tunes one Query/QueryBatch/QueryStream call.
+	BackendOption = backend.Option
+	// Fanout composes K single-shard backends into one logical database.
+	Fanout = backend.Fanout
 )
 
 // Signatures and instrumentation.
@@ -222,6 +262,28 @@ func BuildSharded(tbl Table, p Params, plan ShardPlan) (*ShardSet, error) {
 // NewShardRouter wraps a built shard set for query routing.
 func NewShardRouter(s *ShardSet) (*ShardRouter, error) { return shard.NewRouter(s) }
 
+// NewLocalBackend lifts a built tree into the unified query plane.
+func NewLocalBackend(t *Tree) (Backend, error) { return backend.NewLocal(t) }
+
+// NewShardedBackend lifts a shard router into the unified query plane.
+func NewShardedBackend(r *ShardRouter) (Backend, error) { return backend.NewSharded(r) }
+
+// NewFanout composes one backend per sub-box of the plan — typically K
+// remote shard servers — into one logical database.
+func NewFanout(plan ShardPlan, kids []Backend) (*Fanout, error) {
+	return backend.NewFanout(plan, kids)
+}
+
+// WithWorkers bounds a backend call's worker pool (<= 0 = one per CPU).
+func WithWorkers(n int) BackendOption { return backend.WithWorkers(n) }
+
+// WithCounter accumulates a backend call's caller-side costs into ctr.
+func WithCounter(ctr *Counter) BackendOption { return backend.WithCounter(ctr) }
+
+// WithVerify makes a backend verify every answer against the owner's
+// published parameters before returning it.
+func WithVerify(pub PublicParams) BackendOption { return backend.WithVerify(pub) }
+
 // Verify checks a query answer against the owner's public parameters; a
 // nil return means the result is sound and complete.
 func Verify(pub PublicParams, q Query, recs []Record, vo *VO, ctr *Counter) error {
@@ -232,6 +294,13 @@ func Verify(pub PublicParams, q Query, recs []Record, vo *VO, ctr *Counter) erro
 // per CPU); the returned slice is parallel to items.
 func VerifyBatch(pub PublicParams, items []BatchItem, workers int, ctr *Counter) []error {
 	return core.VerifyBatch(pub, items, workers, ctr)
+}
+
+// VerifyBatchCtx is VerifyBatch with cooperative cancellation: once ctx
+// is done the worker pool stops claiming items, and the items it never
+// reached report ctx's error instead of a verdict.
+func VerifyBatchCtx(ctx context.Context, pub PublicParams, items []BatchItem, workers int, ctr *Counter) []error {
+	return core.VerifyBatchCtx(ctx, pub, items, workers, ctr)
 }
 
 // Exec runs a query directly over a local table — the trusted reference

@@ -1,0 +1,79 @@
+// Command vqfront is the routing front-end of a multi-process shard
+// deployment: K vqserve processes each serve one shard of a
+// domain-sharded database (vqserve -shards K -shard i), and vqfront
+// composes them back into one logical database behind the same four
+// endpoints a single vqserve exposes. Clients cannot tell the
+// difference — the trust bundle, the wire frames and the verification
+// procedure are identical; only /stats shows the per-shard fan-out.
+//
+// Usage:
+//
+//	vqfront [-addr :8080] -backends http://host1:8081,http://host2:8082,...
+//
+// The shard plan is recovered from the backends' advertised serving
+// domains (/params carries each shard's sub-box): the sub-boxes must
+// tile the owner's domain contiguously along one axis. Backends may be
+// listed in any order. Every backend must advertise the same backend
+// name, verifier key and template — one logical database, one owner.
+//
+// Batches are split per owning shard and forwarded concurrently, one
+// POST /query/batch per shard; per-item failures travel inside the
+// frame, and each answer is attributed to its shard id exactly as a
+// single-process sharded vqserve attributes it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"aqverify/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vqfront:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		backends = flag.String("backends", "", "comma-separated base URLs, one vqserve per shard (required)")
+	)
+	flag.Parse()
+	if *backends == "" {
+		return fmt.Errorf("-backends is required (comma-separated vqserve base URLs)")
+	}
+	urls := strings.Split(*backends, ",")
+	for i := range urls {
+		urls[i] = strings.TrimSpace(urls[i])
+	}
+
+	f, params, err := transport.DialFanout(urls, nil)
+	if err != nil {
+		return err
+	}
+	h, err := transport.NewBackendHandler(f, params)
+	if err != nil {
+		return err
+	}
+
+	plan := f.Plan()
+	fmt.Printf("fronting %s across %d shard processes (domain [%g, %g], axis %d)\n",
+		f.Name(), f.NumShards(), plan.Domain.Lo[plan.Axis], plan.Domain.Hi[plan.Axis], plan.Axis)
+	for i, b := range plan.Boxes {
+		fmt.Printf("  shard %d [%g, %g]: %s\n", i, b.Lo[plan.Axis], b.Hi[plan.Axis], urls[i])
+	}
+	fmt.Printf("serving on %s; endpoints: POST /query, POST /query/batch, GET /params, GET /stats\n", *addr)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return httpSrv.ListenAndServe()
+}

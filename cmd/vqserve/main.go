@@ -8,6 +8,7 @@
 //
 //	vqserve [-addr :8080] [-n 1000] [-backend ifmh|mesh] [-mode one|multi]
 //	        [-scheme ed25519] [-seed 1] [-workers 0] [-shards 1] [-shardaxis 0]
+//	        [-shard -1] [-keyseed 0]
 //
 // Endpoints: POST /query and POST /query/batch (binary), GET /params,
 // GET /stats. -workers sizes the IFMH construction worker pool (0 = one
@@ -16,6 +17,21 @@
 // signed IFMH-tree per sub-box; queries route to their owning shard and
 // batches are grouped per shard before dispatch. Verification is
 // unchanged — clients cannot tell a sharded server from a single tree.
+//
+// -shard i (with -shards K) builds and serves shard i alone — one
+// process per shard, composed back into one logical database by the
+// cmd/vqfront routing front-end, which recovers the shard plan from
+// each process's advertised serving domain (/params). All K processes
+// must be started with the same data flags and, so their trees carry
+// one owner's signatures, the same -keyseed: a nonzero key seed derives
+// the signing key deterministically (demo/testing convenience — never
+// protect real data with a 64-bit key seed).
+//
+// A K-process deployment:
+//
+//	vqserve -addr :8081 -shards 2 -shard 0 -keyseed 7 &
+//	vqserve -addr :8082 -shards 2 -shard 1 -keyseed 7 &
+//	vqfront -addr :8080 -backends http://localhost:8081,http://localhost:8082
 //
 // Try it:
 //
@@ -64,6 +80,8 @@ func run() error {
 		workers  = flag.Int("workers", 0, "construction worker pool size (0 = one per CPU, 1 = serial)")
 		shards   = flag.Int("shards", 1, "domain-shard count (ifmh backend; 1 = single tree)")
 		shardAx  = flag.Int("shardaxis", 0, "domain axis the shard cuts are perpendicular to")
+		shardIdx = flag.Int("shard", -1, "serve only this shard of the -shards plan (multi-process deployment; -1 = all)")
+		keySeed  = flag.Int64("keyseed", 0, "derive the signing key deterministically from this seed (0 = fresh random key)")
 	)
 	flag.Parse()
 
@@ -90,7 +108,11 @@ func run() error {
 		}
 	}
 	tpl := funcs.AffineLine(*slopeCol, *biasCol)
-	o, err := owner.NewWithScheme(sig.Scheme(*scheme), sig.Options{})
+	sigOpt := sig.Options{}
+	if *keySeed != 0 {
+		sigOpt.Rand = sig.DeterministicRand(*keySeed)
+	}
+	o, err := owner.NewWithScheme(sig.Scheme(*scheme), sigOpt)
 	if err != nil {
 		return err
 	}
@@ -104,6 +126,32 @@ func run() error {
 			mode = core.MultiSignature
 		}
 		opt := owner.Options{Mode: mode, Shuffle: true, Seed: *seed, Workers: *workers}
+		if *shardIdx >= 0 {
+			if *shardIdx >= *shards {
+				return fmt.Errorf("-shard %d out of range for -shards %d", *shardIdx, *shards)
+			}
+			plan, err := shard.NewPlan(dom, *shardAx, *shards)
+			if err != nil {
+				return err
+			}
+			tree, pub, err := o.OutsourceShardIFMH(tbl, tpl, dom, opt, plan, *shardIdx)
+			if err != nil {
+				return err
+			}
+			srv, err := server.New(server.IFMH{Tree: tree})
+			if err != nil {
+				return err
+			}
+			if h, err = transport.NewIFMHHandler(srv, pub); err != nil {
+				return err
+			}
+			st := tree.Stats()
+			box := plan.Boxes[*shardIdx]
+			fmt.Printf("built %s shard %d/%d [%g, %g] over %d records in %.1fs: %d subdomains, %d signature(s)\n",
+				srv.Name(), *shardIdx, *shards, box.Lo[plan.Axis], box.Hi[plan.Axis],
+				tbl.Len(), time.Since(start).Seconds(), st.Subdomains, st.Signatures)
+			break
+		}
 		if *shards > 1 {
 			plan, err := shard.NewPlan(dom, *shardAx, *shards)
 			if err != nil {

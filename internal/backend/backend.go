@@ -1,0 +1,164 @@
+// Package backend defines the unified query plane: one context-aware
+// interface — Query, QueryBatch, QueryStream — over every evaluator the
+// protocol has, local or remote. The paper's flow is always the same
+// (query → answer+VO → verify), so the repo exposes it through a single
+// Backend interface implemented by
+//
+//   - Local — one in-process IFMH-tree (*core.Tree),
+//   - Sharded — a domain-sharded tree set behind a *shard.Router,
+//   - *server.Server — the metrics-keeping in-process cloud server,
+//   - transport.Remote — a vqserve process reached over HTTP, and
+//   - Fanout — a front-end composing K single-shard backends (typically
+//     Remotes, one vqserve per shard) into one logical database.
+//
+// Every answer carries the serialized wire bytes — exactly what POST
+// /query returns — plus the answering shard, so callers can layer
+// verification, persistence or re-routing uniformly. Functional options
+// replace positional parameters: WithWorkers bounds batch concurrency,
+// WithCounter accumulates the caller-side cost metrics, and WithVerify
+// checks every answer against the owner's published parameters before it
+// is returned, filling Answer.Records.
+//
+// Batches are index-stable: the slices QueryBatch returns are parallel
+// to the input, and QueryStream yields (index, result) pairs as items
+// finish, in completion order. Cancellation is cooperative everywhere: a
+// done context stops new work promptly and surfaces ctx.Err() on the
+// items it prevented.
+package backend
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"aqverify/internal/core"
+	"aqverify/internal/metrics"
+	"aqverify/internal/query"
+	"aqverify/internal/record"
+	"aqverify/internal/wire"
+)
+
+// Answer is one query's outcome on any backend: the serialized answer
+// bytes (the same bytes POST /query would return) plus the answering
+// shard. Records is populated only when the answer was verified (the
+// WithVerify option) or decoded by the backend itself; callers that
+// skip verification work from Raw. On a failed query Raw and Records
+// are nil and Shard still reports the routing choice when one was made
+// — the shard that refused — and ShardNone otherwise.
+type Answer struct {
+	// Raw is the wire-encoded answer (wire.EncodeIFMH / EncodeMesh).
+	Raw []byte
+	// Records holds the verified result rows; nil until WithVerify runs.
+	Records []record.Record
+	// Shard is the answering shard (wire.ShardNone when the backend is
+	// unsharded).
+	Shard int
+}
+
+// BatchResult pairs one batch item's answer with its error; exactly one
+// of the two is meaningful. QueryStream yields it with the item's index.
+type BatchResult struct {
+	Answer Answer
+	Err    error
+}
+
+// Backend is the unified query surface. Implementations answer from
+// immutable (or internally synchronized) state and are safe for
+// concurrent use.
+type Backend interface {
+	// Name identifies the evaluator ("ifmh-one", "ifmh-multi", "mesh").
+	Name() string
+	// Query answers one query.
+	Query(ctx context.Context, q query.Query, opts ...Option) (Answer, error)
+	// QueryBatch answers many queries; both returned slices are parallel
+	// to qs. A per-item error never aborts the rest of the batch;
+	// indexes a canceled context prevented report ctx.Err().
+	QueryBatch(ctx context.Context, qs []query.Query, opts ...Option) ([]Answer, []error)
+	// QueryStream answers many queries and yields (index, result) pairs
+	// as items finish, in completion order. Stopping the iteration early
+	// cancels the remaining work.
+	QueryStream(ctx context.Context, qs []query.Query, opts ...Option) iter.Seq2[int, BatchResult]
+}
+
+// Option tunes one Query/QueryBatch/QueryStream call.
+type Option func(*options)
+
+type options struct {
+	workers int
+	ctr     *metrics.Counter
+	pub     *core.PublicParams
+}
+
+// WithWorkers bounds the call's worker pool (batch fan-out and batched
+// verification); <= 0 means one worker per CPU.
+func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+// WithCounter accumulates the call's caller-side costs — answer bytes
+// and, under WithVerify, hash and signature-verification counts — into
+// ctr. The counter is written from the calling goroutine only (batch
+// workers merge into it after the fan-out joins), so one counter can be
+// reused across sequential calls.
+func WithCounter(ctr *metrics.Counter) Option { return func(o *options) { o.ctr = ctr } }
+
+// WithVerify checks every answer against the owner's published
+// parameters before returning it: the raw bytes are decoded, the echoed
+// query cross-checked, and core.Verify must accept. Verified answers
+// carry their records; a failed verification surfaces as the item's
+// error. Only IFMH-backed answers are verifiable this way.
+func WithVerify(pub core.PublicParams) Option {
+	return func(o *options) { o.pub = &pub }
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// finish applies the per-call options to one produced answer: under
+// WithVerify it decodes and verifies the raw bytes into ans.Records.
+// Byte accounting is the Process's job (see its contract) — adding it
+// here too would double-count for backends whose evaluation already
+// charges the encoded answer, as the in-process server's does. finish
+// runs on the calling goroutine for Query and inside the pool workers
+// for batches (with per-worker counters merged at the join).
+func (o *options) finish(q query.Query, ans *Answer, ctr *metrics.Counter) error {
+	if o.pub == nil {
+		return nil
+	}
+	recs, err := verifyRaw(*o.pub, q, ans.Raw, ctr)
+	if err != nil {
+		return err
+	}
+	ans.Records = recs
+	return nil
+}
+
+// verifyRaw decodes and verifies one serialized IFMH answer against the
+// owner's published parameters.
+func verifyRaw(pub core.PublicParams, q query.Query, raw []byte, ctr *metrics.Counter) ([]record.Record, error) {
+	ans, err := decodeRaw(q, raw)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.Verify(pub, q, ans.Records, &ans.VO, ctr); err != nil {
+		return nil, err
+	}
+	return ans.Records, nil
+}
+
+// decodeRaw parses one serialized IFMH answer and checks the server
+// echoed the query it was asked; both failures count as verification
+// failures — the bytes are untrusted.
+func decodeRaw(q query.Query, raw []byte) (*core.Answer, error) {
+	ans, err := wire.DecodeIFMH(raw)
+	if err != nil {
+		return nil, fmt.Errorf("backend: %w: %v", core.ErrVerification, err)
+	}
+	if !query.Equal(q, ans.Query) {
+		return nil, fmt.Errorf("backend: %w: server answered a different query", core.ErrVerification)
+	}
+	return ans, nil
+}

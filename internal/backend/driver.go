@@ -1,0 +1,166 @@
+package backend
+
+import (
+	"context"
+	"iter"
+	"sync"
+
+	"aqverify/internal/metrics"
+	"aqverify/internal/pool"
+	"aqverify/internal/query"
+	"aqverify/internal/wire"
+)
+
+// Process is the per-query primitive the in-process backends share:
+// answer q, charging its costs — traversal and the serialized answer's
+// bytes — to ctr, and report the answering shard: wire.ShardNone when
+// unsharded or the query never routed, the owning shard otherwise
+// (kept on refusals, so attribution survives errors). The drivers do
+// not account bytes themselves; a Process that already charges them,
+// like the in-process server's encoders, must not be charged twice.
+// The exported Drive* helpers lift a Process into the full Backend
+// surface, so implementing a new backend — in this package or outside
+// it — means supplying only the evaluation itself.
+type Process func(q query.Query, ctr *metrics.Counter) (shard int, raw []byte, err error)
+
+// DriveQuery answers one query through p under the call options.
+func DriveQuery(ctx context.Context, p Process, q query.Query, opts ...Option) (Answer, error) {
+	if err := ctx.Err(); err != nil {
+		return Answer{Shard: wire.ShardNone}, err
+	}
+	o := buildOptions(opts)
+	var ctr metrics.Counter
+	ans, err := driveOne(&o, p, q, &ctr)
+	o.ctr.Add(ctr)
+	return ans, err
+}
+
+// DriveBatch answers a batch through p across a bounded worker pool,
+// honoring cancellation: indexes the done context prevented report
+// ctx.Err(). Per-worker counters merge into the caller's counter after
+// the join, so WithCounter stays single-goroutine.
+func DriveBatch(ctx context.Context, p Process, qs []query.Query, opts ...Option) ([]Answer, []error) {
+	return DriveBatchOrdered(ctx, p, qs, nil, opts...)
+}
+
+// DriveBatchOrdered is DriveBatch with an explicit dispatch order: the
+// pool claims order's entries left to right, so a sharded dispatcher can
+// keep one shard's queries contiguous (one tree's working set stays hot
+// instead of interleaving all shards). A nil order means every index in
+// input order. Indexes absent from order are left untouched — zero
+// Answer, nil error — for the caller to fill (e.g. with routing errors).
+func DriveBatchOrdered(ctx context.Context, p Process, qs []query.Query, order []int, opts ...Option) ([]Answer, []error) {
+	o := buildOptions(opts)
+	answers := make([]Answer, len(qs))
+	errs := make([]error, len(qs))
+	n := len(qs)
+	if order != nil {
+		n = len(order)
+	}
+	if n == 0 {
+		return answers, errs
+	}
+	started := make([]bool, n)
+	workers := pool.Workers(o.workers, n)
+	ctrs := make([]metrics.Counter, workers)
+	err := pool.RunCtx(ctx, n, workers, func(w, k int) {
+		started[k] = true
+		i := k
+		if order != nil {
+			i = order[k]
+		}
+		answers[i], errs[i] = driveOne(&o, p, qs[i], &ctrs[w])
+	})
+	if err != nil {
+		for k := 0; k < n; k++ {
+			if started[k] {
+				continue
+			}
+			i := k
+			if order != nil {
+				i = order[k]
+			}
+			answers[i] = Answer{Shard: wire.ShardNone}
+			errs[i] = err
+		}
+	}
+	for i := range ctrs {
+		o.ctr.Add(ctrs[i])
+	}
+	return answers, errs
+}
+
+// driveOne evaluates and (optionally) verifies one query. Failures
+// keep the Process's shard attribution — the shard that refused, or
+// ShardNone when the query never routed.
+func driveOne(o *options, p Process, q query.Query, ctr *metrics.Counter) (Answer, error) {
+	sh, raw, err := p(q, ctr)
+	if err != nil {
+		return Answer{Shard: sh}, err
+	}
+	ans := Answer{Raw: raw, Shard: sh}
+	if err := o.finish(q, &ans, ctr); err != nil {
+		return Answer{Shard: sh}, err
+	}
+	return ans, nil
+}
+
+// DriveStream yields (index, result) pairs in completion order. An early
+// break from the consumer cancels the remaining work; the producer pool
+// is always fully joined before the iterator returns.
+func DriveStream(ctx context.Context, p Process, qs []query.Query, opts ...Option) iter.Seq2[int, BatchResult] {
+	o := buildOptions(opts)
+	return func(yield func(int, BatchResult) bool) {
+		if len(qs) == 0 {
+			return
+		}
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		workers := pool.Workers(o.workers, len(qs))
+		ctrs := make([]metrics.Counter, workers)
+		type indexed struct {
+			i int
+			r BatchResult
+		}
+		out := make(chan indexed)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		started := make([]bool, len(qs))
+		go func() {
+			defer wg.Done()
+			defer close(out)
+			pool.RunCtx(ctx, len(qs), workers, func(w, i int) {
+				started[i] = true
+				var r BatchResult
+				r.Answer, r.Err = driveOne(&o, p, qs[i], &ctrs[w])
+				out <- indexed{i, r}
+			})
+		}()
+		// Consume until the stream drains or the consumer breaks. The
+		// consumer keeps draining after a break so producer sends never
+		// block; the pool is always fully joined before the per-worker
+		// counters fold into the caller's, on this goroutine.
+		broke := false
+		for item := range out {
+			if !broke && !yield(item.i, item.r) {
+				broke = true
+				cancel()
+			}
+		}
+		wg.Wait()
+		for i := range ctrs {
+			o.ctr.Add(ctrs[i])
+		}
+		if broke {
+			return
+		}
+		// Surface cancellation on the indexes the pool never reached.
+		if err := ctx.Err(); err != nil {
+			for i := range qs {
+				if !started[i] && !yield(i, BatchResult{Answer: Answer{Shard: wire.ShardNone}, Err: err}) {
+					return
+				}
+			}
+		}
+	}
+}

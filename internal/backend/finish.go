@@ -1,0 +1,52 @@
+package backend
+
+import (
+	"context"
+
+	"aqverify/internal/core"
+	"aqverify/internal/metrics"
+	"aqverify/internal/query"
+)
+
+// FinishBatch applies one call's options to a batch of answers produced
+// elsewhere — e.g. by one HTTP batch exchange — exactly as DriveBatch
+// applies them to answers it produced itself: byte accounting into the
+// WithCounter counter and, under WithVerify, batched verification
+// fanned out across the worker pool (core.VerifyBatchCtx, so a canceled
+// context stops the verification promptly and the prevented indexes
+// report ctx.Err()). answers and errs are parallel to qs and updated in
+// place; indexes that already carry an error are left untouched.
+func FinishBatch(ctx context.Context, qs []query.Query, answers []Answer, errs []error, opts ...Option) {
+	o := buildOptions(opts)
+	var total metrics.Counter
+	for i := range answers {
+		if errs[i] == nil {
+			total.AddBytes(uint64(len(answers[i].Raw)))
+		}
+	}
+	if o.pub != nil {
+		// Decode serially (cheap), then verify the batch concurrently.
+		items := make([]core.BatchItem, 0, len(qs))
+		idx := make([]int, 0, len(qs))
+		for i := range qs {
+			if errs[i] != nil {
+				continue
+			}
+			ans, err := decodeRaw(qs[i], answers[i].Raw)
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			answers[i].Records = ans.Records
+			items = append(items, core.BatchItem{Query: qs[i], Records: ans.Records, VO: &ans.VO})
+			idx = append(idx, i)
+		}
+		for j, err := range core.VerifyBatchCtx(ctx, *o.pub, items, o.workers, &total) {
+			if err != nil {
+				answers[idx[j]].Records = nil
+				errs[idx[j]] = err
+			}
+		}
+	}
+	o.ctr.Add(total)
+}

@@ -1,0 +1,120 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"aqverify/internal/core"
+	"aqverify/internal/metrics"
+	"aqverify/internal/query"
+	"aqverify/internal/shard"
+	"aqverify/internal/wire"
+)
+
+// Local serves one in-process IFMH-tree — the smallest deployment of the
+// query plane, and the identity baseline every other backend is compared
+// against.
+type Local struct {
+	tree *core.Tree
+}
+
+// NewLocal wraps a built tree.
+func NewLocal(t *core.Tree) (*Local, error) {
+	if t == nil {
+		return nil, fmt.Errorf("backend: local backend needs a built tree")
+	}
+	return &Local{tree: t}, nil
+}
+
+// Tree returns the underlying tree.
+func (b *Local) Tree() *core.Tree { return b.tree }
+
+// Name implements Backend.
+func (b *Local) Name() string { return ifmhName(b.tree.Mode()) }
+
+// Query implements Backend.
+func (b *Local) Query(ctx context.Context, q query.Query, opts ...Option) (Answer, error) {
+	return DriveQuery(ctx, b.process, q, opts...)
+}
+
+// QueryBatch implements Backend.
+func (b *Local) QueryBatch(ctx context.Context, qs []query.Query, opts ...Option) ([]Answer, []error) {
+	return DriveBatch(ctx, b.process, qs, opts...)
+}
+
+// QueryStream implements Backend.
+func (b *Local) QueryStream(ctx context.Context, qs []query.Query, opts ...Option) iter.Seq2[int, BatchResult] {
+	return DriveStream(ctx, b.process, qs, opts...)
+}
+
+func (b *Local) process(q query.Query, ctr *metrics.Counter) (int, []byte, error) {
+	ans, err := b.tree.Process(q, ctr)
+	if err != nil {
+		return wire.ShardNone, nil, err
+	}
+	out := wire.EncodeIFMH(ans)
+	ctr.AddBytes(uint64(len(out)))
+	return wire.ShardNone, out, nil
+}
+
+// Sharded serves a domain-sharded tree set behind a router: every query
+// is answered by the one shard whose sub-box owns its function input,
+// and the answering shard travels in Answer.Shard.
+type Sharded struct {
+	router *shard.Router
+}
+
+// NewSharded wraps a query router over a built shard set.
+func NewSharded(r *shard.Router) (*Sharded, error) {
+	if r == nil {
+		return nil, fmt.Errorf("backend: sharded backend needs a router")
+	}
+	return &Sharded{router: r}, nil
+}
+
+// Router returns the underlying router.
+func (b *Sharded) Router() *shard.Router { return b.router }
+
+// NumShards returns the shard count.
+func (b *Sharded) NumShards() int { return b.router.NumShards() }
+
+// Name implements Backend.
+func (b *Sharded) Name() string { return ifmhName(b.router.Set().Mode()) }
+
+// Query implements Backend.
+func (b *Sharded) Query(ctx context.Context, q query.Query, opts ...Option) (Answer, error) {
+	return DriveQuery(ctx, b.process, q, opts...)
+}
+
+// QueryBatch implements Backend.
+func (b *Sharded) QueryBatch(ctx context.Context, qs []query.Query, opts ...Option) ([]Answer, []error) {
+	return DriveBatch(ctx, b.process, qs, opts...)
+}
+
+// QueryStream implements Backend.
+func (b *Sharded) QueryStream(ctx context.Context, qs []query.Query, opts ...Option) iter.Seq2[int, BatchResult] {
+	return DriveStream(ctx, b.process, qs, opts...)
+}
+
+func (b *Sharded) process(q query.Query, ctr *metrics.Counter) (int, []byte, error) {
+	sh, ans, err := b.router.Process(q, ctr)
+	if err != nil {
+		if sh < 0 {
+			sh = wire.ShardNone
+		}
+		return sh, nil, err // the owning shard when routing succeeded
+	}
+	out := wire.EncodeIFMH(ans)
+	ctr.AddBytes(uint64(len(out)))
+	return sh, out, nil
+}
+
+// ifmhName reports the backend name for a signing mode, matching the
+// names the server and /params advertise.
+func ifmhName(m core.Mode) string {
+	if m == core.OneSignature {
+		return "ifmh-one"
+	}
+	return "ifmh-multi"
+}

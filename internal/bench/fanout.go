@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"time"
+
+	"aqverify/internal/backend"
+	"aqverify/internal/core"
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+	"aqverify/internal/query"
+	"aqverify/internal/server"
+	"aqverify/internal/shard"
+	"aqverify/internal/transport"
+	"aqverify/internal/wire"
+	"aqverify/internal/workload"
+)
+
+// fanoutScaling compares the two shard deployments the unified query
+// plane offers: the single-process sharded server (one process, K trees
+// behind shard-grouped batch dispatch) against the K-process fanout
+// (one HTTP server per shard behind a backend.Fanout front-end, the
+// vqfront topology, here on httptest loopback listeners). Both answer
+// the same batch; the figure reports batch throughput and cross-checks
+// the answers record for record. On a 1-CPU host the fanout column
+// mostly prices the HTTP hop — the deployment buys per-shard machines,
+// not single-core speed; see EXPERIMENTS.md for the protocol.
+func fanoutScaling(h *Harness) (*Table, error) {
+	t := &Table{
+		ID:    "fanoutF1",
+		Title: "Fanout: single-process sharded vs K-process front-end batch throughput",
+		Columns: []string{"n", "K", "batch", "sharded-qps", "fanout-qps",
+			"fanout/sharded", "identity"},
+		Notes: []string{h.schemeNote(),
+			"fanout = one HTTP server per shard (loopback) behind a routing front-end; sharded = one in-process server hosting all K trees",
+			"identity: both deployments answer the same batch record-for-record"},
+	}
+	batchN := 8 * h.Cfg.Reps
+	for _, n := range h.Cfg.AblationSizes {
+		tbl, dom, err := workload.Lines(workload.LinesConfig{
+			N: n, Seed: h.Cfg.Seed, Dist: h.Cfg.Dist, Density: h.Cfg.Density,
+		})
+		if err != nil {
+			return nil, err
+		}
+		params := core.Params{
+			Mode:     core.MultiSignature,
+			Signer:   h.signer,
+			Domain:   dom,
+			Template: funcs.AffineLine(0, 1),
+			Shuffle:  true,
+			Seed:     h.Cfg.Seed,
+			Workers:  h.Cfg.Workers,
+		}
+		qs := fanoutBatch(dom, batchN, h.Cfg.Seed)
+		for _, k := range h.Cfg.ShardCounts {
+			plan, err := shard.NewPlan(dom, 0, k)
+			if err != nil {
+				return nil, err
+			}
+			set, err := shard.Build(tbl, params, plan)
+			if err != nil {
+				return nil, fmt.Errorf("bench: n=%d K=%d: %w", n, k, err)
+			}
+
+			shardedQPS, shardedAns, err := timeShardedBatch(set, qs)
+			if err != nil {
+				return nil, err
+			}
+			fanoutQPS, fanoutAns, err := timeFanoutBatch(set, qs)
+			if err != nil {
+				return nil, err
+			}
+			identity := "ok"
+			if !sameAnswers(shardedAns, fanoutAns) {
+				identity = "MISMATCH"
+			}
+			t.AddRow(fmt.Sprint(n), fmt.Sprint(k), fmt.Sprint(len(qs)),
+				fmt.Sprintf("%.0f", shardedQPS), fmt.Sprintf("%.0f", fanoutQPS),
+				fmt.Sprintf("%.2f", fanoutQPS/shardedQPS), identity)
+		}
+	}
+	return t, nil
+}
+
+// fanoutBatch spreads every query kind across the domain, cuts
+// included implicitly by the uniform sweep.
+func fanoutBatch(dom geometry.Box, n int, seed int64) []query.Query {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]query.Query, 0, n)
+	for len(qs) < n {
+		x := geometry.Point{dom.Lo[0] + rng.Float64()*(dom.Hi[0]-dom.Lo[0])}
+		switch len(qs) % 4 {
+		case 0:
+			qs = append(qs, query.NewTopK(x, 1+rng.Intn(8)))
+		case 1:
+			qs = append(qs, query.NewBottomK(x, 1+rng.Intn(8)))
+		case 2:
+			qs = append(qs, query.NewRange(x, -2, 2))
+		default:
+			qs = append(qs, query.NewKNN(x, 1+rng.Intn(8), rng.NormFloat64()))
+		}
+	}
+	return qs
+}
+
+// timeShardedBatch answers the batch on a single-process sharded server
+// and returns throughput plus the raw answers.
+func timeShardedBatch(set *shard.Set, qs []query.Query) (float64, []backend.Answer, error) {
+	sb, err := server.NewShardedIFMH(set)
+	if err != nil {
+		return 0, nil, err
+	}
+	srv, err := server.New(sb)
+	if err != nil {
+		return 0, nil, err
+	}
+	// Warm once, then time.
+	ctx := context.Background()
+	srv.QueryBatch(ctx, qs)
+	start := time.Now()
+	answers, errs := srv.QueryBatch(ctx, qs)
+	secs := time.Since(start).Seconds()
+	for i, e := range errs {
+		if e != nil {
+			return 0, nil, fmt.Errorf("bench: sharded batch item %d: %w", i, e)
+		}
+	}
+	return float64(len(qs)) / secs, answers, nil
+}
+
+// timeFanoutBatch serves each shard tree on its own loopback HTTP
+// server, composes them with the vqfront dial path, and times the same
+// batch through the front-end.
+func timeFanoutBatch(set *shard.Set, qs []query.Query) (float64, []backend.Answer, error) {
+	urls := make([]string, set.NumShards())
+	servers := make([]*httptest.Server, set.NumShards())
+	defer func() {
+		for _, ts := range servers {
+			if ts != nil {
+				ts.Close()
+			}
+		}
+	}()
+	for i, tree := range set.Trees {
+		srv, err := server.New(server.IFMH{Tree: tree})
+		if err != nil {
+			return 0, nil, err
+		}
+		hd, err := transport.NewIFMHHandler(srv, tree.Public())
+		if err != nil {
+			return 0, nil, err
+		}
+		servers[i] = httptest.NewServer(hd)
+		urls[i] = servers[i].URL
+	}
+	f, _, err := transport.DialFanout(urls, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	ctx := context.Background()
+	f.QueryBatch(ctx, qs)
+	start := time.Now()
+	answers, errs := f.QueryBatch(ctx, qs)
+	secs := time.Since(start).Seconds()
+	for i, e := range errs {
+		if e != nil {
+			return 0, nil, fmt.Errorf("bench: fanout batch item %d: %w", i, e)
+		}
+	}
+	return float64(len(qs)) / secs, answers, nil
+}
+
+// decodeIDs extracts the result record IDs from one serialized answer.
+func decodeIDs(raw []byte) ([]uint64, error) {
+	ans, err := wire.DecodeIFMH(raw)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]uint64, len(ans.Records))
+	for i, r := range ans.Records {
+		ids[i] = r.ID
+	}
+	return ids, nil
+}
+
+// sameAnswers compares two answer sets' decoded record IDs.
+func sameAnswers(a, b []backend.Answer) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		ra, err := decodeIDs(a[i].Raw)
+		if err != nil {
+			return false
+		}
+		rb, err := decodeIDs(b[i].Raw)
+		if err != nil {
+			return false
+		}
+		if len(ra) != len(rb) {
+			return false
+		}
+		for j := range ra {
+			if ra[j] != rb[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

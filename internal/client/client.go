@@ -221,17 +221,7 @@ func (c *Client) verify(q query.Query, raw []byte, ctr *metrics.Counter) ([]reco
 // sameQuery checks the server echoed the query the client sent. The
 // verification itself uses the client's own copy of q, so this check only
 // guards against confused-server responses, not security.
-func sameQuery(a, b query.Query) bool {
-	if a.Kind != b.Kind || a.K != b.K || a.L != b.L || a.U != b.U || a.Y != b.Y || len(a.X) != len(b.X) {
-		return false
-	}
-	for i := range a.X {
-		if a.X[i] != b.X[i] {
-			return false
-		}
-	}
-	return true
-}
+func sameQuery(a, b query.Query) bool { return query.Equal(a, b) }
 
 // Stats returns the client's cumulative verification metrics.
 func (c *Client) Stats() metrics.Counter {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -162,16 +163,38 @@ type BatchItem struct {
 // are claimed off a shared index so unevenly sized proofs still load-
 // balance.
 func VerifyBatch(pub PublicParams, items []BatchItem, workers int, ctr *metrics.Counter) []error {
+	return VerifyBatchCtx(context.Background(), pub, items, workers, ctr)
+}
+
+// errNotVerified marks items the worker pool never reached; it is always
+// replaced before VerifyBatchCtx returns.
+var errNotVerified = errors.New("core: item not verified")
+
+// VerifyBatchCtx is VerifyBatch with cooperative cancellation: once ctx
+// is done the pool stops claiming new items, so a canceled client stops
+// burning CPU mid-batch. Items the pool never reached report ctx's error
+// (e.g. context.Canceled) instead of a verification verdict — callers
+// must not treat those as rejections. In-flight items finish and report
+// their real verdict.
+func VerifyBatchCtx(ctx context.Context, pub PublicParams, items []BatchItem, workers int, ctr *metrics.Counter) []error {
 	errs := make([]error, len(items))
 	if len(items) == 0 {
 		return errs
 	}
+	for i := range errs {
+		errs[i] = errNotVerified
+	}
 	workers = pool.Workers(workers, len(items))
 	ctrs := make([]metrics.Counter, workers)
-	pool.Run(len(items), workers, func(w, i int) {
+	err := pool.RunCtx(ctx, len(items), workers, func(w, i int) {
 		it := items[i]
 		errs[i] = Verify(pub, it.Query, it.Records, it.VO, &ctrs[w])
 	})
+	for i := range errs {
+		if errs[i] == errNotVerified {
+			errs[i] = err
+		}
+	}
 	for i := range ctrs {
 		ctr.Add(ctrs[i])
 	}

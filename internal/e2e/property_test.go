@@ -105,11 +105,18 @@ func TestQuickHonestAlwaysVerifies(t *testing.T) {
 	}
 }
 
-// TestQuickRandomByteFlipNeverVerifies: flipping any single byte of a
-// serialized answer either fails to decode or fails verification — it can
-// only still verify if the re-encoded content is bit-identical (i.e. the
-// flip was undone), which our canonical codec never produces.
-func TestQuickRandomByteFlipNeverVerifies(t *testing.T) {
+// TestQuickRandomByteFlipNeverAltersRecords: flipping any single byte
+// of a serialized answer either fails to decode, fails verification, or
+// leaves the verified record set bit-identical. The last case is real:
+// a handful of advisory bytes are not authenticated because no security
+// property rests on them — the unused Y field of a range query can flip
+// 0.0 to -0.0 (equal under the echo check's float compare, different
+// bits), and an interior window's ListLen is bound by no sentinel (the
+// query kinds whose semantics read ListLen — top-k, bottom-k, knn —
+// require a sentinel boundary, which authenticates it). What the
+// protocol does promise is that no flip can change the records a
+// verifying client accepts.
+func TestQuickRandomByteFlipNeverAltersRecords(t *testing.T) {
 	tree := propTree(t, 25, 99, core.OneSignature)
 	pub := tree.Public()
 	q := query.NewRange(geometry.Point{0.1}, -2, 2)
@@ -119,12 +126,12 @@ func TestQuickRandomByteFlipNeverVerifies(t *testing.T) {
 	}
 	enc := wire.EncodeIFMH(ans)
 
-	sameQuery := func(a, b query.Query) bool {
-		if a.Kind != b.Kind || a.K != b.K || a.L != b.L || a.U != b.U || a.Y != b.Y || len(a.X) != len(b.X) {
+	sameRecords := func(a, b []record.Record) bool {
+		if len(a) != len(b) {
 			return false
 		}
-		for i := range a.X {
-			if a.X[i] != b.X[i] {
+		for i := range a {
+			if string(a[i].Encode(nil)) != string(b[i].Encode(nil)) {
 				return false
 			}
 		}
@@ -139,13 +146,13 @@ func TestQuickRandomByteFlipNeverVerifies(t *testing.T) {
 		if err != nil {
 			return true // rejected at parse time
 		}
-		if !sameQuery(q, dec.Query) {
+		if !query.Equal(q, dec.Query) {
 			return true // rejected by the client's echo check
 		}
 		if err := core.Verify(pub, q, dec.Records, &dec.VO, nil); err != nil {
 			return true // rejected at verification time
 		}
-		return string(wire.EncodeIFMH(dec)) == string(enc)
+		return sameRecords(ans.Records, dec.Records)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)

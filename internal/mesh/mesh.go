@@ -196,6 +196,9 @@ func (m *Mesh) NumSubdomains() int { return len(m.edges) - 1 }
 // NumRecords returns the database size.
 func (m *Mesh) NumRecords() int { return m.table.Len() }
 
+// Domain returns the owner-specified bounded query domain.
+func (m *Mesh) Domain() geometry.Box { return m.domain }
+
 // SignatureCount returns the total signatures created at build time — the
 // paper's Fig 5a metric for the mesh.
 func (m *Mesh) SignatureCount() int { return m.sigCount }

@@ -99,6 +99,30 @@ func (o *Owner) OutsourceShardedIFMH(tbl record.Table, tpl funcs.Template, domai
 	return set, set.Public(), nil
 }
 
+// OutsourceShardIFMH builds shard i's tree alone — one process's share
+// of a multi-process deployment, where every shard server is handed
+// exactly one tree and a routing front-end composes them. The tree is
+// identical to the one OutsourceShardedIFMH would place at index i, so
+// the published parameters (shared by all shards) verify its answers
+// unchanged.
+func (o *Owner) OutsourceShardIFMH(tbl record.Table, tpl funcs.Template, domain geometry.Box, opt Options, plan shard.Plan, i int) (*core.Tree, core.PublicParams, error) {
+	tree, err := shard.BuildOne(tbl, core.Params{
+		Mode:        opt.Mode,
+		Signer:      o.signer,
+		Domain:      domain,
+		Template:    tpl,
+		Hasher:      opt.Hasher,
+		Shuffle:     opt.Shuffle,
+		Seed:        opt.Seed,
+		Materialize: opt.Materialize,
+		Workers:     opt.Workers,
+	}, plan, i)
+	if err != nil {
+		return nil, core.PublicParams{}, err
+	}
+	return tree, tree.Public(), nil
+}
+
 // OutsourceMesh builds the signature-mesh package (the baseline).
 func (o *Owner) OutsourceMesh(tbl record.Table, tpl funcs.Template, domain geometry.Box, opt Options) (*mesh.Mesh, mesh.PublicParams, error) {
 	m, err := mesh.Build(tbl, mesh.Params{

@@ -6,6 +6,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -58,4 +59,48 @@ func Run(n, workers int, fn func(worker, i int)) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// RunCtx is Run with cooperative cancellation: workers stop claiming new
+// indexes once ctx is done, and RunCtx returns ctx.Err() (nil when every
+// index was processed). Indexes already claimed when the context fires
+// still run to completion — fn is never abandoned mid-item — so callers
+// know each index was either fully processed or never started. The
+// skipped set is the indexes for which fn was not called.
+func RunCtx(ctx context.Context, n, workers int, fn func(worker, i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(0, i)
+		}
+		return ctx.Err()
+	}
+	done := ctx.Done()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ctx.Err()
 }

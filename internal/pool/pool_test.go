@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 )
@@ -41,4 +42,40 @@ func TestRunCoversEveryIndexOnce(t *testing.T) {
 		}
 	}
 	Run(0, 4, func(w, i int) { t.Error("fn called for n=0") })
+}
+
+// TestRunCtxCompletes: an un-canceled context processes every index,
+// exactly like Run.
+func TestRunCtxCompletes(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var hits [50]atomic.Int64
+		if err := RunCtx(context.Background(), len(hits), workers, func(_, i int) {
+			hits[i].Add(1)
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d processed %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+// TestRunCtxCanceled: a canceled context stops workers from claiming
+// new indexes and surfaces ctx.Err(); claimed indexes still run exactly
+// once.
+func TestRunCtxCanceled(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		var calls atomic.Int64
+		err := RunCtx(ctx, 1000, workers, func(_, _ int) { calls.Add(1) })
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if calls.Load() == 1000 {
+			t.Fatalf("workers=%d: canceled pool still processed every index", workers)
+		}
+	}
 }

@@ -88,6 +88,21 @@ func NewBottomK(x geometry.Point, k int) Query {
 	return Query{Kind: BottomK, X: x, K: k}
 }
 
+// Equal reports whether two queries are field-for-field identical
+// (float fields compared exactly). Verifying clients use it to check
+// that a server echoed the query it was asked.
+func Equal(a, b Query) bool {
+	if a.Kind != b.Kind || a.K != b.K || a.L != b.L || a.U != b.U || a.Y != b.Y || len(a.X) != len(b.X) {
+		return false
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Validate checks the query's internal consistency for a d-variable
 // database.
 func (q Query) Validate(dim int) error {

@@ -9,13 +9,14 @@
 package server
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
+	"aqverify/internal/backend"
 	"aqverify/internal/core"
+	"aqverify/internal/geometry"
 	"aqverify/internal/mesh"
 	"aqverify/internal/metrics"
-	"aqverify/internal/pool"
 	"aqverify/internal/query"
 	"aqverify/internal/wire"
 )
@@ -42,6 +43,10 @@ func (b IFMH) Name() string {
 	return "ifmh-multi"
 }
 
+// Domain returns the serving domain (the tree's sub-box when this
+// server hosts one shard of a multi-process deployment).
+func (b IFMH) Domain() geometry.Box { return b.Tree.Domain() }
+
 // Process implements Backend.
 func (b IFMH) Process(q query.Query, ctr *metrics.Counter) ([]byte, error) {
 	ans, err := b.Tree.Process(q, ctr)
@@ -60,6 +65,9 @@ type Mesh struct {
 
 // Name implements Backend.
 func (Mesh) Name() string { return "mesh" }
+
+// Domain returns the serving domain.
+func (b Mesh) Domain() geometry.Box { return b.M.Domain() }
 
 // Process implements Backend.
 func (b Mesh) Process(q query.Query, ctr *metrics.Counter) ([]byte, error) {
@@ -84,15 +92,16 @@ type ShardStat struct {
 // in flight at once. When the backend is sharded (ShardedBackend) the
 // server additionally routes batches shard-by-shard and keeps per-shard
 // tallies.
+//
+// The tallies are written by every batch worker, so the plain counts —
+// answered, refused, per-shard — are atomics (see Tally); only the
+// multi-field metrics.Counter needs the mutex. Stats() still returns
+// (total, count) as a consistent pair: the answered-query count is
+// incremented under the same lock that folds the query's cost in.
 type Server struct {
 	backend Backend
 	sharded ShardedBackend // nil for single-tree backends
-
-	mu       sync.Mutex
-	total    metrics.Counter
-	count    int
-	errCount int
-	perShard []ShardStat
+	tally   *Tally
 }
 
 // New creates a server for the backend.
@@ -103,13 +112,24 @@ func New(b Backend) (*Server, error) {
 	s := &Server{backend: b}
 	if sb, ok := b.(ShardedBackend); ok {
 		s.sharded = sb
-		s.perShard = make([]ShardStat, sb.NumShards())
+		s.tally = NewTally(sb.NumShards())
+	} else {
+		s.tally = NewTally(0)
 	}
 	return s, nil
 }
 
 // Name returns the backend name.
 func (s *Server) Name() string { return s.backend.Name() }
+
+// Domain returns the hosted backend's serving domain, when it reports
+// one (every built-in backend does).
+func (s *Server) Domain() (geometry.Box, bool) {
+	if d, ok := s.backend.(interface{ Domain() geometry.Box }); ok {
+		return d.Domain(), true
+	}
+	return geometry.Box{}, false
+}
 
 // NumShards returns the backend's shard count, or 0 for a single-tree
 // backend.
@@ -127,18 +147,7 @@ func (s *Server) NumShards() int {
 // over answered queries.
 func (s *Server) Handle(q query.Query) ([]byte, error) {
 	var ctr metrics.Counter
-	if s.sharded != nil {
-		sh, err := s.sharded.Shard(q)
-		if err != nil {
-			s.record(ctr, wire.ShardNone, err)
-			return nil, err
-		}
-		out, err := s.sharded.ProcessOn(sh, q, &ctr)
-		s.record(ctr, sh, err)
-		return out, err
-	}
-	out, err := s.backend.Process(q, &ctr)
-	s.record(ctr, wire.ShardNone, err)
+	_, out, err := s.processOnce(q, &ctr)
 	return out, err
 }
 
@@ -149,55 +158,29 @@ func (s *Server) Handle(q query.Query) ([]byte, error) {
 // them — the backends answer from immutable state, so batched answers
 // are byte-identical to sequential ones. Metrics accumulate per query
 // under the server's lock, as if each query had been handled alone.
+//
+// Deprecated: use QueryBatch, the unified query plane's batch entry
+// point, which adds cancellation and per-call options. HandleBatch
+// remains as a thin shim over it.
 func (s *Server) HandleBatch(qs []query.Query, workers int) (outs [][]byte, errs []error) {
 	outs, _, errs = s.HandleBatchShards(qs, workers)
 	return outs, errs
 }
 
 // HandleBatchShards is HandleBatch plus shard attribution: shards[i] is
-// the shard that answered qs[i], or -1 when the backend is unsharded or
-// the query was unroutable. Against a sharded backend the batch is
-// grouped per shard before dispatch — every query is routed once up
-// front, unroutable ones fail without occupying a worker, and the pool
-// walks the batch shard-by-shard so consecutive workers hit the same
-// tree instead of interleaving all K.
+// the shard that answered qs[i], or -1 when the backend is unsharded,
+// the query was unroutable, or the owning shard refused it.
+//
+// Deprecated: use QueryBatch, which carries the attribution in
+// Answer.Shard. HandleBatchShards remains as a thin shim over it.
 func (s *Server) HandleBatchShards(qs []query.Query, workers int) (outs [][]byte, shards []int, errs []error) {
+	answers, errs := s.QueryBatch(context.Background(), qs, backend.WithWorkers(workers))
 	outs = make([][]byte, len(qs))
-	errs = make([]error, len(qs))
 	shards = make([]int, len(qs))
-	if s.sharded == nil {
-		for i := range shards {
-			shards[i] = wire.ShardNone
-		}
-		pool.Run(len(qs), pool.Workers(workers, len(qs)), func(_, i int) {
-			var ctr metrics.Counter
-			outs[i], errs[i] = s.backend.Process(qs[i], &ctr)
-			s.record(ctr, wire.ShardNone, errs[i])
-		})
-		return outs, shards, errs
+	for i := range answers {
+		outs[i] = answers[i].Raw
+		shards[i] = answers[i].Shard
 	}
-
-	// Route the whole batch first, then dispatch it in shard-contiguous
-	// order: order lists the routable indexes grouped by owning shard.
-	var rerrs []error
-	var groups [][]int
-	shards, groups, rerrs = s.sharded.Group(qs)
-	for i, err := range rerrs {
-		if err != nil {
-			errs[i] = err
-			s.record(metrics.Counter{}, wire.ShardNone, err)
-		}
-	}
-	order := make([]int, 0, len(qs))
-	for _, g := range groups {
-		order = append(order, g...)
-	}
-	pool.Run(len(order), pool.Workers(workers, len(order)), func(_, k int) {
-		i := order[k]
-		var ctr metrics.Counter
-		outs[i], errs[i] = s.sharded.ProcessOn(shards[i], qs[i], &ctr)
-		s.record(ctr, shards[i], errs[i])
-	})
 	return outs, shards, errs
 }
 
@@ -205,44 +188,16 @@ func (s *Server) HandleBatchShards(qs []query.Query, workers int) (outs [][]byte
 // attributes it to a shard (-1 for unsharded backends and unroutable
 // queries).
 func (s *Server) record(ctr metrics.Counter, sh int, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if sh >= 0 && sh < len(s.perShard) {
-		if err != nil {
-			s.perShard[sh].Errors++
-		} else {
-			s.perShard[sh].Queries++
-		}
-	}
-	if err != nil {
-		s.errCount++
-		return
-	}
-	s.total.Add(ctr)
-	s.count++
+	s.tally.Record(ctr, sh, err)
 }
 
-// Stats returns the cumulative metrics and the answered-query count.
-func (s *Server) Stats() (metrics.Counter, int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.total, s.count
-}
+// Stats returns the cumulative metrics and the answered-query count, as
+// a consistent pair.
+func (s *Server) Stats() (metrics.Counter, int) { return s.tally.Stats() }
 
 // ShardStats returns per-shard serving tallies, or nil for a
 // single-tree backend. Unroutable queries appear in ErrorCount only.
-func (s *Server) ShardStats() []ShardStat {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.perShard == nil {
-		return nil
-	}
-	return append([]ShardStat(nil), s.perShard...)
-}
+func (s *Server) ShardStats() []ShardStat { return s.tally.ShardStats() }
 
 // ErrorCount returns how many queries the backend refused.
-func (s *Server) ErrorCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.errCount
-}
+func (s *Server) ErrorCount() int { return s.tally.ErrorCount() }

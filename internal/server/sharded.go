@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 
+	"aqverify/internal/geometry"
 	"aqverify/internal/metrics"
 	"aqverify/internal/query"
 	"aqverify/internal/shard"
@@ -54,6 +55,9 @@ func (b ShardedIFMH) Name() string {
 
 // NumShards implements ShardedBackend.
 func (b ShardedIFMH) NumShards() int { return b.Router.NumShards() }
+
+// Domain returns the full domain the shard set partitions.
+func (b ShardedIFMH) Domain() geometry.Box { return b.Router.Set().Plan.Domain }
 
 // Shard implements ShardedBackend.
 func (b ShardedIFMH) Shard(q query.Query) (int, error) { return b.Router.Route(q) }

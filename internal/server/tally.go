@@ -1,0 +1,111 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"aqverify/internal/metrics"
+)
+
+// Tally is the serving count a query-plane host keeps: answered and
+// refused totals, optional per-shard attribution, and the cumulative
+// cost counter. The Server records into one; so does the HTTP handler
+// when it fronts a backend that keeps no stats of its own (a fanout
+// front-end). The plain counts are atomics — they are bumped from every
+// concurrent batch worker — and only the multi-field metrics.Counter
+// sits behind the mutex.
+type Tally struct {
+	count    atomic.Int64 // answered queries (paired with total by Record)
+	errCount atomic.Int64 // refused queries
+	perShard []shardTally // per-shard tallies; nil when unsharded
+
+	mu    sync.Mutex
+	total metrics.Counter
+}
+
+// shardTally is one shard's atomic serving tally.
+type shardTally struct {
+	queries atomic.Int64
+	errors  atomic.Int64
+}
+
+// NewTally creates a tally attributing to the given shard count (0 =
+// unsharded, no per-shard breakdown).
+func NewTally(shards int) *Tally {
+	t := &Tally{}
+	if shards > 0 {
+		t.perShard = make([]shardTally, shards)
+	}
+	return t
+}
+
+// Record folds one query's outcome and full cost in; sh attributes it
+// to a shard (negative for unsharded or unroutable). The answered count
+// is incremented under the same lock that folds the cost, so Stats()
+// returns (total, count) as a consistent pair.
+func (t *Tally) Record(ctr metrics.Counter, sh int, err error) {
+	t.countShard(sh, err)
+	if err != nil {
+		t.errCount.Add(1)
+		return
+	}
+	t.mu.Lock()
+	t.total.Add(ctr)
+	t.count.Add(1)
+	t.mu.Unlock()
+}
+
+// Count tallies one query's outcome without its cost — the batch path,
+// which folds the whole batch's cost in one AddCost instead of taking
+// the mutex per item. Counts recorded this way may momentarily lead the
+// cost total.
+func (t *Tally) Count(sh int, err error) {
+	t.countShard(sh, err)
+	if err != nil {
+		t.errCount.Add(1)
+		return
+	}
+	t.count.Add(1)
+}
+
+func (t *Tally) countShard(sh int, err error) {
+	if sh >= 0 && sh < len(t.perShard) {
+		if err != nil {
+			t.perShard[sh].errors.Add(1)
+		} else {
+			t.perShard[sh].queries.Add(1)
+		}
+	}
+}
+
+// AddCost folds a call's cumulative cost in.
+func (t *Tally) AddCost(ctr metrics.Counter) {
+	t.mu.Lock()
+	t.total.Add(ctr)
+	t.mu.Unlock()
+}
+
+// Stats returns the cumulative metrics and the answered-query count.
+func (t *Tally) Stats() (metrics.Counter, int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total, int(t.count.Load())
+}
+
+// ErrorCount returns how many queries were refused.
+func (t *Tally) ErrorCount() int { return int(t.errCount.Load()) }
+
+// ShardStats returns per-shard serving tallies, or nil when unsharded.
+func (t *Tally) ShardStats() []ShardStat {
+	if t.perShard == nil {
+		return nil
+	}
+	out := make([]ShardStat, len(t.perShard))
+	for i := range t.perShard {
+		out[i] = ShardStat{
+			Queries: int(t.perShard[i].queries.Load()),
+			Errors:  int(t.perShard[i].errors.Load()),
+		}
+	}
+	return out
+}

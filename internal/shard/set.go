@@ -30,6 +30,61 @@ type Set struct {
 // Intersection insertion order is shuffled per shard with a seed derived
 // from p.Seed and the shard index, keeping builds reproducible.
 func Build(tbl record.Table, p core.Params, plan Plan) (*Set, error) {
+	buckets, err := shardBuckets(tbl, p, plan)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Set{Plan: plan, Trees: make([]*core.Tree, plan.K())}
+	errs := make([]error, plan.K())
+	var wg sync.WaitGroup
+	for i := 0; i < plan.K(); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tree, err := core.Build(tbl, shardParams(p, plan, buckets, i))
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+				return
+			}
+			s.Trees[i] = tree
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// BuildOne constructs shard i's tree alone — the entry point for a
+// multi-process deployment, where each process builds and serves only
+// its own shard. The result is the same tree Build would have placed at
+// index i: the global intersection enumeration is partitioned with the
+// same half-open ownership rule, and the shard's seed derives from
+// p.Seed and i exactly as in Build, so a vqserve per shard and a
+// single-process K-shard set answer byte-for-byte identically.
+func BuildOne(tbl record.Table, p core.Params, plan Plan, i int) (*core.Tree, error) {
+	if i < 0 || i >= plan.K() {
+		return nil, fmt.Errorf("shard: index %d out of range for a %d-shard plan", i, plan.K())
+	}
+	buckets, err := shardBuckets(tbl, p, plan)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := core.Build(tbl, shardParams(p, plan, buckets, i))
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", i, err)
+	}
+	return tree, nil
+}
+
+// shardBuckets validates the build inputs and partitions the global
+// intersection enumeration across the plan's sub-boxes (1-D templates
+// only; multivariate shards enumerate per sub-box inside core.Build).
+func shardBuckets(tbl record.Table, p core.Params, plan Plan) ([][]itree.Intersection, error) {
 	if plan.K() == 0 {
 		return nil, fmt.Errorf("shard: empty plan; use NewPlan")
 	}
@@ -53,38 +108,23 @@ func Build(tbl record.Table, p core.Params, plan Plan) (*Set, error) {
 			return nil, err
 		}
 	}
+	return buckets, nil
+}
 
-	s := &Set{Plan: plan, Trees: make([]*core.Tree, plan.K())}
-	errs := make([]error, plan.K())
-	var wg sync.WaitGroup
-	for i := 0; i < plan.K(); i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sp := p
-			sp.Domain = plan.Boxes[i]
-			sp.Seed = p.Seed + int64(i)
-			sp.Inters1D = buckets[i]
-			if sp.Inters1D == nil && p.Template.Dim() == 1 {
-				// An interior shard may legitimately own zero
-				// intersections; distinguish that from "enumerate for me".
-				sp.Inters1D = []itree.Intersection{}
-			}
-			tree, err := core.Build(tbl, sp)
-			if err != nil {
-				errs[i] = fmt.Errorf("shard %d: %w", i, err)
-				return
-			}
-			s.Trees[i] = tree
-		}(i)
+// shardParams derives shard i's build configuration from the set-wide
+// one: the sub-box domain, a seed derived from the shard index, and the
+// shard's intersection bucket.
+func shardParams(p core.Params, plan Plan, buckets [][]itree.Intersection, i int) core.Params {
+	sp := p
+	sp.Domain = plan.Boxes[i]
+	sp.Seed = p.Seed + int64(i)
+	sp.Inters1D = buckets[i]
+	if sp.Inters1D == nil && p.Template.Dim() == 1 {
+		// An interior shard may legitimately own zero
+		// intersections; distinguish that from "enumerate for me".
+		sp.Inters1D = []itree.Intersection{}
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return s, nil
+	return sp
 }
 
 // NumShards returns the shard count.

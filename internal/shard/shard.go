@@ -106,6 +106,72 @@ func NewPlanCuts(domain geometry.Box, axis int, cuts []float64) (Plan, error) {
 // K returns the shard count.
 func (p Plan) K() int { return len(p.Boxes) }
 
+// PlanFromBoxes reconstructs the plan from per-shard sub-boxes, in shard
+// order (left to right along the cut axis) — the inverse of NewPlanCuts'
+// Boxes field. A routing front-end uses it to recover the plan from what
+// the shard servers advertise: each vqserve publishes its serving
+// domain, and the front-end needs the global plan to route. The boxes
+// must form a contiguous split of one box along exactly one axis and be
+// identical along every other; a single box yields the trivial plan.
+func PlanFromBoxes(boxes []geometry.Box) (Plan, error) {
+	if len(boxes) == 0 {
+		return Plan{}, fmt.Errorf("shard: no sub-boxes")
+	}
+	dim := boxes[0].Dim()
+	for i, b := range boxes {
+		if b.Dim() != dim {
+			return Plan{}, fmt.Errorf("shard: sub-box %d is %d-D, sub-box 0 is %d-D", i, b.Dim(), dim)
+		}
+	}
+	if len(boxes) == 1 {
+		return NewPlanCuts(boxes[0], 0, nil)
+	}
+	axis := -1
+	for a := 0; a < dim; a++ {
+		if contiguousAlong(boxes, a) {
+			if axis >= 0 {
+				return Plan{}, fmt.Errorf("shard: sub-boxes split along both axis %d and %d", axis, a)
+			}
+			axis = a
+		}
+	}
+	if axis < 0 {
+		return Plan{}, fmt.Errorf("shard: sub-boxes do not form a contiguous one-axis split")
+	}
+	cuts := make([]float64, 0, len(boxes)-1)
+	for _, b := range boxes[:len(boxes)-1] {
+		cuts = append(cuts, b.Hi[axis])
+	}
+	lo := append([]float64(nil), boxes[0].Lo...)
+	hi := append([]float64(nil), boxes[0].Hi...)
+	hi[axis] = boxes[len(boxes)-1].Hi[axis]
+	domain, err := geometry.NewBox(lo, hi)
+	if err != nil {
+		return Plan{}, fmt.Errorf("shard: joining sub-boxes: %w", err)
+	}
+	return NewPlanCuts(domain, axis, cuts)
+}
+
+// contiguousAlong reports whether the boxes tile one interval along axis
+// a — each box starting where its left neighbor ends — while agreeing
+// exactly on every other axis.
+func contiguousAlong(boxes []geometry.Box, a int) bool {
+	for i, b := range boxes {
+		for d := 0; d < b.Dim(); d++ {
+			if d == a {
+				continue
+			}
+			if b.Lo[d] != boxes[0].Lo[d] || b.Hi[d] != boxes[0].Hi[d] {
+				return false
+			}
+		}
+		if i > 0 && b.Lo[a] != boxes[i-1].Hi[a] {
+			return false
+		}
+	}
+	return true
+}
+
 // Route returns the index of the shard owning the function input x. A
 // point exactly on a cut routes deterministically to the shard on the
 // cut's right — the same tie-break itree.PairsPartition1D applies to

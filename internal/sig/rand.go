@@ -2,6 +2,8 @@ package sig
 
 import (
 	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
 	"io"
 )
 
@@ -13,3 +15,38 @@ func cryptoRand() io.Reader { return rand.Reader }
 // Parameters are cached process-wide, so they always come from real
 // entropy regardless of any deterministic test reader.
 func randReaderForParams() io.Reader { return rand.Reader }
+
+// DeterministicRand returns a reproducible byte stream derived from the
+// seed (a SHA-256 counter stream), for Options.Rand. It exists so the
+// processes of a multi-process shard deployment can derive the same
+// owner key from a shared seed in demos and tests. The seed space is 64
+// bits: never use it for keys that protect real data.
+func DeterministicRand(seed int64) io.Reader {
+	var key [8]byte
+	binary.BigEndian.PutUint64(key[:], uint64(seed))
+	return &detRand{key: key}
+}
+
+type detRand struct {
+	key [8]byte
+	ctr uint64
+	buf []byte
+}
+
+func (d *detRand) Read(p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		if len(d.buf) == 0 {
+			var block [16]byte
+			copy(block[:8], d.key[:])
+			binary.BigEndian.PutUint64(block[8:], d.ctr)
+			d.ctr++
+			sum := sha256.Sum256(block[:])
+			d.buf = append(d.buf, sum[:]...)
+		}
+		c := copy(p[n:], d.buf)
+		d.buf = d.buf[c:]
+		n += c
+	}
+	return n, nil
+}

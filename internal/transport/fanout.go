@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+
+	"aqverify/internal/backend"
+	"aqverify/internal/geometry"
+	"aqverify/internal/shard"
+)
+
+// DialFanout dials every shard server of a multi-process deployment,
+// recovers the shard plan from the advertised serving domains (each
+// vqserve -shard i publishes its sub-box on /params), and composes the
+// remotes into a backend.Fanout. urls may list the backends in any
+// order; the slice is reordered in place into shard order (left to
+// right along the cut axis), index-aligned with the fanout's shards.
+// Every backend must advertise the same backend name, verifier key and
+// template — one logical database, one owner.
+//
+// The returned Params is the merged trust bundle the front-end
+// republishes on its own /params: the dialed bundle with the joined
+// domain and the shard count substituted, so a verifying client dials
+// the front-end exactly as it would dial a single vqserve.
+func DialFanout(urls []string, hc *http.Client) (*backend.Fanout, Params, error) {
+	if len(urls) == 0 {
+		return nil, Params{}, fmt.Errorf("transport: no backends given")
+	}
+	type dialed struct {
+		url    string
+		remote *Remote
+		box    geometry.Box
+		params Params
+	}
+	ds := make([]dialed, len(urls))
+	for i, u := range urls {
+		r, err := DialRemote(u, hc)
+		if err != nil {
+			return nil, Params{}, fmt.Errorf("transport: backend %s: %w", u, err)
+		}
+		box, ok := r.Client().Domain()
+		if !ok {
+			return nil, Params{}, fmt.Errorf("transport: backend %s does not advertise its serving domain; run a current vqserve", u)
+		}
+		ds[i] = dialed{url: u, remote: r, box: box, params: r.Client().Params()}
+	}
+	for _, d := range ds[1:] {
+		if d.params.Backend != ds[0].params.Backend {
+			return nil, Params{}, fmt.Errorf("transport: backend %s serves %q, %s serves %q; one logical database required",
+				d.url, d.params.Backend, ds[0].url, ds[0].params.Backend)
+		}
+		if d.params.Verifier != ds[0].params.Verifier {
+			return nil, Params{}, fmt.Errorf("transport: backend %s publishes a different verifier key than %s; all shards must share one owner key (vqserve -keyseed)",
+				d.url, ds[0].url)
+		}
+		if !sameTemplate(d.params.Template, ds[0].params.Template) {
+			return nil, Params{}, fmt.Errorf("transport: backend %s publishes a different template than %s", d.url, ds[0].url)
+		}
+	}
+	// Shard order = ascending corner order; for a one-axis split this is
+	// the left-to-right order PlanFromBoxes requires.
+	sort.SliceStable(ds, func(i, j int) bool {
+		for d := range ds[i].box.Lo {
+			if ds[i].box.Lo[d] != ds[j].box.Lo[d] {
+				return ds[i].box.Lo[d] < ds[j].box.Lo[d]
+			}
+		}
+		return false
+	})
+	boxes := make([]geometry.Box, len(ds))
+	kids := make([]backend.Backend, len(ds))
+	for i, d := range ds {
+		boxes[i] = d.box
+		kids[i] = d.remote
+		urls[i] = d.url
+	}
+	plan, err := shard.PlanFromBoxes(boxes)
+	if err != nil {
+		return nil, Params{}, fmt.Errorf("transport: recovering the shard plan: %w", err)
+	}
+	f, err := backend.NewFanout(plan, kids)
+	if err != nil {
+		return nil, Params{}, err
+	}
+	params := ds[0].params
+	params.Shards = plan.K()
+	params.Domain = ToBoxJSON(plan.Domain)
+	return f, params, nil
+}
+
+// sameTemplate compares two advertised templates field for field.
+func sameTemplate(a, b TplJSON) bool {
+	if a.Name != b.Name || a.BiasAttr != b.BiasAttr || len(a.CoefAttrs) != len(b.CoefAttrs) {
+		return false
+	}
+	for i := range a.CoefAttrs {
+		if a.CoefAttrs[i] != b.CoefAttrs[i] {
+			return false
+		}
+	}
+	return true
+}

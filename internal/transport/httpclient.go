@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 
 	"aqverify/internal/client"
 	"aqverify/internal/core"
+	"aqverify/internal/geometry"
 	"aqverify/internal/mesh"
 	"aqverify/internal/query"
 	"aqverify/internal/record"
@@ -30,12 +32,13 @@ const maxBatchAnswerBytes = 512 << 20
 // trust bundle once, then verifies every answer locally before returning
 // records. The HTTP connection is untrusted by construction — any
 // tampering en route fails verification exactly like a lying server.
+// Remote wraps it into the unified backend.Backend query plane.
 type HTTPClient struct {
 	base   string
 	hc     *http.Client
 	cli    *client.Client
-	mode   string
-	shards int
+	params Params
+	pub    *core.PublicParams // nil for mesh backends
 }
 
 // Dial fetches /params from the base URL and prepares a verifying client.
@@ -66,16 +69,18 @@ func Dial(base string, hc *http.Client) (*HTTPClient, error) {
 	}
 	tpl := fromTplJSON(p.Template)
 
-	out := &HTTPClient{base: base, hc: hc, mode: p.Backend, shards: p.Shards}
+	out := &HTTPClient{base: base, hc: hc, params: p}
 	switch p.Backend {
 	case "ifmh-one", "ifmh-multi":
 		mode := core.OneSignature
 		if p.Backend == "ifmh-multi" {
 			mode = core.MultiSignature
 		}
-		out.cli = client.NewIFMH(core.PublicParams{
+		pub := core.PublicParams{
 			Verifier: ver, Template: tpl, Mode: mode, SemTol: p.SemTol,
-		})
+		}
+		out.pub = &pub
+		out.cli = client.NewIFMH(pub)
 	case "mesh":
 		out.cli = client.NewMesh(mesh.PublicParams{
 			Verifier: ver, Template: tpl, SemTol: p.SemTol,
@@ -87,33 +92,96 @@ func Dial(base string, hc *http.Client) (*HTTPClient, error) {
 }
 
 // Backend returns the server's advertised backend name.
-func (c *HTTPClient) Backend() string { return c.mode }
+func (c *HTTPClient) Backend() string { return c.params.Backend }
 
 // Shards returns the server's advertised domain-shard count (0 = single
 // tree). Verification is identical either way.
-func (c *HTTPClient) Shards() int { return c.shards }
+func (c *HTTPClient) Shards() int { return c.params.Shards }
+
+// Params returns the server's advertised trust bundle as fetched.
+func (c *HTTPClient) Params() Params { return c.params }
+
+// Domain returns the server's advertised serving domain, when it
+// advertises one — a shard server of a multi-process deployment
+// advertises its sub-box.
+func (c *HTTPClient) Domain() (geometry.Box, bool) { return c.params.Domain.Box() }
+
+// Public returns the IFMH verification parameters derived from the
+// advertised bundle (zero for mesh backends).
+func (c *HTTPClient) Public() (core.PublicParams, bool) {
+	if c.pub == nil {
+		return core.PublicParams{}, false
+	}
+	return *c.pub, true
+}
 
 // Query sends q, verifies the answer, and returns the records. Every
 // failure — network, malformed bytes, failed verification — is an error;
 // no unverified record is ever returned.
+//
+// Deprecated: use Remote, the unified query plane over this client,
+// whose Query carries a context and per-call options. This entry point
+// remains as a thin shim.
 func (c *HTTPClient) Query(q query.Query) ([]record.Record, error) {
-	resp, err := c.hc.Post(c.base+"/query", "application/octet-stream",
-		bytes.NewReader(wire.EncodeQuery(q)))
+	raw, err := c.rawQuery(context.Background(), q)
 	if err != nil {
-		return nil, fmt.Errorf("transport: post query: %w", err)
+		return nil, err
+	}
+	return c.cli.Check(q, raw)
+}
+
+// rawQuery posts one query and returns the serialized answer bytes,
+// unverified. Transport failures and non-200 statuses are errors.
+func (c *HTTPClient) rawQuery(ctx context.Context, q query.Query) ([]byte, error) {
+	body, err := c.post(ctx, "/query", wire.EncodeQuery(q), maxAnswerBytes)
+	if err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// rawBatch posts a query batch in one exchange and returns the decoded
+// per-item outcomes, unverified. The returned error covers
+// transport-level failures only.
+func (c *HTTPClient) rawBatch(ctx context.Context, qs []query.Query) ([]wire.BatchAnswer, error) {
+	body, err := c.post(ctx, "/query/batch", wire.EncodeQueryBatch(qs), maxBatchAnswerBytes)
+	if err != nil {
+		return nil, err
+	}
+	items, err := wire.DecodeAnswerBatch(body)
+	if err != nil {
+		return nil, fmt.Errorf("transport: parse batch answer: %w", err)
+	}
+	if len(items) != len(qs) {
+		return nil, fmt.Errorf("transport: batch answered %d of %d queries", len(items), len(qs))
+	}
+	return items, nil
+}
+
+// post sends one octet-stream request and buffers up to limit response
+// bytes; a non-200 status surfaces the server's message.
+func (c *HTTPClient) post(ctx context.Context, path string, reqBody []byte, limit int64) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(reqBody))
+	if err != nil {
+		return nil, fmt.Errorf("transport: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("transport: post %s: %w", path, err)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxAnswerBytes+1))
+	body, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
 	if err != nil {
 		return nil, fmt.Errorf("transport: read answer: %w", err)
 	}
-	if len(body) > maxAnswerBytes {
-		return nil, fmt.Errorf("transport: answer exceeds %d bytes", maxAnswerBytes)
+	if int64(len(body)) > limit {
+		return nil, fmt.Errorf("transport: answer exceeds %d bytes", limit)
 	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("transport: server returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
 	}
-	return c.cli.Check(q, body)
+	return body, nil
 }
 
 // QueryBatch sends all queries in one POST /query/batch exchange and
@@ -123,29 +191,13 @@ func (c *HTTPClient) Query(q query.Query) ([]record.Record, error) {
 // rest. The returned error covers transport-level failures only —
 // network errors, non-200 statuses, or a response frame that does not
 // parse.
+//
+// Deprecated: use Remote, whose QueryBatch carries a context and
+// per-call options. This entry point remains as a thin shim.
 func (c *HTTPClient) QueryBatch(qs []query.Query) ([]client.BatchResult, error) {
-	resp, err := c.hc.Post(c.base+"/query/batch", "application/octet-stream",
-		bytes.NewReader(wire.EncodeQueryBatch(qs)))
+	items, err := c.rawBatch(context.Background(), qs)
 	if err != nil {
-		return nil, fmt.Errorf("transport: post batch: %w", err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBatchAnswerBytes+1))
-	if err != nil {
-		return nil, fmt.Errorf("transport: read batch answer: %w", err)
-	}
-	if len(body) > maxBatchAnswerBytes {
-		return nil, fmt.Errorf("transport: batch answer exceeds %d bytes; split the batch", maxBatchAnswerBytes)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("transport: server returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
-	}
-	items, err := wire.DecodeAnswerBatch(body)
-	if err != nil {
-		return nil, fmt.Errorf("transport: parse batch answer: %w", err)
-	}
-	if len(items) != len(qs) {
-		return nil, fmt.Errorf("transport: batch answered %d of %d queries", len(items), len(qs))
+		return nil, err
 	}
 	results := make([]client.BatchResult, len(qs))
 	raws := make([][]byte, len(qs))

@@ -1,0 +1,270 @@
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"aqverify/internal/backend"
+	"aqverify/internal/core"
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+	"aqverify/internal/metrics"
+	"aqverify/internal/query"
+	"aqverify/internal/record"
+	"aqverify/internal/server"
+	"aqverify/internal/shard"
+	"aqverify/internal/sig"
+	"aqverify/internal/wire"
+	"aqverify/internal/workload"
+)
+
+// startShardProcess builds shard i's tree alone — exactly what `vqserve
+// -shards K -shard i` does — and serves it on its own httptest server,
+// standing in for one OS process of the multi-process deployment.
+func startShardProcess(t *testing.T, tbl record.Table, p core.Params, plan shard.Plan, i int) *httptest.Server {
+	t.Helper()
+	tree, err := shard.BuildOne(tbl, p, plan, i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.IFMH{Tree: tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewIFMHHandler(srv, tree.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// kProcessFixture stands up the whole deployment: K shard processes, a
+// vqfront-equivalent front-end (DialFanout + NewBackendHandler) on its
+// own httptest server, and the single-tree baseline.
+func kProcessFixture(t *testing.T, n, k int, mode core.Mode) (front *httptest.Server, f *backend.Fanout, single *core.Tree, dom geometry.Box) {
+	t.Helper()
+	tbl, dom, err := workload.Lines(workload.LinesConfig{N: n, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One owner key shared by every process, as `vqserve -keyseed` shares
+	// it in a real deployment.
+	signer, err := sig.NewSigner(sig.Ed25519, sig.Options{Rand: sig.DeterministicRand(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.Params{
+		Mode: mode, Signer: signer, Domain: dom,
+		Template: funcs.AffineLine(0, 1), Shuffle: true, Seed: 1,
+	}
+	plan, err := shard.NewPlan(dom, 0, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := make([]string, k)
+	for i := 0; i < k; i++ {
+		urls[i] = startShardProcess(t, tbl, p, plan, i).URL
+	}
+	// Hand the URLs over in scrambled order: the front-end must recover
+	// shard order from the advertised domains.
+	for i, j := 0, len(urls)-1; i < j; i, j = i+1, j-1 {
+		urls[i], urls[j] = urls[j], urls[i]
+	}
+	f, params, err := DialFanout(urls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumShards() != k {
+		t.Fatalf("front-end composed %d shards, want %d", f.NumShards(), k)
+	}
+	h, err := NewBackendHandler(f, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front = httptest.NewServer(h)
+	t.Cleanup(front.Close)
+
+	single, err = core.Build(tbl, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return front, f, single, dom
+}
+
+// kProcessQueries mixes every query kind across the domain with queries
+// pinned on the shard cuts and the domain corners.
+func kProcessQueries(dom geometry.Box, cuts []float64) []query.Query {
+	var qs []query.Query
+	add := func(x float64, k int) {
+		p := geometry.Point{x}
+		qs = append(qs,
+			query.NewTopK(p, k),
+			query.NewBottomK(p, k),
+			query.NewRange(p, -2, 2),
+			query.NewKNN(p, k, 0.5),
+		)
+	}
+	for i := 0; i < 12; i++ {
+		add(dom.Lo[0]+(dom.Hi[0]-dom.Lo[0])*float64(2*i+1)/24, 1+i%6)
+	}
+	for _, c := range cuts {
+		add(c, 3)
+	}
+	add(dom.Lo[0], 2)
+	add(dom.Hi[0], 2)
+	return qs
+}
+
+// TestKProcessIdentity is the acceptance identity for the multi-process
+// deployment: K vqserve-equivalent processes behind a vqfront-equivalent
+// front-end return, for every query kind — including queries exactly on
+// shard cuts and at domain corners — verdicts and result windows
+// identical to the single tree built over the full domain, under both
+// signing modes. The client dials the front-end exactly as it would dial
+// a single vqserve and verifies every answer.
+func TestKProcessIdentity(t *testing.T) {
+	for _, mode := range []core.Mode{core.OneSignature, core.MultiSignature} {
+		front, f, single, dom := kProcessFixture(t, 120, 3, mode)
+		qs := kProcessQueries(dom, f.Plan().Cuts)
+
+		// The verifying client sees the front-end as one server.
+		cli, err := Dial(front.URL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cli.Shards() != 3 {
+			t.Errorf("%v: front-end advertises %d shards, want 3", mode, cli.Shards())
+		}
+		pub, ok := cli.Public()
+		if !ok {
+			t.Fatal("front-end params are not IFMH")
+		}
+		results, err := cli.QueryBatch(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for i, q := range qs {
+			want, werr := single.Process(q, &metrics.Counter{})
+			if (werr == nil) != (results[i].Err == nil) {
+				t.Fatalf("%v query %d: single err=%v, k-process err=%v", mode, i, werr, results[i].Err)
+			}
+			if werr != nil {
+				continue
+			}
+			if vErr := core.Verify(pub, q, want.Records, &want.VO, &metrics.Counter{}); vErr != nil {
+				t.Fatalf("%v query %d: single-tree answer rejected: %v", mode, i, vErr)
+			}
+			if len(results[i].Records) != len(want.Records) {
+				t.Fatalf("%v query %d: k-process returned %d records, single %d",
+					mode, i, len(results[i].Records), len(want.Records))
+			}
+			for j := range want.Records {
+				if results[i].Records[j].ID != want.Records[j].ID {
+					t.Fatalf("%v query %d: record %d differs (%d vs %d)",
+						mode, i, j, results[i].Records[j].ID, want.Records[j].ID)
+				}
+			}
+			wantShard, err := f.Plan().Route(q.X)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if results[i].Shard != wantShard {
+				t.Fatalf("%v query %d: answered by shard %d, routing says %d",
+					mode, i, results[i].Shard, wantShard)
+			}
+		}
+
+		// Window identity down to the VO layout, via the raw plane.
+		remote, err := DialRemote(front.URL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		answers, errs := remote.QueryBatch(context.Background(), qs, backend.WithVerify(pub))
+		for i, q := range qs {
+			if errs[i] != nil {
+				t.Fatalf("%v query %d: %v", mode, i, errs[i])
+			}
+			got, err := wire.DecodeIFMH(answers[i].Raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := single.Process(q, &metrics.Counter{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.VO.ListLen != want.VO.ListLen || got.VO.Start != want.VO.Start {
+				t.Fatalf("%v query %d: window (%d,%d) vs single (%d,%d)", mode, i,
+					got.VO.Start, got.VO.ListLen, want.VO.Start, want.VO.ListLen)
+			}
+		}
+	}
+}
+
+// TestKProcessSingleQueryAndStats drives the non-batch endpoint through
+// the front-end and checks the front-end's own /stats tally.
+func TestKProcessSingleQueryAndStats(t *testing.T) {
+	front, f, single, dom := kProcessFixture(t, 80, 2, core.MultiSignature)
+	cli, err := Dial(front.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := append([]float64{(dom.Lo[0] + dom.Hi[0]) / 2}, f.Plan().Cuts...)
+	served := 0
+	for _, x := range probe {
+		q := query.NewTopK(geometry.Point{x}, 3)
+		recs, err := cli.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		served++
+		want, err := single.Process(q, &metrics.Counter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != len(want.Records) {
+			t.Fatalf("query at %v: %d records, single tree %d", x, len(recs), len(want.Records))
+		}
+	}
+	// An unroutable query is refused by the front-end.
+	if _, err := cli.Query(query.NewTopK(geometry.Point{dom.Hi[0] + 1}, 1)); err == nil {
+		t.Fatal("out-of-domain query answered")
+	}
+
+	resp, err := http.Get(front.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Backend  string             `json:"backend"`
+		Queries  int                `json:"queries"`
+		Errors   int                `json:"errors"`
+		Shards   int                `json:"shards"`
+		PerShard []server.ShardStat `json:"perShard"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Backend != "ifmh-multi" {
+		t.Errorf("stats backend = %q", stats.Backend)
+	}
+	if stats.Queries != served || stats.Errors != 1 {
+		t.Errorf("stats queries=%d errors=%d, want %d/1", stats.Queries, stats.Errors, served)
+	}
+	if stats.Shards != 2 || len(stats.PerShard) != 2 {
+		t.Fatalf("stats shards=%d perShard=%d, want 2/2", stats.Shards, len(stats.PerShard))
+	}
+	sum := 0
+	for _, s := range stats.PerShard {
+		sum += s.Queries
+	}
+	if sum != served {
+		t.Errorf("per-shard tallies sum to %d, want %d", sum, served)
+	}
+}

@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"net/http"
+
+	"aqverify/internal/backend"
+	"aqverify/internal/metrics"
+	"aqverify/internal/query"
+	"aqverify/internal/wire"
+)
+
+// Remote lifts an HTTPClient into the unified query plane: a vqserve
+// process reached over HTTP becomes a backend.Backend, interchangeable
+// with an in-process tree — and composable, K single-shard Remotes
+// behind one backend.Fanout being the multi-process shard deployment.
+//
+// Answers are returned raw by default, exactly as they traveled;
+// WithVerify(pub) checks each one against the owner's published
+// parameters first, like every other backend. QueryBatch spends one
+// HTTP exchange for the whole batch; QueryStream performs that same
+// exchange and then yields the items in order (a pipelined wire
+// transport is a roadmap item — the frame is buffered today).
+type Remote struct {
+	c *HTTPClient
+}
+
+// NewRemote wraps a dialed client.
+func NewRemote(c *HTTPClient) (*Remote, error) {
+	if c == nil {
+		return nil, fmt.Errorf("transport: remote backend needs a dialed client")
+	}
+	return &Remote{c: c}, nil
+}
+
+// DialRemote dials the base URL and returns it as a backend.
+func DialRemote(base string, hc *http.Client) (*Remote, error) {
+	c, err := Dial(base, hc)
+	if err != nil {
+		return nil, err
+	}
+	return NewRemote(c)
+}
+
+// Client returns the underlying HTTP client.
+func (r *Remote) Client() *HTTPClient { return r.c }
+
+// Name implements backend.Backend, reporting the server's advertised
+// backend name.
+func (r *Remote) Name() string { return r.c.Backend() }
+
+// Query implements backend.Backend.
+func (r *Remote) Query(ctx context.Context, q query.Query, opts ...backend.Option) (backend.Answer, error) {
+	return backend.DriveQuery(ctx, func(q query.Query, ctr *metrics.Counter) (int, []byte, error) {
+		raw, err := r.c.rawQuery(ctx, q)
+		ctr.AddBytes(uint64(len(raw)))
+		return wire.ShardNone, raw, err
+	}, q, opts...)
+}
+
+// QueryBatch implements backend.Backend: the whole batch travels in one
+// POST /query/batch exchange, per-item failures travel inside the frame,
+// and verification (when requested) fans out locally. A transport-level
+// failure — network error, non-200 status, unparseable frame — fails
+// every item.
+func (r *Remote) QueryBatch(ctx context.Context, qs []query.Query, opts ...backend.Option) ([]backend.Answer, []error) {
+	answers := make([]backend.Answer, len(qs))
+	errs := make([]error, len(qs))
+	if len(qs) == 0 {
+		return answers, errs
+	}
+	items, err := r.c.rawBatch(ctx, qs)
+	if err != nil {
+		for i := range errs {
+			answers[i].Shard = wire.ShardNone
+			errs[i] = err
+		}
+		return answers, errs
+	}
+	for i, it := range items {
+		answers[i].Shard = it.Shard
+		if it.Err != "" {
+			errs[i] = fmt.Errorf("transport: server refused query %d: %s", i, it.Err)
+			continue
+		}
+		answers[i].Raw = it.Answer
+	}
+	backend.FinishBatch(ctx, qs, answers, errs, opts...)
+	return answers, errs
+}
+
+// QueryStream implements backend.Backend over the batch exchange: one
+// round trip, then the items yield in index order.
+func (r *Remote) QueryStream(ctx context.Context, qs []query.Query, opts ...backend.Option) iter.Seq2[int, backend.BatchResult] {
+	return func(yield func(int, backend.BatchResult) bool) {
+		answers, errs := r.QueryBatch(ctx, qs, opts...)
+		for i := range qs {
+			if !yield(i, backend.BatchResult{Answer: answers[i], Err: errs[i]}) {
+				return
+			}
+		}
+	}
+}

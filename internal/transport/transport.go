@@ -1,26 +1,29 @@
 // Package transport puts the outsourcing protocol on the network: an
-// http.Handler exposing the cloud server's query endpoint plus the data
-// owner's published parameters, and an HTTP client that fetches, parses
-// and verifies answers. The data plane is the deterministic binary wire
+// http.Handler exposing a query backend's endpoints plus the data
+// owner's published parameters, and HTTP clients that fetch, parse and
+// verify answers. The data plane is the deterministic binary wire
 // codec; the control plane (/params, /stats) is JSON.
 //
 // Endpoints:
 //
 //	POST /query        body: wire-encoded query        -> wire-encoded answer
 //	POST /query/batch  body: wire-encoded query batch  -> wire-encoded answer batch
-//	GET  /params       -> JSON trust bundle (scheme, verifier key, template, mode)
+//	GET  /params       -> JSON trust bundle (scheme, verifier key, template, mode, domain)
 //	GET  /stats        -> JSON cumulative server metrics
 //
-// The batch endpoint carries many queries in one length-prefixed frame
+// The handler serves any backend.Backend — the metrics-keeping
+// in-process server, one shard's tree of a multi-process deployment, or
+// a backend.Fanout composing K remote shard servers (cmd/vqfront). The
+// batch endpoint carries many queries in one length-prefixed frame
 // (see wire.EncodeQueryBatch) and answers them concurrently on the
 // server; each item of the response is either that query's answer bytes
 // or its error string, so one bad query never fails the batch. Against
 // a domain-sharded server, batch items are grouped per shard before
 // dispatch and each response item carries the answering shard's id
 // (docs/WIRE.md specifies the byte layout); /params advertises the
-// shard count and /stats the per-shard tallies. Routes are registered
-// with Go 1.22 method patterns, so a wrong-method request is a 405,
-// not a 404.
+// shard count and the serving domain, and /stats the per-shard
+// tallies. Routes are registered with Go 1.22 method patterns, so a
+// wrong-method request is a 405, not a 404.
 package transport
 
 import (
@@ -31,9 +34,12 @@ import (
 	"log"
 	"net/http"
 
+	"aqverify/internal/backend"
 	"aqverify/internal/core"
 	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
 	"aqverify/internal/mesh"
+	"aqverify/internal/metrics"
 	"aqverify/internal/server"
 	"aqverify/internal/sig"
 	"aqverify/internal/wire"
@@ -56,6 +62,11 @@ type Params struct {
 	// Shards advertises the server's domain-shard count (0 or absent =
 	// single tree). Informational: verification is shard-transparent.
 	Shards int `json:"shards,omitempty"`
+	// Domain advertises the serving domain: the owner's full query
+	// domain, or — when this server hosts one shard of a multi-process
+	// deployment — that shard's sub-box. A routing front-end (vqfront)
+	// reconstructs the shard plan from its backends' domains.
+	Domain *BoxJSON `json:"domain,omitempty"`
 }
 
 // TplJSON is the JSON form of a utility-function template.
@@ -63,6 +74,12 @@ type TplJSON struct {
 	Name      string `json:"name"`
 	CoefAttrs []int  `json:"coefAttrs"`
 	BiasAttr  int    `json:"biasAttr"`
+}
+
+// BoxJSON is the JSON form of a bounded domain box.
+type BoxJSON struct {
+	Lo []float64 `json:"lo"`
+	Hi []float64 `json:"hi"`
 }
 
 func toTplJSON(t funcs.Template) TplJSON {
@@ -73,9 +90,38 @@ func fromTplJSON(t TplJSON) funcs.Template {
 	return funcs.Template{Name: t.Name, CoefAttrs: t.CoefAttrs, BiasAttr: t.BiasAttr}
 }
 
-// Handler serves one outsourced database over HTTP.
+// ToBoxJSON converts a domain box to its JSON form.
+func ToBoxJSON(b geometry.Box) *BoxJSON {
+	return &BoxJSON{Lo: append([]float64(nil), b.Lo...), Hi: append([]float64(nil), b.Hi...)}
+}
+
+// Box converts back; nil yields (zero, false).
+func (b *BoxJSON) Box() (geometry.Box, bool) {
+	if b == nil {
+		return geometry.Box{}, false
+	}
+	box, err := geometry.NewBox(b.Lo, b.Hi)
+	if err != nil {
+		return geometry.Box{}, false
+	}
+	return box, true
+}
+
+// statser is the stats surface /stats reports: either the served
+// backend's own (the in-process server keeps one) or, for backends
+// that keep no stats of their own (a Fanout front-end), a server.Tally
+// the handler records into itself.
+type statser interface {
+	Stats() (metrics.Counter, int)
+	ErrorCount() int
+	ShardStats() []server.ShardStat
+}
+
+// Handler serves one query backend over HTTP.
 type Handler struct {
-	srv    *server.Server
+	b      backend.Backend
+	stats  statser       // the backend's own stats, or h.tally
+	tally  *server.Tally // non-nil when the handler tallies itself
 	params Params
 	mux    *http.ServeMux
 }
@@ -86,12 +132,17 @@ func NewIFMHHandler(srv *server.Server, pub core.PublicParams) (*Handler, error)
 	if err != nil {
 		return nil, err
 	}
-	return newHandler(srv, Params{
+	p := Params{
 		Backend:  srv.Name(),
 		Verifier: base64.StdEncoding.EncodeToString(vb),
 		Template: toTplJSON(pub.Template),
 		SemTol:   pub.SemTol,
-	})
+		Shards:   srv.NumShards(),
+	}
+	if dom, ok := srv.Domain(); ok {
+		p.Domain = ToBoxJSON(dom)
+	}
+	return NewBackendHandler(srv, p)
 }
 
 // NewMeshHandler wraps a mesh-backed server.
@@ -100,17 +151,40 @@ func NewMeshHandler(srv *server.Server, pub mesh.PublicParams) (*Handler, error)
 	if err != nil {
 		return nil, err
 	}
-	return newHandler(srv, Params{
+	p := Params{
 		Backend:  srv.Name(),
 		Verifier: base64.StdEncoding.EncodeToString(vb),
 		Template: toTplJSON(pub.Template),
 		SemTol:   pub.SemTol,
-	})
+		Shards:   srv.NumShards(),
+	}
+	if dom, ok := srv.Domain(); ok {
+		p.Domain = ToBoxJSON(dom)
+	}
+	return NewBackendHandler(srv, p)
 }
 
-func newHandler(srv *server.Server, p Params) (*Handler, error) {
-	p.Shards = srv.NumShards()
-	h := &Handler{srv: srv, params: p, mux: http.NewServeMux()}
+// NewBackendHandler serves any backend.Backend under the published
+// parameter bundle — the generic constructor behind NewIFMHHandler and
+// the vqfront front-end. When the backend keeps its own stats (the
+// in-process server does), /stats reports them; otherwise the handler
+// tallies served queries itself, attributing each answer to its
+// reported shard.
+func NewBackendHandler(b backend.Backend, p Params) (*Handler, error) {
+	if p.Backend == "" {
+		p.Backend = b.Name()
+	}
+	h := &Handler{b: b, params: p, mux: http.NewServeMux()}
+	if st, ok := b.(statser); ok {
+		h.stats = st
+	} else {
+		shards := 0
+		if ns, ok := b.(interface{ NumShards() int }); ok {
+			shards = ns.NumShards()
+		}
+		h.tally = server.NewTally(shards)
+		h.stats = h.tally
+	}
 	h.mux.HandleFunc("POST /query", h.handleQuery)
 	h.mux.HandleFunc("POST /query/batch", h.handleBatch)
 	h.mux.HandleFunc("GET /params", h.handleParams)
@@ -134,17 +208,21 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad query: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	out, err := h.srv.Handle(q)
+	var ctr metrics.Counter
+	ans, err := h.b.Query(r.Context(), q, backend.WithCounter(&ctr))
+	if h.tally != nil {
+		h.tally.Record(ctr, ans.Shard, err)
+	}
 	if err != nil {
 		http.Error(w, "query failed: "+err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Write(out)
+	w.Write(ans.Raw)
 }
 
 // handleBatch answers many queries in one exchange. The whole batch is
-// decoded up front; the server fans the queries out across its worker
+// decoded up front; the backend fans the queries out across its worker
 // pool, and every per-query failure travels inside the frame so the
 // other answers still arrive.
 func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -162,15 +240,22 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	outs, shards, errs := h.srv.HandleBatchShards(qs, 0)
+	var ctr metrics.Counter
+	answers, errs := h.b.QueryBatch(r.Context(), qs, backend.WithCounter(&ctr))
 	items := make([]wire.BatchAnswer, len(qs))
 	for i := range qs {
-		items[i].Shard = shards[i]
+		items[i].Shard = answers[i].Shard
+		if h.tally != nil {
+			h.tally.Count(answers[i].Shard, errs[i])
+		}
 		if errs[i] != nil {
 			items[i].Err = errs[i].Error()
 		} else {
-			items[i].Answer = outs[i]
+			items[i].Answer = answers[i].Raw
 		}
+	}
+	if h.tally != nil {
+		h.tally.AddCost(ctr)
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Write(wire.EncodeAnswerBatch(items))
@@ -181,16 +266,16 @@ func (h *Handler) handleParams(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (h *Handler) handleStats(w http.ResponseWriter, _ *http.Request) {
-	stats, n := h.srv.Stats()
+	stats, n := h.stats.Stats()
 	body := map[string]any{
-		"backend":      h.srv.Name(),
+		"backend":      h.b.Name(),
 		"queries":      n,
-		"errors":       h.srv.ErrorCount(),
+		"errors":       h.stats.ErrorCount(),
 		"nodesVisited": stats.NodesVisited,
 		"cellsVisited": stats.CellsVisited,
 		"bytes":        stats.Bytes,
 	}
-	if ss := h.srv.ShardStats(); ss != nil {
+	if ss := h.stats.ShardStats(); ss != nil {
 		body["shards"] = len(ss)
 		body["perShard"] = ss
 	}

@@ -1,0 +1,44 @@
+#!/bin/sh
+# apidiff.sh — fail when the exported aqverify facade changes without the
+# committed API snapshot being updated alongside it.
+#
+# The facade is the repo's public contract: examples, the commands and
+# downstream users all program against it. This gate makes every surface
+# change an explicit act: `go doc -short .` (declarations only, no prose)
+# is compared against docs/api/aqverify.txt, and a mismatch fails CI. To
+# change the surface intentionally, regenerate the snapshot —
+#
+#	scripts/apidiff.sh -update
+#
+# — commit it with the change, and record the change in CHANGES.md (and
+# the driving ISSUE), which reviewers cross-check against the snapshot
+# diff.
+#
+# Usage: scripts/apidiff.sh [-update] [root]   (default root: repo root)
+set -eu
+update=0
+if [ "${1:-}" = "-update" ]; then
+	update=1
+	shift
+fi
+root=${1:-$(dirname "$0")/..}
+snapshot="$root/docs/api/aqverify.txt"
+current=$(cd "$root" && go doc -short .)
+if [ "$update" -eq 1 ]; then
+	mkdir -p "$(dirname "$snapshot")"
+	printf '%s\n' "$current" >"$snapshot"
+	echo "apidiff: snapshot updated — record the surface change in CHANGES.md"
+	exit 0
+fi
+if [ ! -f "$snapshot" ]; then
+	echo "apidiff: missing snapshot $snapshot; run scripts/apidiff.sh -update" >&2
+	exit 1
+fi
+if ! printf '%s\n' "$current" | diff -u "$snapshot" - >/dev/null 2>&1; then
+	echo "apidiff: the exported aqverify facade differs from docs/api/aqverify.txt:" >&2
+	printf '%s\n' "$current" | diff -u "$snapshot" - >&2 || true
+	echo "apidiff: if the change is intentional, run scripts/apidiff.sh -update," >&2
+	echo "apidiff: commit the snapshot, and record the change in CHANGES.md" >&2
+	exit 1
+fi
+echo "apidiff: facade matches the committed snapshot"
