@@ -13,15 +13,30 @@
 // # Quick start
 //
 //	signer, _ := aqverify.NewSigner(aqverify.Ed25519, aqverify.SignerOptions{})
-//	tree, _ := aqverify.Build(table, aqverify.Params{
-//	        Mode:     aqverify.OneSignature,
-//	        Signer:   signer,
-//	        Domain:   domain,
+//	res, _ := aqverify.Outsource(ctx, aqverify.BuildSpec{
+//	        Table:    table,
 //	        Template: aqverify.AffineLine(0, 1),
+//	        Domain:   domain,
+//	        Signer:   signer,
 //	})
-//	b, _ := aqverify.NewLocalBackend(tree)
+//	b, _ := aqverify.NewLocalBackend(res.Tree)
 //	ans, err := b.Query(ctx, aqverify.NewTopK(x, 10),
-//	        aqverify.WithVerify(tree.Public())) // verified: ans.Records is trustworthy
+//	        aqverify.WithVerify(res.Public)) // verified: ans.Records is trustworthy
+//
+// # The build plane
+//
+// Every product a data owner can hand to the cloud — a single IFMH-tree,
+// an evenly or quantile-cut domain-sharded tree set, one shard of a set
+// for a multi-process deployment, the signature-mesh baseline — comes
+// out of one context-aware call, Outsource, shaped by functional
+// options: WithShards/WithPlan select sharding, WithPlanner picks the
+// cut placement (QuantileCuts balances skewed data), WithShard narrows
+// to one shard, WithMesh selects the baseline, WithBuildWorkers bounds
+// every stage's worker pool and WithProgress observes the stages. The
+// built bytes are identical for every worker count, and a canceled ctx
+// aborts construction mid-stage. The older entry points — Build,
+// BuildSharded, BuildMesh — remain as deprecated shims over the same
+// plane.
 //
 // # The query plane
 //
@@ -70,6 +85,7 @@ import (
 	"context"
 
 	"aqverify/internal/backend"
+	"aqverify/internal/build"
 	"aqverify/internal/core"
 	"aqverify/internal/funcs"
 	"aqverify/internal/geometry"
@@ -142,6 +158,28 @@ type (
 	// ShardRouter maps queries to their owning shard.
 	ShardRouter = shard.Router
 )
+
+// The unified build plane (see internal/build): one context-aware entry
+// point — Outsource — over every product an owner can construct.
+type (
+	// BuildSpec carries the construction inputs shared by every product:
+	// table, template, domain and signing key.
+	BuildSpec = build.Spec
+	// BuildResult is one built product plus the published parameters.
+	BuildResult = build.Result
+	// BuildOption tunes one Outsource call.
+	BuildOption = build.Option
+	// BuildProgress is one stage-start event of a running construction.
+	BuildProgress = build.Progress
+	// ShardPlanner places the interior cuts of a WithShards request.
+	ShardPlanner = build.Planner
+	// PlanRequest carries a planner's inputs.
+	PlanRequest = build.PlanRequest
+)
+
+// ShardNone marks an unsharded product (BuildResult.Shard,
+// BuildProgress.Shard) or an unattributed answer (BackendAnswer.Shard).
+const ShardNone = build.ShardNone
 
 // The unified query plane (see internal/backend): one context-aware
 // interface over every evaluator — local tree, shard set, in-process
@@ -238,11 +276,75 @@ func NewKNN(x Point, k int, y float64) Query { return query.NewKNN(x, k, y) }
 // the IFMH machinery.
 func NewBottomK(x Point, k int) Query { return query.NewBottomK(x, k) }
 
+// Outsource builds the product the options select — by default one
+// IFMH-tree over the whole domain — and returns it with the parameter
+// bundle the owner publishes. Options: WithMode, WithShuffle,
+// WithMaterialize, WithBuildWorkers, WithProgress shape the
+// construction; WithShards/WithPlan (+ WithPlanner, WithShard) select a
+// domain-sharded product; WithMesh the signature-mesh baseline. The
+// result is byte-identical for every worker count, and a done ctx
+// cancels mid-stage.
+func Outsource(ctx context.Context, spec BuildSpec, opts ...BuildOption) (*BuildResult, error) {
+	return build.Outsource(ctx, spec, opts...)
+}
+
+// WithMode selects the IFMH signing scheme (default OneSignature).
+func WithMode(m Mode) BuildOption { return build.WithMode(m) }
+
+// WithShuffle randomizes the intersection insertion order with the
+// given seed (recommended: it keeps the expected IMH depth logarithmic).
+func WithShuffle(seed int64) BuildOption { return build.WithShuffle(seed) }
+
+// WithMaterialize selects the paper-literal O(S·n) layout.
+func WithMaterialize() BuildOption { return build.WithMaterialize() }
+
+// WithBuildWorkers bounds every construction stage's worker pool (0 =
+// one per CPU, 1 = serial); the product is byte-identical either way.
+func WithBuildWorkers(n int) BuildOption { return build.WithWorkers(n) }
+
+// WithProgress observes every construction stage as it starts; fn must
+// be cheap and, for sharded builds, safe for concurrent use.
+func WithProgress(fn func(BuildProgress)) BuildOption { return build.WithProgress(fn) }
+
+// WithPlan asks for a domain-sharded product under an explicit plan.
+func WithPlan(plan ShardPlan) BuildOption { return build.WithPlan(plan) }
+
+// WithShards asks for a domain-sharded product: k contiguous sub-boxes
+// along the axis, cut by the configured planner (EvenCuts by default).
+func WithShards(k, axis int) BuildOption { return build.WithShards(k, axis) }
+
+// WithPlanner selects the cut placement used by WithShards.
+func WithPlanner(p ShardPlanner) BuildOption { return build.WithPlanner(p) }
+
+// WithShard narrows a sharded product to shard i alone (one process's
+// share of a multi-process deployment).
+func WithShard(i int) BuildOption { return build.WithShard(i) }
+
+// WithMesh asks for the signature-mesh baseline product.
+func WithMesh() BuildOption { return build.WithMesh() }
+
+// EvenCuts is the default planner: k equally sized sub-boxes.
+func EvenCuts(ctx context.Context, req PlanRequest) (ShardPlan, error) {
+	return build.EvenCuts(ctx, req)
+}
+
+// QuantileCuts places the cuts at the k-quantiles of the pairwise
+// breakpoint distribution, balancing skewed workloads across shards.
+func QuantileCuts(ctx context.Context, req PlanRequest) (ShardPlan, error) {
+	return build.QuantileCuts(ctx, req)
+}
+
 // Build constructs the IFMH-tree (the server-side structure the data
 // owner uploads).
+//
+// Deprecated: use Outsource, which adds cancellation, sharding planners
+// and progress callbacks behind one entry point; Build remains as a
+// shim over the same construction path.
 func Build(tbl Table, p Params) (*Tree, error) { return core.Build(tbl, p) }
 
 // BuildMesh constructs the signature-mesh baseline.
+//
+// Deprecated: use Outsource with WithMesh.
 func BuildMesh(tbl Table, p MeshParams) (*SignatureMesh, error) { return mesh.Build(tbl, p) }
 
 // NewShardPlan splits the domain into k evenly sized sub-boxes along the
@@ -255,6 +357,8 @@ func NewShardPlan(domain Box, axis, k int) (ShardPlan, error) {
 // of the plan, in parallel; p.Domain must equal plan.Domain. Answers
 // from any shard verify against the same Public() bundle a single-tree
 // build would publish.
+//
+// Deprecated: use Outsource with WithPlan or WithShards.
 func BuildSharded(tbl Table, p Params, plan ShardPlan) (*ShardSet, error) {
 	return shard.Build(tbl, p, plan)
 }

@@ -6,6 +6,7 @@
 package aqverify_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -161,6 +162,44 @@ func BenchmarkBuildParallel(b *testing.B) {
 					Template: aqverify.AffineLine(0, 1), Shuffle: true,
 					Materialize: true, Workers: workers,
 				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOutsourceParallel measures the unified build plane end to
+// end — one Outsource call covering the parallelized pair enumeration,
+// sweep plan, FMH builds, level-parallel hash propagation and signing —
+// serial (workers=1) versus one worker per CPU. Unlike
+// BenchmarkBuildParallel (which materializes to make the FMH stage
+// dominate), this uses the default delta layout, so the newly parallel
+// stages (pairs, sweep, propagation) carry the speedup. Compare the
+// workers=1 and workers=N lines:
+//
+//	go test -bench BenchmarkOutsourceParallel -benchtime 3x
+func BenchmarkOutsourceParallel(b *testing.B) {
+	tbl, dom, err := workload.Lines(workload.LinesConfig{N: 2000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	signer, err := aqverify.NewSigner(aqverify.Ed25519, aqverify.SignerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := aqverify.BuildSpec{
+		Table: tbl, Template: aqverify.AffineLine(0, 1), Domain: dom, Signer: signer,
+	}
+	ctx := context.Background()
+	for _, workers := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := aqverify.Outsource(ctx, spec,
+					aqverify.WithMode(aqverify.MultiSignature),
+					aqverify.WithShuffle(1),
+					aqverify.WithBuildWorkers(workers)); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -9,11 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 
+	"aqverify/internal/build"
 	"aqverify/internal/client"
 	"aqverify/internal/core"
 	"aqverify/internal/funcs"
@@ -63,28 +65,29 @@ func run() error {
 	var cli *client.Client
 	switch *backend {
 	case "ifmh":
-		tree, pub, err := o.OutsourceIFMH(tbl, tpl, dom, owner.Options{Mode: mode, Shuffle: true, Seed: *seed})
+		res, err := build.Outsource(context.Background(), o.Spec(tbl, tpl, dom),
+			build.WithMode(mode), build.WithShuffle(*seed))
 		if err != nil {
 			return err
 		}
-		st := tree.Stats()
+		st := res.Tree.Stats()
 		fmt.Printf("built IFMH-tree (%v): %d subdomains, %d IMH nodes (depth %d), %d shared FMH nodes, %d signature(s)\n",
 			mode, st.Subdomains, st.IMHNodes, st.IMHDepth, st.FMHNodes, st.Signatures)
-		if srv, err = server.New(server.IFMH{Tree: tree}); err != nil {
+		if srv, err = server.New(server.IFMH{Tree: res.Tree}); err != nil {
 			return err
 		}
-		cli = client.NewIFMH(pub)
+		cli = client.NewIFMH(res.Public)
 	case "mesh":
-		m, pub, err := o.OutsourceMesh(tbl, tpl, dom, owner.Options{})
+		res, err := build.Outsource(context.Background(), o.Spec(tbl, tpl, dom), build.WithMesh())
 		if err != nil {
 			return err
 		}
-		st := m.Stats()
+		st := res.Mesh.Stats()
 		fmt.Printf("built signature mesh: %d subdomains, %d signed runs\n", st.Subdomains, st.Runs)
-		if srv, err = server.New(server.Mesh{M: m}); err != nil {
+		if srv, err = server.New(server.Mesh{M: res.Mesh}); err != nil {
 			return err
 		}
-		cli = client.NewMesh(pub)
+		cli = client.NewMesh(res.MeshPublic)
 	default:
 		return fmt.Errorf("unknown backend %q", *backend)
 	}

@@ -5,17 +5,26 @@
 // Usage:
 //
 //	vqgen -kind lines|points|applicants|patients [-n records] [-dim d]
-//	      [-dist name] [-density f] [-seed n] [-o file]
+//	      [-dist name] [-density f] [-seed n] [-o file] [-plan K]
 //
 // The first output line is a comment with the generated query domain.
+//
+// -plan K previews, on stderr, where the build plane's shard planners
+// would cut the generated domain into K shards — the even cuts next to
+// the breakpoint-quantile cuts — so an owner can judge the dataset's
+// skew before outsourcing it (vqserve -shards K -planner quantile uses
+// the same planner and derives the same cuts from the same data).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"aqverify/internal/build"
+	"aqverify/internal/funcs"
 	"aqverify/internal/geometry"
 	"aqverify/internal/record"
 	"aqverify/internal/workload"
@@ -37,6 +46,7 @@ func run() error {
 		density = flag.Float64("density", workload.DefaultDensity, "subdomains per record (lines only)")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		out     = flag.String("o", "", "output file (default stdout)")
+		plan    = flag.Int("plan", 0, "preview the even and quantile shard cuts for this shard count on stderr")
 	)
 	flag.Parse()
 
@@ -65,6 +75,12 @@ func run() error {
 		return err
 	}
 
+	if *plan > 1 {
+		if err := previewPlans(tbl, dom, *kind, *dim, *plan); err != nil {
+			return err
+		}
+	}
+
 	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -75,4 +91,38 @@ func run() error {
 		w = f
 	}
 	return workload.WriteCSV(w, tbl, dom)
+}
+
+// previewPlans prints, on stderr, where each build-plane planner would
+// cut the generated domain for k shards, under the same template each
+// kind's real deployment uses — the cuts must match what a vqserve
+// started on this dataset derives. The spec carries no signer —
+// planners never sign anything.
+func previewPlans(tbl record.Table, dom geometry.Box, kind string, dim, k int) error {
+	var tpl funcs.Template
+	switch kind {
+	case "points":
+		tpl = funcs.ScalarProduct(dim)
+	case "applicants":
+		// The derived w_slope/w_base columns (see workload.Applicants and
+		// examples/admissions).
+		tpl = funcs.AffineLine(3, 4)
+	case "patients":
+		// Two-factor risk weights (see examples/riskscore).
+		tpl = funcs.ScalarProduct(2)
+	default: // lines
+		tpl = funcs.AffineLine(0, 1)
+	}
+	spec := build.Spec{Table: tbl, Template: tpl, Domain: dom}
+	for _, pl := range []struct {
+		name string
+		p    build.Planner
+	}{{"even", build.EvenCuts}, {"quantile", build.QuantileCuts}} {
+		plan, err := pl.p(context.Background(), build.PlanRequest{Spec: spec, K: k})
+		if err != nil {
+			return fmt.Errorf("planner %s: %w", pl.name, err)
+		}
+		fmt.Fprintf(os.Stderr, "plan %-8s axis=%d cuts=%v\n", pl.name, plan.Axis, plan.Cuts)
+	}
+	return nil
 }

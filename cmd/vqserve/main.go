@@ -8,24 +8,29 @@
 //
 //	vqserve [-addr :8080] [-n 1000] [-backend ifmh|mesh] [-mode one|multi]
 //	        [-scheme ed25519] [-seed 1] [-workers 0] [-shards 1] [-shardaxis 0]
-//	        [-shard -1] [-keyseed 0]
+//	        [-planner even|quantile] [-shard -1] [-keyseed 0]
 //
 // Endpoints: POST /query and POST /query/batch (binary), GET /params,
-// GET /stats. -workers sizes the IFMH construction worker pool (0 = one
-// per CPU, 1 = serial). -shards K splits the domain into K contiguous
-// sub-boxes along -shardaxis and serves one independently built and
-// signed IFMH-tree per sub-box; queries route to their owning shard and
-// batches are grouped per shard before dispatch. Verification is
-// unchanged — clients cannot tell a sharded server from a single tree.
+// GET /stats. -workers sizes the construction worker pool of every build
+// stage (0 = one per CPU, 1 = serial). -shards K splits the domain into
+// K contiguous sub-boxes along -shardaxis and serves one independently
+// built and signed IFMH-tree per sub-box; queries route to their owning
+// shard and batches are grouped per shard before dispatch. -planner
+// quantile places the cuts at the pairwise-breakpoint quantiles instead
+// of evenly, balancing skewed (e.g. clustered) data across shards.
+// Verification is unchanged — clients cannot tell a sharded server from
+// a single tree.
 //
 // -shard i (with -shards K) builds and serves shard i alone — one
 // process per shard, composed back into one logical database by the
 // cmd/vqfront routing front-end, which recovers the shard plan from
 // each process's advertised serving domain (/params). All K processes
-// must be started with the same data flags and, so their trees carry
-// one owner's signatures, the same -keyseed: a nonzero key seed derives
-// the signing key deterministically (demo/testing convenience — never
-// protect real data with a 64-bit key seed).
+// must be started with the same data flags (the planners are
+// deterministic in the data, so every process derives the same cuts)
+// and, so their trees carry one owner's signatures, the same -keyseed:
+// a nonzero key seed derives the signing key deterministically
+// (demo/testing convenience — never protect real data with a 64-bit key
+// seed).
 //
 // A K-process deployment:
 //
@@ -41,19 +46,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"time"
 
+	"aqverify/internal/build"
 	"aqverify/internal/core"
 	"aqverify/internal/funcs"
 	"aqverify/internal/geometry"
 	"aqverify/internal/owner"
 	"aqverify/internal/record"
 	"aqverify/internal/server"
-	"aqverify/internal/shard"
 	"aqverify/internal/sig"
 	"aqverify/internal/transport"
 	"aqverify/internal/workload"
@@ -68,20 +74,21 @@ func main() {
 
 func run() error {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		n        = flag.Int("n", 1000, "database size (ignored with -data)")
-		backend  = flag.String("backend", "ifmh", "backend: ifmh|mesh")
-		modeStr  = flag.String("mode", "one", "IFMH signing mode: one|multi")
-		scheme   = flag.String("scheme", "ed25519", "signature scheme")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		dataPath = flag.String("data", "", "serve a CSV dataset (vqgen format) instead of synthetic data")
-		slopeCol = flag.Int("slopecol", 0, "attribute index of the slope column (with -data)")
-		biasCol  = flag.Int("biascol", 1, "attribute index of the intercept column (with -data)")
-		workers  = flag.Int("workers", 0, "construction worker pool size (0 = one per CPU, 1 = serial)")
-		shards   = flag.Int("shards", 1, "domain-shard count (ifmh backend; 1 = single tree)")
-		shardAx  = flag.Int("shardaxis", 0, "domain axis the shard cuts are perpendicular to")
-		shardIdx = flag.Int("shard", -1, "serve only this shard of the -shards plan (multi-process deployment; -1 = all)")
-		keySeed  = flag.Int64("keyseed", 0, "derive the signing key deterministically from this seed (0 = fresh random key)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		n          = flag.Int("n", 1000, "database size (ignored with -data)")
+		backendStr = flag.String("backend", "ifmh", "backend: ifmh|mesh")
+		modeStr    = flag.String("mode", "one", "IFMH signing mode: one|multi")
+		scheme     = flag.String("scheme", "ed25519", "signature scheme")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		dataPath   = flag.String("data", "", "serve a CSV dataset (vqgen format) instead of synthetic data")
+		slopeCol   = flag.Int("slopecol", 0, "attribute index of the slope column (with -data)")
+		biasCol    = flag.Int("biascol", 1, "attribute index of the intercept column (with -data)")
+		workers    = flag.Int("workers", 0, "construction worker pool size (0 = one per CPU, 1 = serial)")
+		shards     = flag.Int("shards", 1, "domain-shard count (ifmh backend; 1 = single tree)")
+		shardAx    = flag.Int("shardaxis", 0, "domain axis the shard cuts are perpendicular to")
+		plannerStr = flag.String("planner", "even", "shard-cut planner: even|quantile (with -shards)")
+		shardIdx   = flag.Int("shard", -1, "serve only this shard of the -shards plan (multi-process deployment; -1 = all)")
+		keySeed    = flag.Int64("keyseed", 0, "derive the signing key deterministically from this seed (0 = fresh random key)")
 	)
 	flag.Parse()
 
@@ -116,105 +123,102 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	planner := build.EvenCuts
+	switch *plannerStr {
+	case "even":
+	case "quantile":
+		planner = build.QuantileCuts
+	default:
+		return fmt.Errorf("unknown planner %q (want even or quantile)", *plannerStr)
+	}
 
-	var h *transport.Handler
-	start := time.Now()
-	switch *backend {
+	// Everything the server can host is one build.Outsource call away;
+	// the flags only shape the option list.
+	opts := []build.Option{
+		build.WithShuffle(*seed),
+		build.WithWorkers(*workers),
+	}
+	switch *backendStr {
 	case "ifmh":
 		mode := core.OneSignature
 		if *modeStr == "multi" {
 			mode = core.MultiSignature
 		}
-		opt := owner.Options{Mode: mode, Shuffle: true, Seed: *seed, Workers: *workers}
-		if *shardIdx >= 0 {
+		opts = append(opts, build.WithMode(mode))
+		if *shards > 1 || *shardIdx >= 0 {
 			if *shardIdx >= *shards {
 				return fmt.Errorf("-shard %d out of range for -shards %d", *shardIdx, *shards)
 			}
-			plan, err := shard.NewPlan(dom, *shardAx, *shards)
-			if err != nil {
-				return err
-			}
-			tree, pub, err := o.OutsourceShardIFMH(tbl, tpl, dom, opt, plan, *shardIdx)
-			if err != nil {
-				return err
-			}
-			srv, err := server.New(server.IFMH{Tree: tree})
-			if err != nil {
-				return err
-			}
-			if h, err = transport.NewIFMHHandler(srv, pub); err != nil {
-				return err
-			}
-			st := tree.Stats()
-			box := plan.Boxes[*shardIdx]
-			fmt.Printf("built %s shard %d/%d [%g, %g] over %d records in %.1fs: %d subdomains, %d signature(s)\n",
-				srv.Name(), *shardIdx, *shards, box.Lo[plan.Axis], box.Hi[plan.Axis],
-				tbl.Len(), time.Since(start).Seconds(), st.Subdomains, st.Signatures)
-			break
+			opts = append(opts, build.WithShards(*shards, *shardAx), build.WithPlanner(planner))
 		}
-		if *shards > 1 {
-			plan, err := shard.NewPlan(dom, *shardAx, *shards)
-			if err != nil {
-				return err
-			}
-			set, pub, err := o.OutsourceShardedIFMH(tbl, tpl, dom, opt, plan)
-			if err != nil {
-				return err
-			}
-			backend, err := server.NewShardedIFMH(set)
-			if err != nil {
-				return err
-			}
-			srv, err := server.New(backend)
-			if err != nil {
-				return err
-			}
-			if h, err = transport.NewIFMHHandler(srv, pub); err != nil {
-				return err
-			}
-			fmt.Printf("built %s over %d records in %.1fs: %d shards, %d subdomains total, %d signature(s)\n",
-				srv.Name(), tbl.Len(), time.Since(start).Seconds(),
-				set.NumShards(), set.NumSubdomains(), set.SignatureCount())
-			for i, st := range set.Stats() {
-				box := set.Plan.Boxes[i]
-				fmt.Printf("  shard %d [%g, %g]: %d subdomains, %d signature(s)\n",
-					i, box.Lo[set.Plan.Axis], box.Hi[set.Plan.Axis], st.Subdomains, st.Signatures)
-			}
-			break
+		if *shardIdx >= 0 {
+			opts = append(opts, build.WithShard(*shardIdx))
 		}
-		tree, pub, err := o.OutsourceIFMH(tbl, tpl, dom, opt)
-		if err != nil {
-			return err
-		}
-		srv, err := server.New(server.IFMH{Tree: tree})
-		if err != nil {
-			return err
-		}
-		if h, err = transport.NewIFMHHandler(srv, pub); err != nil {
-			return err
-		}
-		st := tree.Stats()
-		fmt.Printf("built %s over %d records in %.1fs: %d subdomains, %d signature(s)\n",
-			srv.Name(), tbl.Len(), time.Since(start).Seconds(), st.Subdomains, st.Signatures)
 	case "mesh":
-		if *shards > 1 {
-			return fmt.Errorf("-shards applies to the ifmh backend only")
+		if *shards > 1 || *shardIdx >= 0 {
+			return fmt.Errorf("-shards/-shard apply to the ifmh backend only")
 		}
-		m, pub, err := o.OutsourceMesh(tbl, tpl, dom, owner.Options{})
+		opts = []build.Option{build.WithMesh(), build.WithWorkers(*workers)}
+	default:
+		return fmt.Errorf("unknown backend %q", *backendStr)
+	}
+
+	start := time.Now()
+	res, err := build.Outsource(context.Background(), o.Spec(tbl, tpl, dom), opts...)
+	if err != nil {
+		return err
+	}
+
+	var h *transport.Handler
+	switch {
+	case res.Mesh != nil:
+		srv, err := server.New(server.Mesh{M: res.Mesh})
 		if err != nil {
 			return err
 		}
-		srv, err := server.New(server.Mesh{M: m})
-		if err != nil {
-			return err
-		}
-		if h, err = transport.NewMeshHandler(srv, pub); err != nil {
+		if h, err = transport.NewMeshHandler(srv, res.MeshPublic); err != nil {
 			return err
 		}
 		fmt.Printf("built mesh over %d records in %.1fs: %d subdomains, %d signatures\n",
-			tbl.Len(), time.Since(start).Seconds(), m.NumSubdomains(), m.SignatureCount())
+			tbl.Len(), time.Since(start).Seconds(), res.Mesh.NumSubdomains(), res.Mesh.SignatureCount())
+	case res.Set != nil:
+		sb, err := server.NewShardedIFMH(res.Set)
+		if err != nil {
+			return err
+		}
+		srv, err := server.New(sb)
+		if err != nil {
+			return err
+		}
+		if h, err = transport.NewIFMHHandler(srv, res.Public); err != nil {
+			return err
+		}
+		fmt.Printf("built %s over %d records in %.1fs: %d shards (%s cuts), %d subdomains total, %d signature(s)\n",
+			srv.Name(), tbl.Len(), time.Since(start).Seconds(),
+			res.Set.NumShards(), *plannerStr, res.Set.NumSubdomains(), res.Set.SignatureCount())
+		for i, st := range res.Set.Stats() {
+			box := res.Plan.Boxes[i]
+			fmt.Printf("  shard %d [%g, %g]: %d subdomains, %d signature(s)\n",
+				i, box.Lo[res.Plan.Axis], box.Hi[res.Plan.Axis], st.Subdomains, st.Signatures)
+		}
 	default:
-		return fmt.Errorf("unknown backend %q", *backend)
+		srv, err := server.New(server.IFMH{Tree: res.Tree})
+		if err != nil {
+			return err
+		}
+		if h, err = transport.NewIFMHHandler(srv, res.Public); err != nil {
+			return err
+		}
+		st := res.Tree.Stats()
+		if res.Shard != build.ShardNone {
+			box := res.Plan.Boxes[res.Shard]
+			fmt.Printf("built %s shard %d/%d [%g, %g] over %d records in %.1fs: %d subdomains, %d signature(s)\n",
+				srv.Name(), res.Shard, res.Plan.K(), box.Lo[res.Plan.Axis], box.Hi[res.Plan.Axis],
+				tbl.Len(), time.Since(start).Seconds(), st.Subdomains, st.Signatures)
+		} else {
+			fmt.Printf("built %s over %d records in %.1fs: %d subdomains, %d signature(s)\n",
+				srv.Name(), tbl.Len(), time.Since(start).Seconds(), st.Subdomains, st.Signatures)
+		}
 	}
 
 	fmt.Printf("serving on %s (domain [%g, %g]); endpoints: POST /query, POST /query/batch, GET /params, GET /stats\n",

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,18 +44,16 @@ func main() {
 
 	// Multi-signature mode: committee laptops verify against one small
 	// subdomain signature instead of folding the whole IMH path.
-	tree, err := aqverify.Build(table, aqverify.Params{
-		Mode:     aqverify.MultiSignature,
-		Signer:   signer,
-		Domain:   domain,
+	res, err := aqverify.Outsource(context.Background(), aqverify.BuildSpec{
+		Table:    table,
 		Template: aqverify.AffineLine(3, 4), // derived slope/intercept columns
-		Shuffle:  true,
-		Seed:     7,
-	})
+		Domain:   domain,
+		Signer:   signer,
+	}, aqverify.WithMode(aqverify.MultiSignature), aqverify.WithShuffle(7))
 	if err != nil {
 		log.Fatal(err)
 	}
-	pub := tree.Public()
+	tree, pub := res.Tree, res.Public
 	st := tree.Stats()
 	fmt.Printf("outsourced %d applicants: %d subdomains, %d signatures, ~%.1f MB structure\n\n",
 		st.Records, st.Subdomains, st.Signatures, float64(st.ApproxBytes)/(1<<20))

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,16 +43,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tree, err := aqverify.Build(table, aqverify.Params{
-		Mode:     aqverify.OneSignature,
-		Signer:   signer,
-		Domain:   domain,
+	res, err := aqverify.Outsource(context.Background(), aqverify.BuildSpec{
+		Table:    table,
 		Template: aqverify.AffineLine(0, 1), // total cost = rate*x + base
+		Domain:   domain,
+		Signer:   signer,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	pub := tree.Public()
+	tree, pub := res.Tree, res.Public
 	fmt.Printf("outsourced %d records; %d price-order subdomains over [0,20]\n\n",
 		tree.NumRecords(), tree.NumSubdomains())
 

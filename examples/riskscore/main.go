@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,18 +35,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tree, err := aqverify.Build(table, aqverify.Params{
-		Mode:     aqverify.OneSignature,
-		Signer:   signer,
-		Domain:   domain, // guideline weights range over [0.2, 2]^2
+	res, err := aqverify.Outsource(context.Background(), aqverify.BuildSpec{
+		Table:    table,
 		Template: aqverify.ScalarProduct(2),
-		Shuffle:  true,
-		Seed:     3,
-	})
+		Domain:   domain, // guideline weights range over [0.2, 2]^2
+		Signer:   signer,
+	}, aqverify.WithShuffle(3))
 	if err != nil {
 		log.Fatal(err)
 	}
-	pub := tree.Public()
+	tree, pub := res.Tree, res.Public
 	st := tree.Stats()
 	fmt.Printf("outsourced %d patients: %d polytope subdomains, IMH depth %d\n\n",
 		st.Records, st.Subdomains, st.IMHDepth)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -41,14 +42,14 @@ func main() {
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 	total, caught := 0, 0
 
+	spec := aqverify.BuildSpec{Table: tbl, Template: tpl, Domain: dom, Signer: signer}
 	for _, mode := range []aqverify.Mode{aqverify.OneSignature, aqverify.MultiSignature} {
-		tree, err := aqverify.Build(tbl, aqverify.Params{
-			Mode: mode, Signer: signer, Domain: dom, Template: tpl, Shuffle: true,
-		})
+		res, err := aqverify.Outsource(context.Background(), spec,
+			aqverify.WithMode(mode), aqverify.WithShuffle(0))
 		if err != nil {
 			log.Fatal(err)
 		}
-		pub := tree.Public()
+		tree, pub := res.Tree, res.Public
 		fmt.Fprintf(w, "\n[IFMH %v]\tattack\ttop-k\trange\tknn\n", mode)
 		for _, atk := range tamper.IFMHCatalog() {
 			row := fmt.Sprintf("\t%s", atk.Name)
@@ -74,11 +75,11 @@ func main() {
 		}
 	}
 
-	m, err := aqverify.BuildMesh(tbl, aqverify.MeshParams{Signer: signer, Domain: dom, Template: tpl})
+	mres, err := aqverify.Outsource(context.Background(), spec, aqverify.WithMesh())
 	if err != nil {
 		log.Fatal(err)
 	}
-	mpub := m.Public()
+	m, mpub := mres.Mesh, mres.MeshPublic
 	fmt.Fprintf(w, "\n[signature mesh]\tattack\ttop-k\trange\tknn\n")
 	for _, atk := range tamper.MeshCatalog() {
 		row := fmt.Sprintf("\t%s", atk.Name)

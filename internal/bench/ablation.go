@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"aqverify/internal/build"
 	"aqverify/internal/core"
 	"aqverify/internal/funcs"
 	"aqverify/internal/metrics"
@@ -37,28 +39,28 @@ func ablationDelta(h *Harness) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		build := func(materialize bool) (core.Stats, float64, error) {
+		buildTree := func(materialize bool) (core.Stats, float64, error) {
+			opts := []build.Option{
+				build.WithShuffle(h.Cfg.Seed),
+				build.WithWorkers(h.Cfg.Workers),
+			}
+			if materialize {
+				opts = append(opts, build.WithMaterialize())
+			}
 			start := time.Now()
-			tree, err := core.Build(tbl, core.Params{
-				Mode:        core.OneSignature,
-				Signer:      h.signer,
-				Domain:      dom,
-				Template:    funcs.AffineLine(0, 1),
-				Shuffle:     true,
-				Seed:        h.Cfg.Seed,
-				Materialize: materialize,
-				Workers:     h.Cfg.Workers,
-			})
+			res, err := build.Outsource(context.Background(),
+				build.Spec{Table: tbl, Template: funcs.AffineLine(0, 1), Domain: dom, Signer: h.signer},
+				opts...)
 			if err != nil {
 				return core.Stats{}, 0, err
 			}
-			return tree.Stats(), time.Since(start).Seconds(), nil
+			return res.Tree.Stats(), time.Since(start).Seconds(), nil
 		}
-		ds, dt, err := build(false)
+		ds, dt, err := buildTree(false)
 		if err != nil {
 			return nil, fmt.Errorf("bench: delta n=%d: %w", n, err)
 		}
-		ms, mt, err := build(true)
+		ms, mt, err := buildTree(true)
 		if err != nil {
 			return nil, fmt.Errorf("bench: materialized n=%d: %w", n, err)
 		}
@@ -90,22 +92,24 @@ func ablationShuffle(h *Harness) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		build := func(shuffle bool) (*core.Tree, error) {
-			return core.Build(tbl, core.Params{
-				Mode:     core.OneSignature,
-				Signer:   h.signer,
-				Domain:   dom,
-				Template: funcs.AffineLine(0, 1),
-				Shuffle:  shuffle,
-				Seed:     h.Cfg.Seed,
-				Workers:  h.Cfg.Workers,
-			})
+		buildTree := func(shuffle bool) (*core.Tree, error) {
+			opts := []build.Option{build.WithWorkers(h.Cfg.Workers)}
+			if shuffle {
+				opts = append(opts, build.WithShuffle(h.Cfg.Seed))
+			}
+			res, err := build.Outsource(context.Background(),
+				build.Spec{Table: tbl, Template: funcs.AffineLine(0, 1), Domain: dom, Signer: h.signer},
+				opts...)
+			if err != nil {
+				return nil, err
+			}
+			return res.Tree, nil
 		}
-		shuffled, err := build(true)
+		shuffled, err := buildTree(true)
 		if err != nil {
 			return nil, err
 		}
-		inorder, err := build(false)
+		inorder, err := buildTree(false)
 		if err != nil {
 			return nil, err
 		}

@@ -1,8 +1,10 @@
 package bench
 
 import (
+	"context"
 	"time"
 
+	"aqverify/internal/build"
 	"aqverify/internal/core"
 	"aqverify/internal/funcs"
 	"aqverify/internal/geometry"
@@ -43,14 +45,15 @@ func ablationDimensions(h *Harness) (*Table, error) {
 			return nil, err
 		}
 		start := time.Now()
-		tree, err := core.Build(tbl, core.Params{
-			Mode: core.OneSignature, Signer: h.signer, Domain: dom,
-			Template: funcs.ScalarProduct(d), Shuffle: true, Seed: h.Cfg.Seed,
-			Workers: h.Cfg.Workers,
-		})
+		res, err := build.Outsource(context.Background(),
+			build.Spec{Table: tbl, Template: funcs.ScalarProduct(d), Domain: dom, Signer: h.signer},
+			build.WithMode(core.OneSignature),
+			build.WithShuffle(h.Cfg.Seed),
+			build.WithWorkers(h.Cfg.Workers))
 		if err != nil {
 			return nil, err
 		}
+		tree := res.Tree
 		buildSec := time.Since(start).Seconds()
 		st := tree.Stats()
 

@@ -1,8 +1,10 @@
 package bench
 
 import (
+	"context"
 	"time"
 
+	"aqverify/internal/build"
 	"aqverify/internal/core"
 	"aqverify/internal/funcs"
 	"aqverify/internal/metrics"
@@ -40,18 +42,15 @@ func ablationDistributions(h *Harness) (*Table, error) {
 			return nil, err
 		}
 		start := time.Now()
-		tree, err := core.Build(tbl, core.Params{
-			Mode:     core.MultiSignature,
-			Signer:   h.signer,
-			Domain:   dom,
-			Template: funcs.AffineLine(0, 1),
-			Shuffle:  true,
-			Seed:     h.Cfg.Seed,
-			Workers:  h.Cfg.Workers,
-		})
+		res, err := build.Outsource(context.Background(),
+			build.Spec{Table: tbl, Template: funcs.AffineLine(0, 1), Domain: dom, Signer: h.signer},
+			build.WithMode(core.MultiSignature),
+			build.WithShuffle(h.Cfg.Seed),
+			build.WithWorkers(h.Cfg.Workers))
 		if err != nil {
 			return nil, err
 		}
+		tree := res.Tree
 		buildSec := time.Since(start).Seconds()
 		st := tree.Stats()
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"aqverify/internal/backend"
+	"aqverify/internal/build"
 	"aqverify/internal/core"
 	"aqverify/internal/funcs"
 	"aqverify/internal/geometry"
@@ -46,25 +47,18 @@ func fanoutScaling(h *Harness) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		params := core.Params{
-			Mode:     core.MultiSignature,
-			Signer:   h.signer,
-			Domain:   dom,
-			Template: funcs.AffineLine(0, 1),
-			Shuffle:  true,
-			Seed:     h.Cfg.Seed,
-			Workers:  h.Cfg.Workers,
-		}
+		spec := build.Spec{Table: tbl, Template: funcs.AffineLine(0, 1), Domain: dom, Signer: h.signer}
 		qs := fanoutBatch(dom, batchN, h.Cfg.Seed)
 		for _, k := range h.Cfg.ShardCounts {
-			plan, err := shard.NewPlan(dom, 0, k)
-			if err != nil {
-				return nil, err
-			}
-			set, err := shard.Build(tbl, params, plan)
+			res, err := build.Outsource(context.Background(), spec,
+				build.WithMode(core.MultiSignature),
+				build.WithShuffle(h.Cfg.Seed),
+				build.WithWorkers(h.Cfg.Workers),
+				build.WithShards(k, 0))
 			if err != nil {
 				return nil, fmt.Errorf("bench: n=%d K=%d: %w", n, k, err)
 			}
+			set := res.Set
 
 			shardedQPS, shardedAns, err := timeShardedBatch(set, qs)
 			if err != nil {

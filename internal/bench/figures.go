@@ -31,6 +31,7 @@ func Figures() []Figure {
 		{"ablationA3", "Ablation: attribute-distribution sensitivity", ablationDistributions},
 		{"ablationA4", "Ablation: dimension sweep (LP-backed space)", ablationDimensions},
 		{"shardS1", "Sharding: build cost and subdomain split by shard count", shardScaling},
+		{"planQ1", "Shard planners: even vs quantile cuts on a clustered workload", planScaling},
 		{"fanoutF1", "Fanout: single-process sharded vs K-process front-end batch throughput", fanoutScaling},
 	}
 }

@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"aqverify/internal/build"
 	"aqverify/internal/core"
 	"aqverify/internal/funcs"
 	"aqverify/internal/geometry"
@@ -86,51 +88,46 @@ func (h *Harness) Env(n int) (*Env, error) {
 		Builds:   make(map[string]BuildStat),
 	}
 
-	build := func(mode core.Mode) (*core.Tree, BuildStat, error) {
+	spec := build.Spec{Table: tbl, Template: e.Template, Domain: dom, Signer: h.signer}
+	buildTree := func(mode core.Mode) (*core.Tree, BuildStat, error) {
 		var ctr metrics.Counter
 		start := time.Now()
-		tree, err := core.Build(tbl, core.Params{
-			Mode:     mode,
-			Signer:   h.signer,
-			Domain:   dom,
-			Template: e.Template,
-			Hasher:   hashing.New(&ctr),
-			Shuffle:  true,
-			Seed:     h.Cfg.Seed,
-			Workers:  h.Cfg.Workers,
-		})
+		res, err := build.Outsource(context.Background(), spec,
+			build.WithMode(mode),
+			build.WithHasher(hashing.New(&ctr)),
+			build.WithShuffle(h.Cfg.Seed),
+			build.WithWorkers(h.Cfg.Workers))
 		if err != nil {
 			return nil, BuildStat{}, err
 		}
 		st := BuildStat{
 			Seconds:    time.Since(start).Seconds(),
-			Signatures: tree.SignatureCount(),
+			Signatures: res.Tree.SignatureCount(),
 			Hashes:     ctr.Hashes,
-			Bytes:      tree.Stats().ApproxBytes,
+			Bytes:      res.Tree.Stats().ApproxBytes,
 		}
-		return tree, st, nil
+		return res.Tree, st, nil
 	}
 	var st BuildStat
-	if e.One, st, err = build(core.OneSignature); err != nil {
+	if e.One, st, err = buildTree(core.OneSignature); err != nil {
 		return nil, fmt.Errorf("bench: n=%d one-signature: %w", n, err)
 	}
 	e.Builds["one"] = st
-	if e.Multi, st, err = build(core.MultiSignature); err != nil {
+	if e.Multi, st, err = buildTree(core.MultiSignature); err != nil {
 		return nil, fmt.Errorf("bench: n=%d multi-signature: %w", n, err)
 	}
 	e.Builds["multi"] = st
 
 	var mctr metrics.Counter
 	start := time.Now()
-	e.Mesh, err = mesh.Build(tbl, mesh.Params{
-		Signer:   h.signer,
-		Domain:   dom,
-		Template: e.Template,
-		Hasher:   hashing.New(&mctr),
-	})
+	meshRes, err := build.Outsource(context.Background(), spec,
+		build.WithMesh(),
+		build.WithHasher(hashing.New(&mctr)),
+		build.WithWorkers(h.Cfg.Workers))
 	if err != nil {
 		return nil, fmt.Errorf("bench: n=%d mesh: %w", n, err)
 	}
+	e.Mesh = meshRes.Mesh
 	e.Builds["mesh"] = BuildStat{
 		Seconds:    time.Since(start).Seconds(),
 		Signatures: e.Mesh.SignatureCount(),

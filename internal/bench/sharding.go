@@ -1,10 +1,12 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
+	"aqverify/internal/build"
 	"aqverify/internal/core"
 	"aqverify/internal/funcs"
 	"aqverify/internal/metrics"
@@ -38,40 +40,32 @@ func shardScaling(h *Harness) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		params := core.Params{
-			Mode:     core.MultiSignature,
-			Signer:   h.signer,
-			Domain:   dom,
-			Template: funcs.AffineLine(0, 1),
-			Shuffle:  true,
-			Seed:     h.Cfg.Seed,
-			Workers:  h.Cfg.Workers,
+		spec := build.Spec{Table: tbl, Template: funcs.AffineLine(0, 1), Domain: dom, Signer: h.signer}
+		buildSet := func(k int) (*shard.Set, float64, error) {
+			start := time.Now()
+			res, err := build.Outsource(context.Background(), spec,
+				build.WithMode(core.MultiSignature),
+				build.WithShuffle(h.Cfg.Seed),
+				build.WithWorkers(h.Cfg.Workers),
+				build.WithShards(k, 0))
+			if err != nil {
+				return nil, 0, fmt.Errorf("bench: n=%d K=%d: %w", n, k, err)
+			}
+			return res.Set, time.Since(start).Seconds(), nil
 		}
 		// The identity baseline is always a true K=1 build, whatever
 		// shard counts the sweep was configured with; a K=1 sweep row
 		// reuses it (and its timing) instead of rebuilding.
-		basePlan, err := shard.NewPlan(dom, 0, 1)
+		baseline, baseSecs, err := buildSet(1)
 		if err != nil {
 			return nil, err
 		}
-		baseStart := time.Now()
-		baseline, err := shard.Build(tbl, params, basePlan)
-		if err != nil {
-			return nil, fmt.Errorf("bench: n=%d K=1 baseline: %w", n, err)
-		}
-		baseSecs := time.Since(baseStart).Seconds()
 		for _, k := range h.Cfg.ShardCounts {
 			set, secs := baseline, baseSecs
 			if k != 1 {
-				plan, err := shard.NewPlan(dom, 0, k)
-				if err != nil {
+				if set, secs, err = buildSet(k); err != nil {
 					return nil, err
 				}
-				start := time.Now()
-				if set, err = shard.Build(tbl, params, plan); err != nil {
-					return nil, fmt.Errorf("bench: n=%d K=%d: %w", n, k, err)
-				}
-				secs = time.Since(start).Seconds()
 			}
 			subsTotal, subsMax := 0, 0
 			for _, st := range set.Stats() {
@@ -87,6 +81,79 @@ func shardScaling(h *Harness) (*Table, error) {
 			t.AddRow(fmt.Sprint(n), fmt.Sprint(k),
 				fmt.Sprintf("%.3f", secs), fmt.Sprint(subsTotal),
 				fmt.Sprint(subsMax), fmt.Sprint(set.SignatureCount()), identity)
+		}
+	}
+	return t, nil
+}
+
+// planScaling compares the build plane's two shard planners on a skewed
+// workload: clustered attributes concentrate the pairwise breakpoints,
+// so even cuts leave one shard owning most subdomains while quantile
+// cuts split the breakpoint mass evenly. The figure reports each
+// planner's per-shard subdomain spread (max/min over the K shards) and
+// cross-checks routed answers against the K=1 build — rebalancing must
+// never change a verdict or a result window.
+func planScaling(h *Harness) (*Table, error) {
+	t := &Table{
+		ID:    "planQ1",
+		Title: "Shard planners: even vs quantile cuts on a clustered workload",
+		Columns: []string{"n", "K", "planner", "subdomains-min-shard",
+			"subdomains-max-shard", "max/min", "identity"},
+		Notes: []string{h.schemeNote(),
+			"dist=clustered regardless of -dist: the skew the quantile planner exists for",
+			"identity: sampled routed queries answered by the planned set match the K=1 build record-for-record"},
+	}
+	planners := []struct {
+		name string
+		p    build.Planner
+	}{{"even", build.EvenCuts}, {"quantile", build.QuantileCuts}}
+	for _, n := range h.Cfg.AblationSizes {
+		tbl, dom, err := workload.Lines(workload.LinesConfig{
+			N: n, Seed: h.Cfg.Seed, Dist: workload.Clustered, Density: h.Cfg.Density,
+		})
+		if err != nil {
+			return nil, err
+		}
+		spec := build.Spec{Table: tbl, Template: funcs.AffineLine(0, 1), Domain: dom, Signer: h.signer}
+		opts := []build.Option{
+			build.WithMode(core.MultiSignature),
+			build.WithShuffle(h.Cfg.Seed),
+			build.WithWorkers(h.Cfg.Workers),
+		}
+		base, err := build.Outsource(context.Background(), spec, append(opts, build.WithShards(1, 0))...)
+		if err != nil {
+			return nil, fmt.Errorf("bench: n=%d K=1 baseline: %w", n, err)
+		}
+		for _, k := range h.Cfg.ShardCounts {
+			if k == 1 {
+				continue
+			}
+			for _, pl := range planners {
+				res, err := build.Outsource(context.Background(), spec,
+					append(opts, build.WithShards(k, 0), build.WithPlanner(pl.p))...)
+				if err != nil {
+					return nil, fmt.Errorf("bench: n=%d K=%d %s: %w", n, k, pl.name, err)
+				}
+				subsMin, subsMax := -1, 0
+				for _, st := range res.Set.Stats() {
+					if subsMin < 0 || st.Subdomains < subsMin {
+						subsMin = st.Subdomains
+					}
+					if st.Subdomains > subsMax {
+						subsMax = st.Subdomains
+					}
+				}
+				identity, err := shardIdentity(base.Set, res.Set, h.Cfg.Reps, h.Cfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				ratio := "inf"
+				if subsMin > 0 {
+					ratio = fmt.Sprintf("%.2f", float64(subsMax)/float64(subsMin))
+				}
+				t.AddRow(fmt.Sprint(n), fmt.Sprint(k), pl.name,
+					fmt.Sprint(subsMin), fmt.Sprint(subsMax), ratio, identity)
+			}
 		}
 	}
 	return t, nil

@@ -1,0 +1,326 @@
+// Package build defines the unified construction plane: one
+// context-aware entry point — Outsource — over every product a data
+// owner can hand to the cloud. It mirrors internal/backend on the owner
+// side: PR 3 collapsed every evaluator behind one Backend query
+// interface; this package collapses the five positional construction
+// entry points (single tree, whole shard set, one shard of a set, the
+// signature-mesh baseline, and the facade's Build/BuildSharded) behind
+//
+//	build.Outsource(ctx, Spec, ...Option)
+//
+// where Spec carries what every product needs — the table, the utility
+// template, the owner-specified domain and the signing key — and
+// functional options select the product and its shape: WithShards /
+// WithPlan ask for a domain-sharded set, WithShard for one shard of it,
+// WithMesh for the baseline, WithPlanner for density-adaptive cuts
+// (QuantileCuts balances skewed workloads), WithWorkers bounds every
+// stage's worker pool, and WithProgress observes stage starts. The
+// result is byte-identical for every worker count, and a done ctx aborts
+// mid-stage and returns ctx.Err() — every stage runs under pool.RunCtx
+// (see core.BuildCtx, shard.BuildCtx, mesh.BuildCtx).
+package build
+
+import (
+	"context"
+	"fmt"
+
+	"aqverify/internal/core"
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+	"aqverify/internal/hashing"
+	"aqverify/internal/itree"
+	"aqverify/internal/mesh"
+	"aqverify/internal/record"
+	"aqverify/internal/shard"
+	"aqverify/internal/sig"
+)
+
+// Spec carries the construction inputs shared by every product: the raw
+// table, the utility-function template interpreting it, the
+// owner-specified bounded domain, and the owner's signing key.
+type Spec struct {
+	Table    record.Table
+	Template funcs.Template
+	Domain   geometry.Box
+	Signer   sig.Signer
+}
+
+// ShardNone marks a progress event or result that is not bound to a
+// shard (single-tree and mesh products, set-level work).
+const ShardNone = -1
+
+// Progress is one stage-start event of a running construction.
+type Progress struct {
+	// Shard is the shard the stage belongs to, or ShardNone for
+	// unsharded products. Events of a sharded build arrive from the K
+	// concurrent shard goroutines, so a callback must be safe for
+	// concurrent use.
+	Shard int
+	// Stage names the construction stage (see core.Stage).
+	Stage core.Stage
+	// Units is the number of items the stage is about to process.
+	Units int
+}
+
+// Result is one product of the build plane. Exactly one of Tree, Set and
+// Mesh is non-nil — which one follows from the options: Tree for the
+// default single-tree product and for WithShard, Set for WithShards /
+// WithPlan, Mesh for WithMesh.
+type Result struct {
+	// Tree is the built IFMH-tree (single-tree and one-shard products).
+	Tree *core.Tree
+	// Set is the built domain-sharded tree set.
+	Set *shard.Set
+	// Mesh is the built signature-mesh baseline.
+	Mesh *mesh.Mesh
+	// Plan is the shard plan the product was built under; for unsharded
+	// IFMH products it is the trivial single-shard plan over the spec's
+	// domain (Plan.K() == 1). Unset for the mesh product.
+	Plan shard.Plan
+	// Shard is the index of the built shard for the one-shard product,
+	// ShardNone otherwise.
+	Shard int
+	// Public is the parameter bundle the owner publishes for verifying
+	// clients (IFMH products; shards share the single-tree bundle).
+	Public core.PublicParams
+	// MeshPublic is the published bundle of the mesh product.
+	MeshPublic mesh.PublicParams
+}
+
+// Option tunes one Outsource call.
+type Option func(*options)
+
+type options struct {
+	mode        core.Mode
+	shuffle     bool
+	seed        int64
+	materialize bool
+	hasher      *hashing.Hasher
+	workers     int
+	progress    func(Progress)
+
+	plan      *shard.Plan
+	shards    int
+	axis      int
+	shardsSet bool
+	planner   Planner
+	shardIdx  int
+	shardSet  bool
+	mesh      bool
+}
+
+// WithMode selects the IFMH signing scheme (default core.OneSignature).
+func WithMode(m core.Mode) Option { return func(o *options) { o.mode = m } }
+
+// WithShuffle randomizes the intersection insertion order with the given
+// seed (recommended; it keeps the expected IMH depth logarithmic). The
+// seed also derives each shard's per-shard seed.
+func WithShuffle(seed int64) Option {
+	return func(o *options) { o.shuffle = true; o.seed = seed }
+}
+
+// WithMaterialize selects the paper-literal O(S·n) layout storing every
+// subdomain's permutation and FMH-tree; the default is the delta
+// representation.
+func WithMaterialize() Option { return func(o *options) { o.materialize = true } }
+
+// WithHasher supplies an instrumented hasher so construction cost (hash
+// and signature counts) lands in its metrics counter.
+func WithHasher(h *hashing.Hasher) Option { return func(o *options) { o.hasher = h } }
+
+// WithWorkers bounds every construction stage's worker pool: record
+// digesting, pair enumeration, the sweep plan, FMH-list building, hash
+// propagation and multi-signature signing. Zero (the default) means one
+// per CPU, one is serial; the product is byte-identical for every count.
+// In a sharded build each shard reuses the same bound internally, so the
+// effective parallelism is K × workers.
+func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+// WithProgress observes every construction stage as it starts. fn must
+// be cheap, must not block, and — for sharded products, whose K shard
+// builds run concurrently — must be safe for concurrent use.
+func WithProgress(fn func(Progress)) Option { return func(o *options) { o.progress = fn } }
+
+// WithPlan asks for a domain-sharded product built under an explicit
+// plan (the plan's domain must equal the spec's). Mutually exclusive
+// with WithShards.
+func WithPlan(plan shard.Plan) Option { return func(o *options) { o.plan = &plan } }
+
+// WithShards asks for a domain-sharded product: the domain is cut into k
+// contiguous sub-boxes along the given axis by the configured planner
+// (EvenCuts unless WithPlanner says otherwise), and one independently
+// signed tree is built per sub-box. k < 1 is an error — a dynamically
+// computed zero never silently degrades to an unsharded build. Mutually
+// exclusive with WithPlan.
+func WithShards(k, axis int) Option {
+	return func(o *options) { o.shards = k; o.axis = axis; o.shardsSet = true }
+}
+
+// WithPlanner selects the cut-placement strategy used by WithShards
+// (default EvenCuts; QuantileCuts balances skewed workloads).
+func WithPlanner(p Planner) Option { return func(o *options) { o.planner = p } }
+
+// WithShard narrows a sharded product to shard i alone — one process's
+// share of a multi-process deployment. The tree is identical to the one
+// the whole-set build would place at index i. Requires WithPlan or
+// WithShards; any out-of-range i (negative included) is an error, never
+// a silent whole-set build.
+func WithShard(i int) Option {
+	return func(o *options) { o.shardIdx = i; o.shardSet = true }
+}
+
+// WithMesh asks for the signature-mesh baseline instead of an IFMH
+// product. Incompatible with the sharding options.
+func WithMesh() Option { return func(o *options) { o.mesh = true } }
+
+// stageFn adapts the configured progress callback to one product's
+// (stage, units) callback, attributing events to the given shard.
+func (o *options) stageFn(sh int) func(core.Stage, int) {
+	if o.progress == nil {
+		return nil
+	}
+	fn := o.progress
+	return func(stage core.Stage, units int) {
+		fn(Progress{Shard: sh, Stage: stage, Units: units})
+	}
+}
+
+// Outsource builds the product the options select — by default one
+// IFMH-tree over the whole domain — and returns it together with the
+// parameter bundle the owner publishes. See the package comment for the
+// determinism and cancellation contract.
+func Outsource(ctx context.Context, spec Spec, opts ...Option) (*Result, error) {
+	o := options{shardIdx: ShardNone}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if spec.Signer == nil {
+		return nil, fmt.Errorf("build: Spec.Signer is required")
+	}
+	if o.plan != nil && o.shardsSet {
+		return nil, fmt.Errorf("build: WithPlan and WithShards are mutually exclusive")
+	}
+	if o.shardsSet && o.shards < 1 {
+		return nil, fmt.Errorf("build: need at least one shard, got %d", o.shards)
+	}
+	if o.shardSet && o.shardIdx < 0 {
+		return nil, fmt.Errorf("build: shard index %d is negative", o.shardIdx)
+	}
+	if o.mesh {
+		if o.plan != nil || o.shardsSet || o.shardSet {
+			return nil, fmt.Errorf("build: the mesh baseline cannot be domain-sharded")
+		}
+		if o.materialize || o.shuffle || o.mode != core.OneSignature {
+			return nil, fmt.Errorf("build: WithMode/WithShuffle/WithMaterialize apply to IFMH products only")
+		}
+		m, err := mesh.BuildCtx(ctx, spec.Table, mesh.Params{
+			Signer:   spec.Signer,
+			Domain:   spec.Domain,
+			Template: spec.Template,
+			Hasher:   o.hasher,
+			Workers:  o.workers,
+			Progress: o.stageFn(ShardNone),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Mesh: m, MeshPublic: m.Public(), Shard: ShardNone}, nil
+	}
+
+	params := core.Params{
+		Mode:        o.mode,
+		Signer:      spec.Signer,
+		Domain:      spec.Domain,
+		Template:    spec.Template,
+		Hasher:      o.hasher,
+		Shuffle:     o.shuffle,
+		Seed:        o.seed,
+		Materialize: o.materialize,
+		Workers:     o.workers,
+	}
+
+	if o.plan == nil && !o.shardsSet {
+		if o.shardSet {
+			return nil, fmt.Errorf("build: WithShard needs a plan (WithPlan or WithShards)")
+		}
+		params.Progress = o.stageFn(ShardNone)
+		tree, err := core.BuildCtx(ctx, spec.Table, params)
+		if err != nil {
+			return nil, err
+		}
+		trivial, err := shard.NewPlanCuts(spec.Domain, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Tree: tree, Plan: trivial, Shard: ShardNone, Public: tree.Public()}, nil
+	}
+
+	// The pair enumeration is the one stage of a sharded build that runs
+	// before any shard exists, so it reports with ShardNone — whether it
+	// happens here or fused into the shard build below.
+	if spec.Template.Dim() == 1 {
+		if fn := o.stageFn(ShardNone); fn != nil {
+			fn(core.StagePairs, spec.Table.Len())
+		}
+	}
+	// A custom planner gets the whole-domain enumeration and the shard
+	// build re-buckets the same list (one O(n²) scan total, two linear
+	// passes). With no planner to feed — EvenCuts or an explicit plan —
+	// skip the flat list entirely and let shard.BuildCtx run the fused
+	// enumerate-and-bucket scan, which keeps only the per-shard buckets
+	// in memory. Above the exact-enumeration bound QuantileCuts samples
+	// regardless (see its doc), so the flat list is not materialized for
+	// the planner's sake there either.
+	var inters []itree.Intersection
+	n := spec.Table.Len()
+	if o.planner != nil && spec.Template.Dim() == 1 && n*(n-1)/2 <= maxExactPairs {
+		fs, err := spec.Template.InterpretTable(spec.Table)
+		if err != nil {
+			return nil, err
+		}
+		if inters, err = itree.Pairs1DCtx(ctx, fs, spec.Domain, o.workers); err != nil {
+			return nil, err
+		}
+		params.Inters1D = inters
+	}
+
+	var plan shard.Plan
+	if o.plan != nil {
+		plan = *o.plan
+	} else {
+		planner := o.planner
+		if planner == nil {
+			planner = EvenCuts
+		}
+		p, err := planner(ctx, PlanRequest{
+			Spec: spec, K: o.shards, Axis: o.axis, Workers: o.workers, Inters: inters,
+		})
+		if err != nil {
+			return nil, err
+		}
+		plan = p
+	}
+
+	if o.shardSet {
+		params.Progress = o.stageFn(o.shardIdx)
+		tree, err := shard.BuildOneCtx(ctx, spec.Table, params, plan, o.shardIdx)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Tree: tree, Plan: plan, Shard: o.shardIdx, Public: tree.Public()}, nil
+	}
+	set, err := shard.BuildCtx(ctx, spec.Table, params, plan, o.perShard())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Set: set, Plan: plan, Shard: ShardNone, Public: set.Public()}, nil
+}
+
+// perShard adapts the progress callback to the set builder's per-shard
+// hook.
+func (o *options) perShard() shard.PerShardProgress {
+	if o.progress == nil {
+		return nil
+	}
+	return func(i int) func(core.Stage, int) { return o.stageFn(i) }
+}

@@ -1,0 +1,278 @@
+package build
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"aqverify/internal/core"
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+	"aqverify/internal/query"
+	"aqverify/internal/sig"
+	"aqverify/internal/wire"
+	"aqverify/internal/workload"
+)
+
+// testSpec builds a deterministic line-workload spec (Ed25519 with a
+// fixed key, so signatures are reproducible across builds).
+func testSpec(t *testing.T, n int, seed int64, dist workload.Distribution) Spec {
+	t.Helper()
+	tbl, dom, err := workload.Lines(workload.LinesConfig{N: n, Seed: seed, Dist: dist})
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := sig.NewSigner(sig.Ed25519, sig.Options{Rand: sig.DeterministicRand(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Spec{Table: tbl, Template: funcs.AffineLine(0, 1), Domain: dom, Signer: signer}
+}
+
+// sampleQueries spreads top-k queries across the domain.
+func sampleQueries(dom geometry.Box, count int) []query.Query {
+	qs := make([]query.Query, 0, count)
+	for i := 0; i < count; i++ {
+		x := dom.Lo[0] + (dom.Hi[0]-dom.Lo[0])*float64(i+1)/float64(count+1)
+		qs = append(qs, query.NewTopK(geometry.Point{x}, 1+i%5))
+	}
+	return qs
+}
+
+// answersOf processes the queries on a tree and returns the serialized
+// answers (for a sharded product, on the tree owning each query).
+func answersOf(t *testing.T, tr *core.Tree, qs []query.Query) [][]byte {
+	t.Helper()
+	out := make([][]byte, 0, len(qs))
+	for _, q := range qs {
+		if !tr.Domain().Contains(q.X) {
+			out = append(out, nil)
+			continue
+		}
+		ans, err := tr.Process(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, wire.EncodeIFMH(ans))
+	}
+	return out
+}
+
+// TestOutsourceProducts drives every product shape through the one entry
+// point and checks the result invariants, including that WithShard(i)
+// reproduces the whole-set build's shard i answer-for-answer.
+func TestOutsourceProducts(t *testing.T) {
+	ctx := context.Background()
+	spec := testSpec(t, 60, 3, workload.Gaussian)
+	qs := sampleQueries(spec.Domain, 12)
+
+	single, err := Outsource(ctx, spec, WithMode(core.MultiSignature), WithShuffle(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Tree == nil || single.Set != nil || single.Mesh != nil {
+		t.Fatal("single-tree product: wrong result shape")
+	}
+	if single.Plan.K() != 1 || single.Shard != ShardNone {
+		t.Fatalf("single-tree product: plan K=%d shard=%d", single.Plan.K(), single.Shard)
+	}
+	if single.Public.Verifier == nil {
+		t.Fatal("single-tree product: missing published parameters")
+	}
+
+	for _, planner := range []Planner{nil, QuantileCuts} {
+		opts := []Option{WithMode(core.MultiSignature), WithShuffle(3), WithShards(3, 0)}
+		if planner != nil {
+			opts = append(opts, WithPlanner(planner))
+		}
+		set, err := Outsource(ctx, spec, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if set.Set == nil || set.Tree != nil || set.Set.NumShards() != 3 {
+			t.Fatal("sharded product: wrong result shape")
+		}
+		if set.Plan.K() != 3 {
+			t.Fatalf("sharded product: plan K=%d, want 3", set.Plan.K())
+		}
+		// One shard alone must reproduce the set's tree at that index.
+		for i := 0; i < 3; i++ {
+			one, err := Outsource(ctx, spec, append(opts, WithShard(i))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if one.Tree == nil || one.Shard != i {
+				t.Fatalf("one-shard product: tree=%v shard=%d", one.Tree != nil, one.Shard)
+			}
+			a := answersOf(t, one.Tree, qs)
+			b := answersOf(t, set.Set.Trees[i], qs)
+			for k := range a {
+				if !bytes.Equal(a[k], b[k]) {
+					t.Fatalf("shard %d: answer %d differs between WithShard and the set build", i, k)
+				}
+			}
+		}
+	}
+
+	m, err := Outsource(ctx, spec, WithMesh())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mesh == nil || m.Tree != nil || m.Set != nil {
+		t.Fatal("mesh product: wrong result shape")
+	}
+	if m.MeshPublic.Verifier == nil {
+		t.Fatal("mesh product: missing published parameters")
+	}
+}
+
+// TestOutsourceWorkersIdentity is the full-stack byte-identity check:
+// one Outsource call at Workers=1 versus Workers=8 — covering the
+// parallel pair enumeration, sweep, FMH builds, hash propagation and
+// signing at once — must produce trees whose serialized answers (records
+// + verification objects, signatures included) match byte for byte.
+func TestOutsourceWorkersIdentity(t *testing.T) {
+	ctx := context.Background()
+	spec := testSpec(t, 80, 9, workload.AntiCorrelated)
+	qs := sampleQueries(spec.Domain, 16)
+	for _, mat := range []bool{false, true} {
+		opts := []Option{WithMode(core.MultiSignature), WithShuffle(9)}
+		if mat {
+			opts = append(opts, WithMaterialize())
+		}
+		serial, err := Outsource(ctx, spec, append(opts, WithWorkers(1))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := Outsource(ctx, spec, append(opts, WithWorkers(8))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := answersOf(t, serial.Tree, qs), answersOf(t, parallel.Tree, qs)
+		for k := range a {
+			if !bytes.Equal(a[k], b[k]) {
+				t.Fatalf("materialize=%v: answer %d differs between Workers=1 and Workers=8", mat, k)
+			}
+		}
+	}
+}
+
+// TestOutsourceOptionConflicts pins the option-validation errors.
+func TestOutsourceOptionConflicts(t *testing.T) {
+	ctx := context.Background()
+	spec := testSpec(t, 10, 1, workload.Gaussian)
+	plan, err := EvenCuts(context.Background(), PlanRequest{Spec: spec, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"plan+shards", []Option{WithPlan(plan), WithShards(2, 0)}},
+		{"zero shards", []Option{WithShards(0, 0)}},
+		{"shard without plan", []Option{WithShard(0)}},
+		{"negative shard", []Option{WithShards(2, 0), WithShard(-1)}},
+		{"shard out of range", []Option{WithShards(2, 0), WithShard(2)}},
+		{"mesh+shards", []Option{WithMesh(), WithShards(2, 0)}},
+		{"mesh+materialize", []Option{WithMesh(), WithMaterialize()}},
+	}
+	for _, c := range cases {
+		if _, err := Outsource(ctx, spec, c.opts...); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+	if _, err := Outsource(ctx, Spec{Table: spec.Table, Template: spec.Template, Domain: spec.Domain}); err == nil {
+		t.Error("missing signer: no error")
+	}
+}
+
+// TestOutsourceCanceled mirrors internal/core/cancel_test.go on the
+// build plane: a pre-canceled context aborts every product promptly
+// with context.Canceled, and a mid-build cancellation surfaces the same
+// error instead of a partial product.
+func TestOutsourceCanceled(t *testing.T) {
+	spec := testSpec(t, 150, 5, workload.Gaussian)
+	products := [][]Option{
+		{WithMode(core.MultiSignature), WithShuffle(5), WithWorkers(4)},
+		{WithMode(core.MultiSignature), WithShuffle(5), WithWorkers(4), WithShards(3, 0)},
+		{WithMode(core.MultiSignature), WithShuffle(5), WithWorkers(4), WithShards(3, 0), WithShard(1)},
+		{WithMesh(), WithWorkers(4)},
+	}
+	for i, opts := range products {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		start := time.Now()
+		res, err := Outsource(ctx, spec, opts...)
+		if d := time.Since(start); d > 2*time.Second {
+			t.Fatalf("product %d: canceled build took %v", i, d)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("product %d: err = %v, want context.Canceled", i, err)
+		}
+		if res != nil {
+			t.Fatalf("product %d: partial result returned alongside cancellation", i)
+		}
+	}
+
+	// Mid-build: cancel while stages are running.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(time.Millisecond)
+		cancel()
+	}()
+	if _, err := Outsource(ctx, testSpec(t, 400, 5, workload.Gaussian),
+		WithMode(core.MultiSignature), WithShuffle(5), WithWorkers(2)); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-build cancel: err = %v, want context.Canceled or completion", err)
+	}
+}
+
+// TestOutsourceProgress checks stage events arrive with shard
+// attribution: an unsharded build reports ShardNone, a K-shard build
+// reports every shard index.
+func TestOutsourceProgress(t *testing.T) {
+	ctx := context.Background()
+	spec := testSpec(t, 40, 11, workload.Gaussian)
+
+	var single []Progress
+	if _, err := Outsource(ctx, spec, WithShuffle(11),
+		WithProgress(func(p Progress) { single = append(single, p) })); err != nil {
+		t.Fatal(err)
+	}
+	if len(single) == 0 {
+		t.Fatal("no progress events")
+	}
+	for _, p := range single {
+		if p.Shard != ShardNone {
+			t.Fatalf("unsharded build attributed stage %s to shard %d", p.Stage, p.Shard)
+		}
+	}
+
+	// Sharded build: the shared enumeration reports once with ShardNone
+	// (it precedes any shard), then every shard's stages follow.
+	sawPairs := false
+	seen := make(map[int]bool)
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	if _, err := Outsource(ctx, spec, WithShuffle(11), WithShards(3, 0),
+		WithProgress(func(p Progress) {
+			<-mu
+			seen[p.Shard] = true
+			if p.Stage == core.StagePairs {
+				sawPairs = p.Shard == ShardNone
+			}
+			mu <- struct{}{}
+		})); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !seen[i] {
+			t.Fatalf("no progress events for shard %d", i)
+		}
+	}
+	if !sawPairs {
+		t.Fatal("sharded build never reported the shared pair enumeration (StagePairs, ShardNone)")
+	}
+}

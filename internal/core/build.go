@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -18,13 +19,26 @@ import (
 // intersections, build an FMH-tree per sorted function list, propagate
 // Merkle hashes up the IMH-tree, and sign (the root, or every subdomain).
 //
-// The embarrassingly parallel steps — record digesting, per-subdomain
-// FMH-list construction (materialized 1-D and multivariate layouts) and
-// multi-signature signing — are sharded across Params.Workers goroutines.
-// The output is byte-identical for every worker count: every digest and
-// signature input depends only on its own index, and per-worker hash
-// counters are merged after each join.
+// Build is BuildCtx without cancellation; see there for the stage-level
+// parallelism and determinism contract.
 func Build(tbl record.Table, p Params) (*Tree, error) {
+	return BuildCtx(context.Background(), tbl, p)
+}
+
+// BuildCtx is the context-aware construction entry point. Every stage
+// with independent units is sharded across Params.Workers goroutines:
+// record digesting, 1-D pairwise-intersection enumeration, the subdomain
+// sweep plan, per-subdomain FMH-list construction (materialized 1-D and
+// multivariate layouts), level-order IMH hash propagation, and
+// multi-signature signing. The output is byte-identical for every worker
+// count: every digest, swap list and signature input depends only on its
+// own index, and per-worker hash counters are merged after each join.
+//
+// Cancellation is cooperative: a done ctx stops each stage's worker pool
+// from claiming new chunks, the serial stages check between units, and
+// BuildCtx returns ctx.Err(). Params.Progress, when set, observes every
+// stage as it starts.
+func BuildCtx(ctx context.Context, tbl record.Table, p Params) (*Tree, error) {
 	if p.Signer == nil {
 		return nil, fmt.Errorf("core: Params.Signer is required")
 	}
@@ -57,8 +71,9 @@ func Build(tbl record.Table, p Params) (*Tree, error) {
 		verifier: p.Signer.Verifier(),
 	}
 	workers := p.workers()
+	p.progress(StageDigest, tbl.Len())
 	t.recDigests = make([]hashing.Digest, tbl.Len())
-	err = t.parallelChunks(workers, tbl.Len(), func(h *hashing.Hasher, lo, hi int) error {
+	err = t.parallelChunks(ctx, workers, tbl.Len(), func(h *hashing.Hasher, lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			t.recDigests[i] = h.Record(tbl.Records[i])
 		}
@@ -77,15 +92,20 @@ func Build(tbl record.Table, p Params) (*Tree, error) {
 		t.space = space
 		inters := p.Inters1D
 		if inters == nil {
-			if inters, err = itree.Pairs1D(fs, p.Domain); err != nil {
+			p.progress(StagePairs, tbl.Len())
+			if inters, err = itree.Pairs1DCtx(ctx, fs, p.Domain, workers); err != nil {
 				return nil, err
 			}
+		}
+		p.progress(StageITree, len(inters))
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		t.itree, err = itree.Build(space, inters, opt)
 		if err != nil {
 			return nil, err
 		}
-		if err := t.buildLists1D(inters, p.Materialize, workers); err != nil {
+		if err := t.buildLists1D(ctx, inters, p, workers); err != nil {
 			return nil, err
 		}
 	} else {
@@ -94,20 +114,35 @@ func Build(tbl record.Table, p Params) (*Tree, error) {
 			return nil, err
 		}
 		t.space = space
+		p.progress(StageITree, 0)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t.itree, err = itree.Build(space, itree.PairsND(fs), opt)
 		if err != nil {
 			return nil, err
 		}
-		if err := t.buildListsND(workers); err != nil {
+		p.progress(StageLists, len(t.itree.Subs))
+		if err := t.buildListsND(ctx, workers); err != nil {
 			return nil, err
 		}
 	}
 
-	t.propagateHashes()
-	if err := t.sign(p); err != nil {
+	p.progress(StagePropagate, t.itree.NodeCount)
+	if err := t.propagateHashes(ctx, workers); err != nil {
+		return nil, err
+	}
+	if err := t.sign(ctx, p); err != nil {
 		return nil, err
 	}
 	return t, nil
+}
+
+// progress reports one stage start to the configured callback, if any.
+func (p Params) progress(stage Stage, units int) {
+	if p.Progress != nil {
+		p.Progress(stage, units)
+	}
 }
 
 // fmhFromPerm builds a fresh FMH-tree for a permutation with the given
@@ -148,10 +183,11 @@ func SweepInputs1D(space *geometry.Space1D, subs []*itree.Subdomain, boundaries 
 }
 
 // buildLists1D computes every subdomain's sorted function list by a
-// left-to-right sweep: sort once (exactly) in the leftmost subdomain,
-// then cross each boundary by applying the adjacent transpositions of the
-// function pairs intersecting there, deriving each FMH-tree persistently
-// from its left neighbor.
+// left-to-right sweep: seed the sorted order exactly (see
+// sweep.ComputeCtx for how the seeding shards across workers), then cross
+// each boundary by applying the adjacent transpositions of the function
+// pairs intersecting there, deriving each FMH-tree persistently from its
+// left neighbor.
 //
 // In materialized mode the sweep only replays permutations (cheap swaps);
 // the S independent O(n) FMH-tree constructions — the dominant cost of
@@ -159,7 +195,7 @@ func SweepInputs1D(space *geometry.Space1D, subs []*itree.Subdomain, boundaries 
 // Delta mode stays serial past the base list: each persistent tree is
 // derived from its left neighbor, an inherently sequential chain that is
 // already O(S log n) in total.
-func (t *Tree) buildLists1D(inters []itree.Intersection, materialize bool, workers int) error {
+func (t *Tree) buildLists1D(ctx context.Context, inters []itree.Intersection, p Params, workers int) error {
 	space := t.space.(*geometry.Space1D)
 	subs := t.itree.Subs
 	t.subs = make([]*SubInfo, len(subs))
@@ -172,7 +208,8 @@ func (t *Tree) buildLists1D(inters []itree.Intersection, materialize bool, worke
 	if err != nil {
 		return err
 	}
-	plan, err := sweep.Compute(t.fs, witnesses, groups)
+	p.progress(StageSweep, len(boundaries))
+	plan, err := sweep.ComputeCtx(ctx, t.fs, witnesses, groups, workers)
 	if err != nil {
 		return err
 	}
@@ -180,8 +217,9 @@ func (t *Tree) buildLists1D(inters []itree.Intersection, materialize bool, worke
 	t.cursor = sweep.NewCursor(plan)
 
 	perm := append([]int(nil), plan.BasePerm...)
+	p.progress(StageLists, len(subs))
 
-	if materialize {
+	if p.Materialize {
 		perms := make([][]int, len(subs))
 		perms[0] = append([]int(nil), perm...)
 		for k := range boundaries {
@@ -190,7 +228,7 @@ func (t *Tree) buildLists1D(inters []itree.Intersection, materialize bool, worke
 			}
 			perms[k+1] = append([]int(nil), perm...)
 		}
-		return t.parallelChunks(workers, len(subs), func(h *hashing.Hasher, lo, hi int) error {
+		return t.parallelChunks(ctx, workers, len(subs), func(h *hashing.Hasher, lo, hi int) error {
 			for i := lo; i < hi; i++ {
 				list, err := t.fmhFromPerm(h, perms[i])
 				if err != nil {
@@ -208,6 +246,9 @@ func (t *Tree) buildLists1D(inters []itree.Intersection, materialize bool, worke
 	}
 	t.subs[0] = &SubInfo{Sub: subs[0], List: list}
 	for k := range boundaries {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for _, pos := range plan.Swaps[k] {
 			list, err = list.DeriveSwap(t.hasher, pos)
 			if err != nil {
@@ -237,10 +278,10 @@ func (t *Tree) permFor(id int) ([]int, error) {
 // point — there is no sweep order to exploit in d >= 2 — and always
 // materializes. The subdomains are independent, so the sort + FMH build
 // shards across the worker pool.
-func (t *Tree) buildListsND(workers int) error {
+func (t *Tree) buildListsND(ctx context.Context, workers int) error {
 	subs := t.itree.Subs
 	t.subs = make([]*SubInfo, len(subs))
-	return t.parallelChunks(workers, len(subs), func(h *hashing.Hasher, lo, hi int) error {
+	return t.parallelChunks(ctx, workers, len(subs), func(h *hashing.Hasher, lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			sub := subs[i]
 			w := t.space.Witness(sub.Region)
@@ -257,21 +298,44 @@ func (t *Tree) buildListsND(workers int) error {
 
 // propagateHashes fills every IMH node's hash bottom-up (paper §3.1 step
 // 3): subdomain leaves hash their FMH root; intersection nodes bind their
-// hyperplane to their children's hashes.
-func (t *Tree) propagateHashes() {
-	var rec func(n *itree.Node) hashing.Digest
-	rec = func(n *itree.Node) hashing.Digest {
-		if n.IsLeaf() {
-			n.Hash = t.hasher.Subdomain(t.subs[n.Leaf.ID].List.Root())
-			return n.Hash
+// hyperplane to their children's hashes. The walk is level-parallel:
+// nodes are grouped by depth and each level is sharded across the worker
+// pool, deepest first, so every node's children are hashed before the
+// node itself — a node's hash depends only on its own children, which
+// keeps the digest byte-identical for every worker count.
+func (t *Tree) propagateHashes(ctx context.Context, workers int) error {
+	var levels [][]*itree.Node
+	var walk func(n *itree.Node, d int)
+	walk = func(n *itree.Node, d int) {
+		if d == len(levels) {
+			levels = append(levels, nil)
 		}
-		a := rec(n.Above)
-		b := rec(n.Below)
-		n.Hash = t.hasher.Intersection(n.Int.H.Encode(nil), a, b)
-		return n.Hash
+		levels[d] = append(levels[d], n)
+		if n.IsLeaf() {
+			return
+		}
+		walk(n.Above, d+1)
+		walk(n.Below, d+1)
 	}
-	imhRoot := rec(t.itree.Root)
-	t.rootDigest = t.hasher.Root(imhRoot)
+	walk(t.itree.Root, 0)
+	for d := len(levels) - 1; d >= 0; d-- {
+		level := levels[d]
+		err := t.parallelChunks(ctx, workers, len(level), func(h *hashing.Hasher, lo, hi int) error {
+			for _, n := range level[lo:hi] {
+				if n.IsLeaf() {
+					n.Hash = h.Subdomain(t.subs[n.Leaf.ID].List.Root())
+				} else {
+					n.Hash = h.Intersection(n.Int.H.Encode(nil), n.Above.Hash, n.Below.Hash)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	t.rootDigest = t.hasher.Root(t.itree.Root.Hash)
+	return nil
 }
 
 // sign executes step 4 for the configured mode. Multi-signature mode
@@ -280,9 +344,13 @@ func (t *Tree) propagateHashes() {
 // are independent of the worker count (schemes with per-signature
 // randomness differ run to run regardless). Every sig.Signer is safe for
 // concurrent use: the schemes are stateless apart from crypto/rand.
-func (t *Tree) sign(p Params) error {
+func (t *Tree) sign(ctx context.Context, p Params) error {
 	switch p.Mode {
 	case OneSignature:
+		p.progress(StageSign, 1)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		s, err := p.Signer.Sign(t.rootDigest[:])
 		if err != nil {
 			return fmt.Errorf("core: signing root: %w", err)
@@ -291,7 +359,8 @@ func (t *Tree) sign(p Params) error {
 		t.rootSig = s
 		t.sigCount = 1
 	case MultiSignature:
-		err := t.parallelChunks(p.workers(), len(t.subs), func(h *hashing.Hasher, lo, hi int) error {
+		p.progress(StageSign, len(t.subs))
+		err := t.parallelChunks(ctx, p.workers(), len(t.subs), func(h *hashing.Hasher, lo, hi int) error {
 			for _, si := range t.subs[lo:hi] {
 				si.Ineqs = t.space.Halfspaces(si.Sub.Region)
 				si.IneqEnc = geometry.EncodeHalfspaces(nil, si.Ineqs)

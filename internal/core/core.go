@@ -99,12 +99,36 @@ type Params struct {
 	// enumeration for 1-D builds. The domain-sharded builder (package
 	// shard) partitions one global itree.PairsPartition1D enumeration
 	// across its sub-box builds through this field instead of paying the
-	// O(n²) pair scan once per shard. It must contain every pair whose
+	// O(n²) pair scan once per shard — and itself accepts a whole-domain
+	// enumeration through it (shard.BuildCtx re-buckets it linearly),
+	// which is how the build plane shares one scan between its cut
+	// planner and the shard build. It must contain every pair whose
 	// breakpoint lies inside Domain (a superset is fine: out-of-domain
 	// entries are pruned by the exact insertion checks). Nil means Build
 	// enumerates via itree.Pairs1D; ignored for multivariate templates.
 	Inters1D []itree.Intersection
+	// Progress, when non-nil, is invoked from the building goroutine at
+	// the start of every construction stage with the stage and the number
+	// of units (records, intersections, subdomains, tree nodes, ...) the
+	// stage is about to process. It must be cheap and must not block.
+	Progress func(stage Stage, units int)
 }
+
+// Stage names one construction stage for Params.Progress callbacks, in
+// the order the stages run.
+type Stage string
+
+// The construction stages, in execution order. StagePairs and StageSweep
+// occur only for univariate templates.
+const (
+	StageDigest    Stage = "digest"    // record digesting
+	StagePairs     Stage = "pairs"     // pairwise-intersection enumeration (1-D)
+	StageITree     Stage = "itree"     // I-tree insertion
+	StageSweep     Stage = "sweep"     // subdomain sweep plan (1-D)
+	StageLists     Stage = "lists"     // per-subdomain FMH-list construction
+	StagePropagate Stage = "propagate" // IMH-tree hash propagation
+	StageSign      Stage = "sign"      // root / per-subdomain signing
+)
 
 // workers resolves the configured worker count; zero or negative means
 // one worker per available CPU.

@@ -1,45 +1,57 @@
 package core
 
 import (
-	"sync"
+	"context"
 
 	"aqverify/internal/hashing"
 	"aqverify/internal/metrics"
+	"aqverify/internal/pool"
 )
 
-// parallelChunks splits the index range [0, n) into one contiguous chunk
-// per worker and runs fn on each chunk concurrently. Every worker gets a
-// hasher bound to its own metrics counter (a Hasher is not safe for
-// concurrent use); after the join, the per-worker counts are merged into
-// the tree's main counter, so hash/sign totals match the serial path
+// parallelChunks splits the index range [0, n) into contiguous chunks and
+// runs fn on each chunk across at most workers goroutines. Every worker
+// gets a hasher bound to its own metrics counter (a Hasher is not safe
+// for concurrent use); after the join, the per-worker counts are merged
+// into the tree's main counter, so hash/sign totals match the serial path
 // exactly. The first non-nil chunk error (lowest chunk index) is
 // returned.
 //
 // Each chunk writes only its own index range of any shared output slice,
 // which keeps the fan-out deterministic: the bytes produced for index i
-// never depend on the worker count.
-func (t *Tree) parallelChunks(workers, n int, fn func(h *hashing.Hasher, lo, hi int) error) error {
+// never depend on the worker count (or the chunk count — the range is
+// oversplit beyond the worker count so uneven chunks load-balance and a
+// done context is noticed between chunks). Cancellation is cooperative:
+// once ctx is done no new chunk starts, and ctx.Err() is returned after
+// the in-flight chunks drain.
+func (t *Tree) parallelChunks(ctx context.Context, workers, n int, fn func(h *hashing.Hasher, lo, hi int) error) error {
 	if n == 0 {
-		return nil
+		return ctx.Err()
 	}
-	if workers > n {
-		workers = n
+	w := pool.Workers(workers, n)
+	chunks := w * 8
+	if chunks > n {
+		chunks = n
 	}
-	if workers <= 1 {
-		return fn(t.hasher, 0, n)
+	if w <= 1 {
+		for c := 0; c < chunks; c++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(t.hasher, c*n/chunks, (c+1)*n/chunks); err != nil {
+				return err
+			}
+		}
+		return ctx.Err()
 	}
-	ctrs := make([]metrics.Counter, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo, hi := w*n/workers, (w+1)*n/workers
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			errs[w] = fn(t.hasher.WithCounter(&ctrs[w]), lo, hi)
-		}(w, lo, hi)
+	hs := make([]*hashing.Hasher, w)
+	ctrs := make([]metrics.Counter, w)
+	for i := range hs {
+		hs[i] = t.hasher.WithCounter(&ctrs[i])
 	}
-	wg.Wait()
+	errs := make([]error, chunks)
+	runErr := pool.RunCtx(ctx, chunks, w, func(worker, c int) {
+		errs[c] = fn(hs[worker], c*n/chunks, (c+1)*n/chunks)
+	})
 	main := t.hasher.Counter()
 	for i := range ctrs {
 		main.Add(ctrs[i])
@@ -49,5 +61,5 @@ func (t *Tree) parallelChunks(workers, n int, fn func(h *hashing.Hasher, lo, hi 
 			return err
 		}
 	}
-	return nil
+	return runErr
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -9,6 +11,7 @@ import (
 	"aqverify/internal/funcs"
 	"aqverify/internal/geometry"
 	"aqverify/internal/hashing"
+	"aqverify/internal/itree"
 	"aqverify/internal/metrics"
 	"aqverify/internal/query"
 	"aqverify/internal/record"
@@ -210,5 +213,88 @@ func TestVerifyBatch(t *testing.T) {
 
 	if got := VerifyBatch(pub, nil, 4, nil); len(got) != 0 {
 		t.Errorf("empty batch returned %d errors", len(got))
+	}
+}
+
+// TestPropagateHashesWorkersIdentity walks the serial and parallel
+// builds' IMH-trees in lockstep and compares every node hash — the
+// node-level contract behind the root-digest identity: level-parallel
+// propagation must reproduce the recursive walk exactly, not just at the
+// root.
+func TestPropagateHashesWorkersIdentity(t *testing.T) {
+	tbl := lineTable(t, 80, 19)
+	serial := buildWorkers(t, tbl, OneSignature, false, 1, nil)
+	parallel := buildWorkers(t, tbl, OneSignature, false, 8, nil)
+	nodes := 0
+	var walk func(a, b *itree.Node)
+	walk = func(a, b *itree.Node) {
+		if (a == nil) != (b == nil) {
+			t.Fatal("tree shapes differ between Workers=1 and Workers=8")
+		}
+		if a == nil {
+			return
+		}
+		if a.Hash != b.Hash {
+			t.Fatalf("node hash differs between Workers=1 and Workers=8 (leaf=%v)", a.IsLeaf())
+		}
+		nodes++
+		if a.IsLeaf() {
+			return
+		}
+		walk(a.Above, b.Above)
+		walk(a.Below, b.Below)
+	}
+	walk(serial.itree.Root, parallel.itree.Root)
+	if nodes != serial.itree.NodeCount {
+		t.Fatalf("walked %d nodes, want %d", nodes, serial.itree.NodeCount)
+	}
+}
+
+// TestBuildCtxCanceled: a context canceled mid-construction aborts
+// promptly and surfaces context.Canceled (the build-plane mirror of
+// VerifyBatchCtx's contract).
+func TestBuildCtxCanceled(t *testing.T) {
+	tbl := lineTable(t, 120, 23)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := BuildCtx(ctx, tbl, Params{
+		Mode:     MultiSignature,
+		Signer:   testSigner,
+		Domain:   geometry.MustBox([]float64{-1}, []float64{1}),
+		Template: funcs.AffineLine(0, 1),
+		Shuffle:  true,
+		Seed:     42,
+		Workers:  4,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestBuildProgressStages checks the stage callback: every 1-D stage
+// fires, in construction order, from the building goroutine.
+func TestBuildProgressStages(t *testing.T) {
+	tbl := lineTable(t, 40, 29)
+	var stages []Stage
+	_, err := Build(tbl, Params{
+		Mode:     MultiSignature,
+		Signer:   testSigner,
+		Domain:   geometry.MustBox([]float64{-1}, []float64{1}),
+		Template: funcs.AffineLine(0, 1),
+		Shuffle:  true,
+		Workers:  2,
+		Progress: func(stage Stage, units int) { stages = append(stages, stage) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Stage{StageDigest, StagePairs, StageITree, StageSweep, StageLists, StagePropagate, StageSign}
+	if len(stages) != len(want) {
+		t.Fatalf("saw stages %v, want %v", stages, want)
+	}
+	for i := range want {
+		if stages[i] != want[i] {
+			t.Fatalf("stage %d = %s, want %s", i, stages[i], want[i])
+		}
 	}
 }

@@ -14,6 +14,7 @@
 package itree
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/rand"
@@ -88,7 +89,15 @@ type BuildOptions struct {
 // the enumeration loop — margin, hyperplane sign convention and all — in
 // one place.
 func Pairs1D(fs []funcs.Linear, domain geometry.Box) ([]Intersection, error) {
-	buckets, err := PairsPartition1D(fs, domain, nil)
+	return Pairs1DCtx(context.Background(), fs, domain, 1)
+}
+
+// Pairs1DCtx is Pairs1D with the O(n²) scan sharded across workers and
+// cooperative cancellation (see PairsPartition1DCtx). The enumeration
+// order is byte-identical to Pairs1D for every worker count — the
+// property the seeded-shuffle tree construction depends on.
+func Pairs1DCtx(ctx context.Context, fs []funcs.Linear, domain geometry.Box, workers int) ([]Intersection, error) {
+	buckets, err := PairsPartition1DCtx(ctx, fs, domain, nil, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package itree
 
 import (
+	"context"
+	"errors"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -132,5 +134,109 @@ func TestPairsPartition1DValidation(t *testing.T) {
 	}
 	if _, err := PairsPartition1D(fs, geometry.MustBox([]float64{0, 0}, []float64{1, 1}), nil); err == nil {
 		t.Error("2-D domain accepted")
+	}
+}
+
+// TestPairsPartition1DWorkersIdentity is the byte-identity contract of
+// the sharded enumeration: for every worker count the buckets — contents
+// and order within each bucket — must equal the serial scan's exactly,
+// because the seeded-shuffle tree construction consumes them by index.
+func TestPairsPartition1DWorkersIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	dom := geometry.MustBox([]float64{-1}, []float64{1})
+	fs := make([]funcs.Linear, 120)
+	for i := range fs {
+		fs[i] = funcs.Linear{Index: i, Coef: []float64{rng.NormFloat64()}, Bias: rng.NormFloat64()}
+	}
+	for _, cuts := range [][]float64{nil, {-0.4, 0.1, 0.3}} {
+		serial, err := PairsPartition1DCtx(context.Background(), fs, dom, cuts, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			par, err := PairsPartition1DCtx(context.Background(), fs, dom, cuts, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par) != len(serial) {
+				t.Fatalf("workers=%d: %d buckets, want %d", workers, len(par), len(serial))
+			}
+			for k := range serial {
+				if len(par[k]) != len(serial[k]) {
+					t.Fatalf("workers=%d bucket %d: %d pairs, want %d", workers, k, len(par[k]), len(serial[k]))
+				}
+				for p := range serial[k] {
+					a, b := serial[k][p], par[k][p]
+					if a.I != b.I || a.J != b.J || a.H.B != b.H.B || a.H.C[0] != b.H.C[0] {
+						t.Fatalf("workers=%d bucket %d pair %d differs: %+v vs %+v", workers, k, p, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPairsPartition1DCtxCanceled: a pre-canceled context aborts the
+// scan and surfaces context.Canceled.
+func TestPairsPartition1DCtxCanceled(t *testing.T) {
+	dom := geometry.MustBox([]float64{-1}, []float64{1})
+	fs := make([]funcs.Linear, 64)
+	rng := rand.New(rand.NewSource(3))
+	for i := range fs {
+		fs[i] = funcs.Linear{Index: i, Coef: []float64{rng.NormFloat64()}, Bias: rng.NormFloat64()}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := PairsPartition1DCtx(ctx, fs, dom, nil, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestPartitionInters1DMatchesFusedScan pins the re-bucketing contract:
+// partitioning a precomputed whole-domain enumeration by cuts must yield
+// exactly the buckets the fused enumerate-and-bucket scan produces —
+// contents and order — including pairs crossing exactly on a cut and
+// within float-margin of one. The build plane relies on this to share
+// one O(n²) scan between its cut planner and the shard build.
+func TestPartitionInters1DMatchesFusedScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	dom := geometry.MustBox([]float64{-1}, []float64{1})
+	cuts := []float64{-0.5, 0, 0.25}
+	fs := make([]funcs.Linear, 80)
+	for i := range fs {
+		fs[i] = funcs.Linear{Index: i, Coef: []float64{rng.NormFloat64()}, Bias: rng.NormFloat64()}
+	}
+	// Engineered crossings exactly on each cut (f and its reflection
+	// around x = c cross precisely at c).
+	for _, c := range cuts {
+		fs = append(fs,
+			funcs.Linear{Coef: []float64{1}, Bias: -c},
+			funcs.Linear{Coef: []float64{-1}, Bias: c})
+	}
+	fused, err := PairsPartition1D(fs, dom, cuts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Pairs1D(fs, dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebucketed, err := PartitionInters1D(flat, dom, cuts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rebucketed) != len(fused) {
+		t.Fatalf("%d buckets, want %d", len(rebucketed), len(fused))
+	}
+	for k := range fused {
+		if len(rebucketed[k]) != len(fused[k]) {
+			t.Fatalf("bucket %d: %d pairs, want %d", k, len(rebucketed[k]), len(fused[k]))
+		}
+		for p := range fused[k] {
+			a, b := fused[k][p], rebucketed[k][p]
+			if a.I != b.I || a.J != b.J || a.H.B != b.H.B || a.H.C[0] != b.H.C[0] {
+				t.Fatalf("bucket %d pair %d differs: %+v vs %+v", k, p, a, b)
+			}
+		}
 	}
 }

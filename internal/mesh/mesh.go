@@ -16,6 +16,7 @@
 package mesh
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
@@ -78,6 +79,21 @@ type Params struct {
 	Template funcs.Template
 	// Hasher may be nil for an uninstrumented hasher.
 	Hasher *hashing.Hasher
+	// Workers bounds the worker pool sharding the O(n²) intersection
+	// enumeration and the sweep-plan computation; zero means one per
+	// CPU, one is serial. The built mesh is identical either way.
+	Workers int
+	// Progress, when non-nil, observes every construction stage as it
+	// starts (the mesh reuses the IFMH stage names; StageITree and
+	// StagePropagate never occur, StageSign covers the run signing).
+	Progress func(stage core.Stage, units int)
+}
+
+// progress reports one stage start to the configured callback, if any.
+func (p Params) progress(stage core.Stage, units int) {
+	if p.Progress != nil {
+		p.Progress(stage, units)
+	}
 }
 
 // PublicParams is what the owner publishes for mesh clients.
@@ -92,6 +108,14 @@ type PublicParams struct {
 // supported — the baseline predates multi-dimensional treatment, and the
 // paper's evaluation runs it on linear (1-D) ranking functions.
 func Build(tbl record.Table, p Params) (*Mesh, error) {
+	return BuildCtx(context.Background(), tbl, p)
+}
+
+// BuildCtx is Build with cooperative cancellation and the enumeration
+// and sweep stages sharded across p.Workers goroutines. The run-signing
+// sweep itself stays serial — it is one left-to-right state machine over
+// the adjacency slots — but checks ctx at every boundary.
+func BuildCtx(ctx context.Context, tbl record.Table, p Params) (*Mesh, error) {
 	if p.Signer == nil {
 		return nil, fmt.Errorf("mesh: Params.Signer is required")
 	}
@@ -121,12 +145,19 @@ func Build(tbl record.Table, p Params) (*Mesh, error) {
 		verifier: p.Signer.Verifier(),
 		runs:     make(map[pairKey][]*Run),
 	}
+	p.progress(core.StageDigest, tbl.Len())
 	m.recDig = make([]hashing.Digest, tbl.Len())
 	for i, r := range tbl.Records {
+		if i%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		m.recDig[i] = h.Record(r)
 	}
 
-	bounds, groups, err := arrangement1D(fs, p.Domain)
+	p.progress(core.StagePairs, tbl.Len())
+	bounds, groups, err := arrangement1D(ctx, fs, p.Domain, p.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -144,13 +175,15 @@ func Build(tbl record.Table, p Params) (*Mesh, error) {
 		m.edges[i], _ = e.Float64()
 	}
 
-	m.plan, err = sweep.Compute(fs, witnesses, groups)
+	p.progress(core.StageSweep, len(bounds))
+	m.plan, err = sweep.ComputeCtx(ctx, fs, witnesses, groups, p.Workers)
 	if err != nil {
 		return nil, err
 	}
 	m.cursor = sweep.NewCursor(m.plan)
 
-	if err := m.buildRuns(p.Signer); err != nil {
+	p.progress(core.StageSign, m.NumSubdomains())
+	if err := m.buildRuns(ctx, p.Signer); err != nil {
 		return nil, err
 	}
 	return m, nil
@@ -158,8 +191,8 @@ func Build(tbl record.Table, p Params) (*Mesh, error) {
 
 // arrangement1D computes the sorted distinct in-domain breakpoints and
 // the function pairs crossing at each.
-func arrangement1D(fs []funcs.Linear, domain geometry.Box) ([]*big.Rat, [][]sweep.Pair, error) {
-	inters, err := itree.Pairs1D(fs, domain)
+func arrangement1D(ctx context.Context, fs []funcs.Linear, domain geometry.Box, workers int) ([]*big.Rat, [][]sweep.Pair, error) {
+	inters, err := itree.Pairs1DCtx(ctx, fs, domain, workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -230,7 +263,7 @@ func runEnc(lo, hi float64) []byte {
 // buildRuns sweeps the subdomains left to right, tracking for every
 // adjacency slot the run it began at, closing and signing runs whenever a
 // crossing disturbs the slot.
-func (m *Mesh) buildRuns(signer sig.Signer) error {
+func (m *Mesh) buildRuns(ctx context.Context, signer sig.Signer) error {
 	n := m.table.Len()
 	s := m.NumSubdomains()
 	perm := append([]int(nil), m.plan.BasePerm...)
@@ -275,6 +308,9 @@ func (m *Mesh) buildRuns(signer sig.Signer) error {
 	}
 
 	for k := 0; k < s-1; k++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for _, pos := range m.plan.Swaps[k] {
 			// A swap at pos disturbs slots pos, pos+1, pos+2.
 			for _, sl := range []int{pos, pos + 1, pos + 2} {

@@ -3,11 +3,18 @@
 // function template, builds the authenticated data structure, signs it
 // with its private key, and hands the package to the cloud while
 // publishing the verification parameters to its users.
+//
+// The Outsource* methods predate the unified build plane and remain as
+// deprecated shims: new code should call build.Outsource directly, which
+// adds context cancellation, shard planners and progress callbacks on
+// top of the same products.
 package owner
 
 import (
+	"context"
 	"fmt"
 
+	"aqverify/internal/build"
 	"aqverify/internal/core"
 	"aqverify/internal/funcs"
 	"aqverify/internal/geometry"
@@ -40,7 +47,21 @@ func NewWithScheme(scheme sig.Scheme, opt sig.Options) (*Owner, error) {
 	return &Owner{signer: s}, nil
 }
 
+// Signer returns the owner's signing key — what binds a build.Spec to
+// this owner.
+func (o *Owner) Signer() sig.Signer { return o.signer }
+
+// Spec assembles the build-plane spec for this owner's key: the Spec
+// argument of build.Outsource.
+func (o *Owner) Spec(tbl record.Table, tpl funcs.Template, domain geometry.Box) build.Spec {
+	return build.Spec{Table: tbl, Template: tpl, Domain: domain, Signer: o.signer}
+}
+
 // Options tunes outsourcing.
+//
+// Deprecated: Options mirrors the build plane's functional options for
+// the deprecated Outsource* shims; new code passes build.Option values
+// to build.Outsource instead.
 type Options struct {
 	// Mode selects the IFMH signing scheme.
 	Mode core.Mode
@@ -51,29 +72,39 @@ type Options struct {
 	Materialize bool
 	// Hasher may carry a metrics counter to measure construction cost.
 	Hasher *hashing.Hasher
-	// Workers bounds the IFMH construction worker pool (see
+	// Workers bounds the construction worker pool (see
 	// core.Params.Workers); zero means one per CPU, one is serial.
 	Workers int
 }
 
+// buildOpts translates the legacy option struct to build-plane options.
+func (opt Options) buildOpts(extra ...build.Option) []build.Option {
+	opts := []build.Option{
+		build.WithMode(opt.Mode),
+		build.WithWorkers(opt.Workers),
+	}
+	if opt.Shuffle {
+		opts = append(opts, build.WithShuffle(opt.Seed))
+	}
+	if opt.Materialize {
+		opts = append(opts, build.WithMaterialize())
+	}
+	if opt.Hasher != nil {
+		opts = append(opts, build.WithHasher(opt.Hasher))
+	}
+	return append(opts, extra...)
+}
+
 // OutsourceIFMH builds the IFMH-tree package for the cloud plus the
 // public parameters for data users.
+//
+// Deprecated: call build.Outsource(ctx, o.Spec(...), ...) instead.
 func (o *Owner) OutsourceIFMH(tbl record.Table, tpl funcs.Template, domain geometry.Box, opt Options) (*core.Tree, core.PublicParams, error) {
-	tree, err := core.Build(tbl, core.Params{
-		Mode:        opt.Mode,
-		Signer:      o.signer,
-		Domain:      domain,
-		Template:    tpl,
-		Hasher:      opt.Hasher,
-		Shuffle:     opt.Shuffle,
-		Seed:        opt.Seed,
-		Materialize: opt.Materialize,
-		Workers:     opt.Workers,
-	})
+	res, err := build.Outsource(context.Background(), o.Spec(tbl, tpl, domain), opt.buildOpts()...)
 	if err != nil {
 		return nil, core.PublicParams{}, err
 	}
-	return tree, tree.Public(), nil
+	return res.Tree, res.Public, nil
 }
 
 // OutsourceShardedIFMH builds one independently signed IFMH-tree per
@@ -81,22 +112,16 @@ func (o *Owner) OutsourceIFMH(tbl record.Table, tpl funcs.Template, domain geome
 // shard could be handed to a different cloud server. The published
 // parameters are identical to the single-tree bundle, so data users
 // verify shard answers with no knowledge of the split.
+//
+// Deprecated: call build.Outsource with build.WithPlan (or
+// build.WithShards) instead.
 func (o *Owner) OutsourceShardedIFMH(tbl record.Table, tpl funcs.Template, domain geometry.Box, opt Options, plan shard.Plan) (*shard.Set, core.PublicParams, error) {
-	set, err := shard.Build(tbl, core.Params{
-		Mode:        opt.Mode,
-		Signer:      o.signer,
-		Domain:      domain,
-		Template:    tpl,
-		Hasher:      opt.Hasher,
-		Shuffle:     opt.Shuffle,
-		Seed:        opt.Seed,
-		Materialize: opt.Materialize,
-		Workers:     opt.Workers,
-	}, plan)
+	res, err := build.Outsource(context.Background(), o.Spec(tbl, tpl, domain),
+		opt.buildOpts(build.WithPlan(plan))...)
 	if err != nil {
 		return nil, core.PublicParams{}, err
 	}
-	return set, set.Public(), nil
+	return res.Set, res.Public, nil
 }
 
 // OutsourceShardIFMH builds shard i's tree alone — one process's share
@@ -105,34 +130,31 @@ func (o *Owner) OutsourceShardedIFMH(tbl record.Table, tpl funcs.Template, domai
 // identical to the one OutsourceShardedIFMH would place at index i, so
 // the published parameters (shared by all shards) verify its answers
 // unchanged.
+//
+// Deprecated: call build.Outsource with build.WithPlan and
+// build.WithShard(i) instead.
 func (o *Owner) OutsourceShardIFMH(tbl record.Table, tpl funcs.Template, domain geometry.Box, opt Options, plan shard.Plan, i int) (*core.Tree, core.PublicParams, error) {
-	tree, err := shard.BuildOne(tbl, core.Params{
-		Mode:        opt.Mode,
-		Signer:      o.signer,
-		Domain:      domain,
-		Template:    tpl,
-		Hasher:      opt.Hasher,
-		Shuffle:     opt.Shuffle,
-		Seed:        opt.Seed,
-		Materialize: opt.Materialize,
-		Workers:     opt.Workers,
-	}, plan, i)
+	res, err := build.Outsource(context.Background(), o.Spec(tbl, tpl, domain),
+		opt.buildOpts(build.WithPlan(plan), build.WithShard(i))...)
 	if err != nil {
 		return nil, core.PublicParams{}, err
 	}
-	return tree, tree.Public(), nil
+	return res.Tree, res.Public, nil
 }
 
-// OutsourceMesh builds the signature-mesh package (the baseline).
+// OutsourceMesh builds the signature-mesh package (the baseline). Only
+// opt.Hasher and opt.Workers apply; the mesh has no signing mode or
+// layout knobs.
+//
+// Deprecated: call build.Outsource with build.WithMesh instead.
 func (o *Owner) OutsourceMesh(tbl record.Table, tpl funcs.Template, domain geometry.Box, opt Options) (*mesh.Mesh, mesh.PublicParams, error) {
-	m, err := mesh.Build(tbl, mesh.Params{
-		Signer:   o.signer,
-		Domain:   domain,
-		Template: tpl,
-		Hasher:   opt.Hasher,
-	})
+	opts := []build.Option{build.WithMesh(), build.WithWorkers(opt.Workers)}
+	if opt.Hasher != nil {
+		opts = append(opts, build.WithHasher(opt.Hasher))
+	}
+	res, err := build.Outsource(context.Background(), o.Spec(tbl, tpl, domain), opts...)
 	if err != nil {
 		return nil, mesh.PublicParams{}, err
 	}
-	return m, m.Public(), nil
+	return res.Mesh, res.MeshPublic, nil
 }

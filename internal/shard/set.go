@@ -1,12 +1,13 @@
 package shard
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"aqverify/internal/core"
 	"aqverify/internal/geometry"
 	"aqverify/internal/itree"
+	"aqverify/internal/pool"
 	"aqverify/internal/record"
 )
 
@@ -30,31 +31,45 @@ type Set struct {
 // Intersection insertion order is shuffled per shard with a seed derived
 // from p.Seed and the shard index, keeping builds reproducible.
 func Build(tbl record.Table, p core.Params, plan Plan) (*Set, error) {
-	buckets, err := shardBuckets(tbl, p, plan)
+	return BuildCtx(context.Background(), tbl, p, plan, nil)
+}
+
+// PerShardProgress derives shard i's stage callback (core.Params.Progress)
+// for a set build; it may return nil to leave a shard unobserved. The
+// returned callbacks run on the K concurrent shard-build goroutines.
+type PerShardProgress func(shard int) func(core.Stage, int)
+
+// BuildCtx is Build with cooperative cancellation and optional per-shard
+// progress attribution. A done ctx stops unstarted shard builds from
+// launching and cancels the in-flight ones (each core.BuildCtx aborts
+// between chunks), returning ctx.Err().
+func BuildCtx(ctx context.Context, tbl record.Table, p core.Params, plan Plan, progress PerShardProgress) (*Set, error) {
+	buckets, err := shardBuckets(ctx, tbl, p, plan)
 	if err != nil {
 		return nil, err
 	}
 
 	s := &Set{Plan: plan, Trees: make([]*core.Tree, plan.K())}
 	errs := make([]error, plan.K())
-	var wg sync.WaitGroup
-	for i := 0; i < plan.K(); i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			tree, err := core.Build(tbl, shardParams(p, plan, buckets, i))
-			if err != nil {
-				errs[i] = fmt.Errorf("shard %d: %w", i, err)
-				return
-			}
-			s.Trees[i] = tree
-		}(i)
-	}
-	wg.Wait()
+	runErr := pool.RunCtx(ctx, plan.K(), plan.K(), func(_, i int) {
+		sp := shardParams(p, plan, buckets, i)
+		if progress != nil {
+			sp.Progress = progress(i)
+		}
+		tree, err := core.BuildCtx(ctx, tbl, sp)
+		if err != nil {
+			errs[i] = fmt.Errorf("shard %d: %w", i, err)
+			return
+		}
+		s.Trees[i] = tree
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if runErr != nil {
+		return nil, runErr
 	}
 	return s, nil
 }
@@ -67,14 +82,20 @@ func Build(tbl record.Table, p core.Params, plan Plan) (*Set, error) {
 // p.Seed and i exactly as in Build, so a vqserve per shard and a
 // single-process K-shard set answer byte-for-byte identically.
 func BuildOne(tbl record.Table, p core.Params, plan Plan, i int) (*core.Tree, error) {
+	return BuildOneCtx(context.Background(), tbl, p, plan, i)
+}
+
+// BuildOneCtx is BuildOne with cooperative cancellation threaded through
+// the global enumeration and every construction stage.
+func BuildOneCtx(ctx context.Context, tbl record.Table, p core.Params, plan Plan, i int) (*core.Tree, error) {
 	if i < 0 || i >= plan.K() {
 		return nil, fmt.Errorf("shard: index %d out of range for a %d-shard plan", i, plan.K())
 	}
-	buckets, err := shardBuckets(tbl, p, plan)
+	buckets, err := shardBuckets(ctx, tbl, p, plan)
 	if err != nil {
 		return nil, err
 	}
-	tree, err := core.Build(tbl, shardParams(p, plan, buckets, i))
+	tree, err := core.BuildCtx(ctx, tbl, shardParams(p, plan, buckets, i))
 	if err != nil {
 		return nil, fmt.Errorf("shard %d: %w", i, err)
 	}
@@ -84,7 +105,11 @@ func BuildOne(tbl record.Table, p core.Params, plan Plan, i int) (*core.Tree, er
 // shardBuckets validates the build inputs and partitions the global
 // intersection enumeration across the plan's sub-boxes (1-D templates
 // only; multivariate shards enumerate per sub-box inside core.Build).
-func shardBuckets(tbl record.Table, p core.Params, plan Plan) ([][]itree.Intersection, error) {
+// A caller that already holds the whole-domain enumeration — the build
+// plane shares one with its cut planner — passes it through p.Inters1D
+// and only pays a linear re-bucketing pass; otherwise the O(n²) scan
+// runs here, sharded across p.Workers goroutines.
+func shardBuckets(ctx context.Context, tbl record.Table, p core.Params, plan Plan) ([][]itree.Intersection, error) {
 	if plan.K() == 0 {
 		return nil, fmt.Errorf("shard: empty plan; use NewPlan")
 	}
@@ -92,23 +117,23 @@ func shardBuckets(tbl record.Table, p core.Params, plan Plan) ([][]itree.Interse
 		return nil, fmt.Errorf("shard: plan covers %v-%v but Params.Domain is %v-%v",
 			plan.Domain.Lo, plan.Domain.Hi, p.Domain.Lo, p.Domain.Hi)
 	}
+	if p.Template.Dim() != 1 {
+		if p.Inters1D != nil {
+			return nil, fmt.Errorf("shard: Params.Inters1D applies to univariate templates only")
+		}
+		return make([][]itree.Intersection, plan.K()), nil
+	}
 	if p.Inters1D != nil {
-		return nil, fmt.Errorf("shard: Params.Inters1D is owned by the shard builder; leave it nil")
+		return itree.PartitionInters1D(p.Inters1D, plan.Domain, plan.Cuts)
 	}
-	buckets := make([][]itree.Intersection, plan.K())
-	if p.Template.Dim() == 1 {
-		if err := p.Template.Validate(tbl.Schema.Arity()); err != nil {
-			return nil, err
-		}
-		fs, err := p.Template.InterpretTable(tbl)
-		if err != nil {
-			return nil, err
-		}
-		if buckets, err = itree.PairsPartition1D(fs, plan.Domain, plan.Cuts); err != nil {
-			return nil, err
-		}
+	if err := p.Template.Validate(tbl.Schema.Arity()); err != nil {
+		return nil, err
 	}
-	return buckets, nil
+	fs, err := p.Template.InterpretTable(tbl)
+	if err != nil {
+		return nil, err
+	}
+	return itree.PairsPartition1DCtx(ctx, fs, plan.Domain, plan.Cuts, p.Workers)
 }
 
 // shardParams derives shard i's build configuration from the set-wide

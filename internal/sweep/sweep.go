@@ -13,12 +13,14 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
 	"sync"
 
 	"aqverify/internal/funcs"
+	"aqverify/internal/pool"
 )
 
 // Pair names two intersecting functions by index.
@@ -49,6 +51,26 @@ func (p Plan) TotalSwaps() int {
 // subdomain k (k = 0..S-1); groups[k] lists the function pairs whose
 // intersection forms boundary k (k = 0..S-2).
 func Compute(fs []funcs.Linear, witnesses []*big.Rat, groups [][]Pair) (Plan, error) {
+	return ComputeCtx(context.Background(), fs, witnesses, groups, 1)
+}
+
+// ComputeCtx is Compute with the boundary sweep sharded across a worker
+// pool and cooperative cancellation. The sweep looks inherently serial —
+// each boundary's swaps are derived from the permutation to its left —
+// but the permutation inside subdomain k is fully determined without
+// sweeping: it is the exact sorted order at witness k (ties by function
+// index), because every pair that reorders between adjacent witnesses
+// crosses at the boundary between them and is re-sorted there. Each
+// worker therefore seeds a contiguous boundary chunk with one O(n log n)
+// exact sort at the chunk's first witness and sweeps only its own chunk;
+// chunk seams are cross-checked after the join (each chunk's final
+// permutation must equal its right neighbor's seed), so a broken
+// contiguity assumption fails loudly instead of producing a wrong plan.
+//
+// Swaps[k] depends only on (exact permutation at k, groups[k],
+// witnesses[k+1]), so the plan is byte-identical for every worker count.
+// workers <= 0 means one per CPU.
+func ComputeCtx(ctx context.Context, fs []funcs.Linear, witnesses []*big.Rat, groups [][]Pair, workers int) (Plan, error) {
 	if len(witnesses) == 0 {
 		return Plan{}, fmt.Errorf("sweep: no subdomains")
 	}
@@ -56,23 +78,66 @@ func Compute(fs []funcs.Linear, witnesses []*big.Rat, groups [][]Pair) (Plan, er
 		return Plan{}, fmt.Errorf("sweep: %d witnesses need %d boundary groups, got %d",
 			len(witnesses), len(witnesses)-1, len(groups))
 	}
-	perm := funcs.SortAtRat(fs, witnesses[0])
-	inv := funcs.InversePerm(perm)
-	plan := Plan{
-		BasePerm: append([]int(nil), perm...),
-		Swaps:    make([][]int, len(groups)),
-	}
 	for k, group := range groups {
 		if len(group) == 0 {
 			return Plan{}, fmt.Errorf("sweep: boundary %d has no crossing pairs", k)
 		}
-		swaps, err := applyCrossing(fs, perm, inv, group, witnesses[k+1])
-		if err != nil {
-			return Plan{}, fmt.Errorf("sweep: boundary %d: %w", k, err)
-		}
-		plan.Swaps[k] = swaps
 	}
+	chunks := pool.Workers(workers, len(groups))
+	plan := Plan{Swaps: make([][]int, len(groups))}
+	seeds := make([][]int, chunks)  // chunk c's seed permutation
+	finals := make([][]int, chunks) // chunk c's permutation after its last boundary
+	errs := make([]error, chunks)
+	b := len(groups)
+	runErr := pool.RunCtx(ctx, chunks, chunks, func(_, c int) {
+		lo, hi := c*b/chunks, (c+1)*b/chunks
+		perm := funcs.SortAtRat(fs, witnesses[lo])
+		seeds[c] = append([]int(nil), perm...)
+		inv := funcs.InversePerm(perm)
+		for k := lo; k < hi; k++ {
+			if ctx.Err() != nil {
+				return
+			}
+			swaps, err := applyCrossing(fs, perm, inv, groups[k], witnesses[k+1])
+			if err != nil {
+				errs[c] = fmt.Errorf("sweep: boundary %d: %w", k, err)
+				return
+			}
+			plan.Swaps[k] = swaps
+		}
+		finals[c] = perm
+	})
+	for _, err := range errs {
+		if err != nil {
+			return Plan{}, err
+		}
+	}
+	if runErr != nil {
+		return Plan{}, runErr
+	}
+	if err := ctx.Err(); err != nil {
+		return Plan{}, err
+	}
+	for c := 0; c+1 < chunks; c++ {
+		if !equalPerm(finals[c], seeds[c+1]) {
+			return Plan{}, fmt.Errorf("sweep: chunk seam mismatch at boundary %d: swept permutation disagrees with the exact sorted order", (c+1)*b/chunks)
+		}
+	}
+	plan.BasePerm = seeds[0]
 	return plan, nil
+}
+
+// equalPerm reports whether two permutations are identical.
+func equalPerm(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // applyCrossing mutates perm/inv across one boundary and returns the

@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"math/big"
 	"math/rand"
 	"sort"
@@ -185,5 +187,73 @@ func TestCursorRandomWalk(t *testing.T) {
 	}
 	if _, err := cur.PermAt(plan.NumSubdomains()); err == nil {
 		t.Error("out-of-range subdomain accepted")
+	}
+}
+
+// TestComputeCtxWorkersIdentity is the byte-identity contract of the
+// chunked sweep: for every worker count the plan — base permutation and
+// every boundary's swap list, in order — must equal the serial sweep's
+// exactly, because FMH derivation replays the swaps by position.
+func TestComputeCtxWorkersIdentity(t *testing.T) {
+	for _, n := range []int{12, 60, 150} {
+		fs := randLines(n, int64(n))
+		witnesses, groups := arrangement(fs, ratOf(-1), ratOf(1))
+		serial, err := Compute(fs, witnesses, groups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 7, 32} {
+			par, err := ComputeCtx(context.Background(), fs, witnesses, groups, workers)
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			if !equalPerm(par.BasePerm, serial.BasePerm) {
+				t.Fatalf("n=%d workers=%d: base permutations differ", n, workers)
+			}
+			if len(par.Swaps) != len(serial.Swaps) {
+				t.Fatalf("n=%d workers=%d: %d boundaries, want %d", n, workers, len(par.Swaps), len(serial.Swaps))
+			}
+			for k := range serial.Swaps {
+				if !equalPerm(par.Swaps[k], serial.Swaps[k]) {
+					t.Fatalf("n=%d workers=%d: swap list %d differs: %v vs %v",
+						n, workers, k, par.Swaps[k], serial.Swaps[k])
+				}
+			}
+		}
+	}
+}
+
+// TestComputeCtxSeedInvariant pins the decomposition ComputeCtx relies
+// on: the swept permutation entering any subdomain equals the exact
+// sorted order at that subdomain's witness, so a chunk may seed itself
+// with one sort instead of sweeping from the left edge.
+func TestComputeCtxSeedInvariant(t *testing.T) {
+	fs := randLines(80, 4)
+	witnesses, groups := arrangement(fs, ratOf(-1), ratOf(1))
+	plan, err := Compute(fs, witnesses, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cursor := NewCursor(plan)
+	for k := range witnesses {
+		swept, err := cursor.PermAt(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sorted := funcs.SortAtRat(fs, witnesses[k]); !equalPerm(swept, sorted) {
+			t.Fatalf("subdomain %d: swept permutation disagrees with the exact sorted order", k)
+		}
+	}
+}
+
+// TestComputeCtxCanceled: a pre-canceled context aborts the sweep and
+// surfaces context.Canceled.
+func TestComputeCtxCanceled(t *testing.T) {
+	fs := randLines(40, 6)
+	witnesses, groups := arrangement(fs, ratOf(-1), ratOf(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ComputeCtx(ctx, fs, witnesses, groups, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
