@@ -61,7 +61,11 @@
 // checks many answers concurrently on the client side. Over HTTP,
 // cmd/vqserve exposes POST /query/batch, which carries many queries in
 // one length-prefixed frame and answers them concurrently on the
-// server (see internal/transport).
+// server, and POST /query/stream, which pipelines the batch's answers
+// back frame by frame in completion order — the first verified result
+// is in hand before the last query finishes, and clients fall back to
+// the buffered exchange against servers that predate the route (see
+// internal/transport and docs/WIRE.md).
 //
 // # Sharding
 //

@@ -7,7 +7,7 @@
 //	vqbench [flags]
 //
 //	-figure id     run one figure (fig5a..fig8b, ablationA1..A4, shardS1,
-//	               fanoutF1); default runs all
+//	               fanoutF1, streamT1); default runs all
 //	-quick         scaled-down sweep (seconds instead of minutes)
 //	-sizes list    comma-separated database sizes (default paper scale)
 //	-qsizes list   comma-separated result sizes for Figs 6d/7/8a
@@ -21,6 +21,9 @@
 //	               default 1 keeps the paper's single-threaded timings)
 //	-shards list   comma-separated domain-shard counts for the shardS1
 //	               and fanoutF1 figures (default 1,2,4,8)
+//	-stream        answer the fanoutF1 front-end batches over the
+//	               pipelined wire transport (POST /query/stream) instead
+//	               of the buffered batch exchange
 //	-csv dir       also write one CSV per figure into dir
 package main
 
@@ -59,6 +62,7 @@ func run() error {
 		seed     = flag.Int64("seed", 0, "workload seed")
 		workers  = flag.Int("workers", 1, "construction worker pool per build (0 = one per CPU, 1 = the paper's serial timings)")
 		shards   = flag.String("shards", "", "comma-separated shard counts for the sharding figure")
+		stream   = flag.Bool("stream", false, "use the pipelined wire transport for the fanout figure's front-end exchanges")
 		csvDir   = flag.String("csv", "", "write CSVs into this directory")
 	)
 	flag.Parse()
@@ -100,6 +104,7 @@ func run() error {
 		cfg.Seed = *seed
 	}
 	cfg.Workers = *workers
+	cfg.Stream = *stream
 	if *shards != "" {
 		v, err := parseInts(*shards)
 		if err != nil {

@@ -19,7 +19,12 @@
 // Batches are split per owning shard and forwarded concurrently, one
 // POST /query/batch per shard; per-item failures travel inside the
 // frame, and each answer is attributed to its shard id exactly as a
-// single-process sharded vqserve attributes it.
+// single-process sharded vqserve attributes it. A POST /query/stream
+// batch is forwarded as one pipelined stream per owning shard and the
+// K per-shard streams merge in completion order, so the client's first
+// answer arrives while other shards are still working; shard servers
+// that predate the stream route are driven over the buffered batch
+// exchange instead, transparently.
 package main
 
 import (
@@ -69,7 +74,7 @@ func run() error {
 	for i, b := range plan.Boxes {
 		fmt.Printf("  shard %d [%g, %g]: %s\n", i, b.Lo[plan.Axis], b.Hi[plan.Axis], urls[i])
 	}
-	fmt.Printf("serving on %s; endpoints: POST /query, POST /query/batch, GET /params, GET /stats\n", *addr)
+	fmt.Printf("serving on %s; endpoints: POST /query, POST /query/batch, POST /query/stream, GET /params, GET /stats\n", *addr)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           h,

@@ -10,8 +10,10 @@
 //	        [-scheme ed25519] [-seed 1] [-workers 0] [-shards 1] [-shardaxis 0]
 //	        [-planner even|quantile] [-shard -1] [-keyseed 0]
 //
-// Endpoints: POST /query and POST /query/batch (binary), GET /params,
-// GET /stats. -workers sizes the construction worker pool of every build
+// Endpoints: POST /query, POST /query/batch and POST /query/stream
+// (binary; the stream route pipelines a batch's answers back in
+// completion order, flushed frame by frame), GET /params, GET /stats.
+// -workers sizes the construction worker pool of every build
 // stage (0 = one per CPU, 1 = serial). -shards K splits the domain into
 // K contiguous sub-boxes along -shardaxis and serves one independently
 // built and signed IFMH-tree per sub-box; queries route to their owning
@@ -221,7 +223,7 @@ func run() error {
 		}
 	}
 
-	fmt.Printf("serving on %s (domain [%g, %g]); endpoints: POST /query, POST /query/batch, GET /params, GET /stats\n",
+	fmt.Printf("serving on %s (domain [%g, %g]); endpoints: POST /query, POST /query/batch, POST /query/stream, GET /params, GET /stats\n",
 		*addr, dom.Lo[0], dom.Hi[0])
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -50,6 +50,11 @@ type Config struct {
 	// ShardCounts is the domain-shard sweep of the sharding figure
 	// (shardS1): one sharded build per K, over AblationSizes.
 	ShardCounts []int
+	// Stream switches the fanout figure's front-end exchange to the
+	// pipelined wire transport (POST /query/stream) instead of the
+	// buffered batch, so its throughput can be compared across
+	// transports; the streamT1 figure always measures both.
+	Stream bool
 }
 
 // DefaultConfig approximates the paper's scale. The full sweep builds

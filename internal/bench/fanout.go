@@ -30,6 +30,10 @@ import (
 // mostly prices the HTTP hop — the deployment buys per-shard machines,
 // not single-core speed; see EXPERIMENTS.md for the protocol.
 func fanoutScaling(h *Harness) (*Table, error) {
+	exchange := "buffered POST /query/batch per shard"
+	if h.Cfg.Stream {
+		exchange = "pipelined POST /query/stream per shard (-stream)"
+	}
 	t := &Table{
 		ID:    "fanoutF1",
 		Title: "Fanout: single-process sharded vs K-process front-end batch throughput",
@@ -37,6 +41,7 @@ func fanoutScaling(h *Harness) (*Table, error) {
 			"fanout/sharded", "identity"},
 		Notes: []string{h.schemeNote(),
 			"fanout = one HTTP server per shard (loopback) behind a routing front-end; sharded = one in-process server hosting all K trees",
+			"fanout exchange: " + exchange,
 			"identity: both deployments answer the same batch record-for-record"},
 	}
 	batchN := 8 * h.Cfg.Reps
@@ -64,7 +69,7 @@ func fanoutScaling(h *Harness) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			fanoutQPS, fanoutAns, err := timeFanoutBatch(set, qs)
+			fanoutQPS, fanoutAns, err := timeFanoutBatch(set, qs, h.Cfg.Stream)
 			if err != nil {
 				return nil, err
 			}
@@ -128,8 +133,9 @@ func timeShardedBatch(set *shard.Set, qs []query.Query) (float64, []backend.Answ
 
 // timeFanoutBatch serves each shard tree on its own loopback HTTP
 // server, composes them with the vqfront dial path, and times the same
-// batch through the front-end.
-func timeFanoutBatch(set *shard.Set, qs []query.Query) (float64, []backend.Answer, error) {
+// batch through the front-end — over one buffered batch exchange per
+// shard, or (stream) over the pipelined wire transport.
+func timeFanoutBatch(set *shard.Set, qs []query.Query, stream bool) (float64, []backend.Answer, error) {
 	urls := make([]string, set.NumShards())
 	servers := make([]*httptest.Server, set.NumShards())
 	defer func() {
@@ -156,9 +162,20 @@ func timeFanoutBatch(set *shard.Set, qs []query.Query) (float64, []backend.Answe
 		return 0, nil, err
 	}
 	ctx := context.Background()
-	f.QueryBatch(ctx, qs)
+	run := func(qs []query.Query) ([]backend.Answer, []error) {
+		if !stream {
+			return f.QueryBatch(ctx, qs)
+		}
+		answers := make([]backend.Answer, len(qs))
+		errs := make([]error, len(qs))
+		for i, r := range f.QueryStream(ctx, qs) {
+			answers[i], errs[i] = r.Answer, r.Err
+		}
+		return answers, errs
+	}
+	run(qs) // warm once, then time
 	start := time.Now()
-	answers, errs := f.QueryBatch(ctx, qs)
+	answers, errs := run(qs)
 	secs := time.Since(start).Seconds()
 	for i, e := range errs {
 		if e != nil {

@@ -33,6 +33,7 @@ func Figures() []Figure {
 		{"shardS1", "Sharding: build cost and subdomain split by shard count", shardScaling},
 		{"planQ1", "Shard planners: even vs quantile cuts on a clustered workload", planScaling},
 		{"fanoutF1", "Fanout: single-process sharded vs K-process front-end batch throughput", fanoutScaling},
+		{"streamT1", "Streaming transport: time-to-first-verified-result vs the buffered batch exchange", streamFirstResult},
 	}
 }
 

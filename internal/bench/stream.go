@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"aqverify/internal/backend"
+	"aqverify/internal/build"
+	"aqverify/internal/core"
+	"aqverify/internal/funcs"
+	"aqverify/internal/server"
+	"aqverify/internal/transport"
+	"aqverify/internal/workload"
+)
+
+// streamFirstResult measures what the pipelined wire transport buys an
+// interactive session: the time until the *first verified* result of a
+// batch is in the caller's hands. The buffered POST /query/batch
+// exchange cannot hand anything over before the whole answer frame has
+// been computed, serialized and parsed, so its time-to-first equals its
+// full-frame latency; POST /query/stream yields each item as its frame
+// arrives, so the first verified result lands after roughly one query's
+// work. Both transports answer the same batch against the same server
+// and are cross-checked record for record.
+func streamFirstResult(h *Harness) (*Table, error) {
+	t := &Table{
+		ID:    "streamT1",
+		Title: "Streaming transport: time-to-first-verified-result vs the buffered batch exchange",
+		Columns: []string{"n", "batch", "batch-full-ms", "stream-first-ms",
+			"stream-full-ms", "first/batch-full", "identity"},
+		Notes: []string{h.schemeNote(),
+			"batch-full = buffered POST /query/batch wall time (also its time-to-first: nothing yields before the frame closes)",
+			"stream-first = time until the first verified item of POST /query/stream; stream-full = until its last",
+			"identity: both transports return the same answers record-for-record"},
+	}
+	batchN := 8 * h.Cfg.Reps
+	for _, n := range h.Cfg.AblationSizes {
+		tbl, dom, err := workload.Lines(workload.LinesConfig{
+			N: n, Seed: h.Cfg.Seed, Dist: h.Cfg.Dist, Density: h.Cfg.Density,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := build.Outsource(context.Background(),
+			build.Spec{Table: tbl, Template: funcs.AffineLine(0, 1), Domain: dom, Signer: h.signer},
+			build.WithMode(core.MultiSignature),
+			build.WithShuffle(h.Cfg.Seed),
+			build.WithWorkers(h.Cfg.Workers))
+		if err != nil {
+			return nil, fmt.Errorf("bench: n=%d: %w", n, err)
+		}
+		srv, err := server.New(server.IFMH{Tree: res.Tree})
+		if err != nil {
+			return nil, err
+		}
+		hd, err := transport.NewIFMHHandler(srv, res.Public)
+		if err != nil {
+			return nil, err
+		}
+		ts := httptest.NewServer(hd)
+		remote, err := transport.DialRemote(ts.URL, nil)
+		if err != nil {
+			ts.Close()
+			return nil, err
+		}
+		pub, ok := remote.Client().Public()
+		if !ok {
+			ts.Close()
+			return nil, fmt.Errorf("bench: server advertises no IFMH parameters")
+		}
+		qs := fanoutBatch(dom, batchN, h.Cfg.Seed)
+		ctx := context.Background()
+
+		// Warm both paths once, then time.
+		remote.QueryBatch(ctx, qs, backend.WithVerify(pub))
+		for range remote.QueryStream(ctx, qs, backend.WithVerify(pub)) {
+		}
+
+		start := time.Now()
+		bufAns, bufErrs := remote.QueryBatch(ctx, qs, backend.WithVerify(pub))
+		batchFull := time.Since(start)
+		for i, e := range bufErrs {
+			if e != nil {
+				ts.Close()
+				return nil, fmt.Errorf("bench: buffered item %d: %w", i, e)
+			}
+		}
+
+		streamAns := make([]backend.Answer, len(qs))
+		var streamFirst, streamFull time.Duration
+		start = time.Now()
+		for i, r := range remote.QueryStream(ctx, qs, backend.WithVerify(pub)) {
+			if r.Err != nil {
+				ts.Close()
+				return nil, fmt.Errorf("bench: streamed item %d: %w", i, r.Err)
+			}
+			if streamFirst == 0 {
+				streamFirst = time.Since(start)
+			}
+			streamAns[i] = r.Answer
+		}
+		streamFull = time.Since(start)
+		ts.Close()
+
+		identity := "ok"
+		if !sameAnswers(bufAns, streamAns) {
+			identity = "MISMATCH"
+		}
+		ms := func(d time.Duration) string { return fmt.Sprintf("%.2f", d.Seconds()*1e3) }
+		t.AddRow(fmt.Sprint(n), fmt.Sprint(len(qs)),
+			ms(batchFull), ms(streamFirst), ms(streamFull),
+			fmt.Sprintf("%.3f", streamFirst.Seconds()/batchFull.Seconds()), identity)
+	}
+	return t, nil
+}

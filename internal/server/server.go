@@ -160,10 +160,18 @@ func (s *Server) Handle(q query.Query) ([]byte, error) {
 // under the server's lock, as if each query had been handled alone.
 //
 // Deprecated: use QueryBatch, the unified query plane's batch entry
-// point, which adds cancellation and per-call options. HandleBatch
-// remains as a thin shim over it.
+// point, which adds per-call options; or HandleBatchCtx when only
+// cancellation is needed. HandleBatch remains as a thin shim over
+// HandleBatchCtx with a background context.
 func (s *Server) HandleBatch(qs []query.Query, workers int) (outs [][]byte, errs []error) {
-	outs, _, errs = s.HandleBatchShards(qs, workers)
+	return s.HandleBatchCtx(context.Background(), qs, workers)
+}
+
+// HandleBatchCtx is HandleBatch under a caller context: the batch pool
+// stops claiming queries once ctx is done and every prevented index
+// reports ctx.Err().
+func (s *Server) HandleBatchCtx(ctx context.Context, qs []query.Query, workers int) (outs [][]byte, errs []error) {
+	outs, _, errs = s.HandleBatchShardsCtx(ctx, qs, workers)
 	return outs, errs
 }
 
@@ -172,9 +180,18 @@ func (s *Server) HandleBatch(qs []query.Query, workers int) (outs [][]byte, errs
 // the query was unroutable, or the owning shard refused it.
 //
 // Deprecated: use QueryBatch, which carries the attribution in
-// Answer.Shard. HandleBatchShards remains as a thin shim over it.
+// Answer.Shard; or HandleBatchShardsCtx when only cancellation is
+// needed. HandleBatchShards remains as a thin shim over
+// HandleBatchShardsCtx with a background context.
 func (s *Server) HandleBatchShards(qs []query.Query, workers int) (outs [][]byte, shards []int, errs []error) {
-	answers, errs := s.QueryBatch(context.Background(), qs, backend.WithWorkers(workers))
+	return s.HandleBatchShardsCtx(context.Background(), qs, workers)
+}
+
+// HandleBatchShardsCtx is HandleBatchShards under a caller context: the
+// batch pool stops claiming queries once ctx is done and every
+// prevented index reports ctx.Err() with shard -1.
+func (s *Server) HandleBatchShardsCtx(ctx context.Context, qs []query.Query, workers int) (outs [][]byte, shards []int, errs []error) {
+	answers, errs := s.QueryBatch(ctx, qs, backend.WithWorkers(workers))
 	outs = make([][]byte, len(qs))
 	shards = make([]int, len(qs))
 	for i := range answers {

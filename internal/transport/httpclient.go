@@ -5,10 +5,12 @@ import (
 	"context"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 
 	"aqverify/internal/client"
 	"aqverify/internal/core"
@@ -39,6 +41,11 @@ type HTTPClient struct {
 	cli    *client.Client
 	params Params
 	pub    *core.PublicParams // nil for mesh backends
+	// noStream latches a discovered downgrade: the bundle advertised
+	// streaming but the route 404ed (e.g. a stripping proxy), so later
+	// calls skip the doomed probe and go straight to the buffered
+	// exchange.
+	noStream atomic.Bool
 }
 
 // Dial fetches /params from the base URL and prepares a verifying client.
@@ -98,6 +105,12 @@ func (c *HTTPClient) Backend() string { return c.params.Backend }
 // tree). Verification is identical either way.
 func (c *HTTPClient) Shards() int { return c.params.Shards }
 
+// Streams reports whether the server advertises POST /query/stream, the
+// pipelined answer transport, and has not since proven the route
+// missing. Servers that predate it do not advertise, and clients fall
+// back to the buffered batch exchange.
+func (c *HTTPClient) Streams() bool { return c.params.Stream && !c.noStream.Load() }
+
 // Params returns the server's advertised trust bundle as fetched.
 func (c *HTTPClient) Params() Params { return c.params }
 
@@ -120,10 +133,17 @@ func (c *HTTPClient) Public() (core.PublicParams, bool) {
 // no unverified record is ever returned.
 //
 // Deprecated: use Remote, the unified query plane over this client,
-// whose Query carries a context and per-call options. This entry point
-// remains as a thin shim.
+// whose Query carries a context and per-call options; or QueryCtx when
+// only cancellation is needed. This entry point remains as a thin shim
+// over QueryCtx with a background context.
 func (c *HTTPClient) Query(q query.Query) ([]record.Record, error) {
-	raw, err := c.rawQuery(context.Background(), q)
+	return c.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx is Query under a caller context: a canceled or expired ctx
+// aborts the HTTP exchange and surfaces its error.
+func (c *HTTPClient) QueryCtx(ctx context.Context, q query.Query) ([]record.Record, error) {
+	raw, err := c.rawQuery(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -156,6 +176,50 @@ func (c *HTTPClient) rawBatch(ctx context.Context, qs []query.Query) ([]wire.Bat
 		return nil, fmt.Errorf("transport: batch answered %d of %d queries", len(items), len(qs))
 	}
 	return items, nil
+}
+
+// errStreamUnsupported reports a server that does not serve the
+// pipelined POST /query/stream route; callers fall back to the buffered
+// batch exchange.
+var errStreamUnsupported = errors.New("transport: server does not stream")
+
+// openStream posts a query batch to POST /query/stream and hands back
+// the incremental frame decoder over the still-open response body, so
+// items can be consumed as the server completes them. The caller owns
+// the body and must close it — closing early is the honest way to break
+// the stream, cancelling the server's in-flight work. A 404/405 from a
+// server that predates the route maps to errStreamUnsupported.
+func (c *HTTPClient) openStream(ctx context.Context, qs []query.Query) (*wire.StreamReader, io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/query/stream",
+		bytes.NewReader(wire.EncodeQueryBatch(qs)))
+	if err != nil {
+		return nil, nil, fmt.Errorf("transport: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, nil, fmt.Errorf("transport: post /query/stream: %w", err)
+	}
+	if resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusMethodNotAllowed {
+		resp.Body.Close()
+		c.noStream.Store(true) // don't pay the doomed probe again
+		return nil, nil, errStreamUnsupported
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		return nil, nil, fmt.Errorf("transport: server returned %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	sr, err := wire.NewStreamReader(resp.Body)
+	if err != nil {
+		resp.Body.Close()
+		return nil, nil, fmt.Errorf("transport: answer stream: %w", err)
+	}
+	if sr.Count() != len(qs) {
+		resp.Body.Close()
+		return nil, nil, fmt.Errorf("transport: stream answers %d of %d queries", sr.Count(), len(qs))
+	}
+	return sr, resp.Body, nil
 }
 
 // post sends one octet-stream request and buffers up to limit response
@@ -193,9 +257,18 @@ func (c *HTTPClient) post(ctx context.Context, path string, reqBody []byte, limi
 // parse.
 //
 // Deprecated: use Remote, whose QueryBatch carries a context and
-// per-call options. This entry point remains as a thin shim.
+// per-call options; or QueryBatchCtx when only cancellation is needed.
+// This entry point remains as a thin shim over QueryBatchCtx with a
+// background context.
 func (c *HTTPClient) QueryBatch(qs []query.Query) ([]client.BatchResult, error) {
-	items, err := c.rawBatch(context.Background(), qs)
+	return c.QueryBatchCtx(context.Background(), qs)
+}
+
+// QueryBatchCtx is QueryBatch under a caller context: a canceled or
+// expired ctx aborts the HTTP exchange as one transport-level error, so
+// no unverified frame is ever handed to the verification fan-out.
+func (c *HTTPClient) QueryBatchCtx(ctx context.Context, qs []query.Query) ([]client.BatchResult, error) {
+	items, err := c.rawBatch(ctx, qs)
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +276,7 @@ func (c *HTTPClient) QueryBatch(qs []query.Query) ([]client.BatchResult, error) 
 	raws := make([][]byte, len(qs))
 	for i, it := range items {
 		results[i].Shard = it.Shard
-		if it.Err != "" {
+		if it.Status == wire.StatusRefused {
 			results[i].Err = fmt.Errorf("transport: server refused query %d: %s", i, it.Err)
 			continue
 		}

@@ -203,6 +203,37 @@ func TestKProcessIdentity(t *testing.T) {
 					got.VO.Start, got.VO.ListLen, want.VO.Start, want.VO.ListLen)
 			}
 		}
+
+		// The pipelined wire transport must reproduce the buffered
+		// verdicts exactly: the front-end merges K per-shard HTTP
+		// streams in completion order, but what arrives — bytes,
+		// verified records, shard attributions — is the same batch.
+		seen := make([]bool, len(qs))
+		for i, r := range remote.QueryStream(context.Background(), qs, backend.WithVerify(pub)) {
+			if seen[i] {
+				t.Fatalf("%v: streamed index %d twice", mode, i)
+			}
+			seen[i] = true
+			if r.Err != nil {
+				t.Fatalf("%v streamed query %d: %v", mode, i, r.Err)
+			}
+			if string(r.Answer.Raw) != string(answers[i].Raw) {
+				t.Fatalf("%v streamed query %d: bytes differ from the buffered exchange", mode, i)
+			}
+			if r.Answer.Shard != answers[i].Shard {
+				t.Fatalf("%v streamed query %d: shard %d vs buffered %d",
+					mode, i, r.Answer.Shard, answers[i].Shard)
+			}
+			if len(r.Answer.Records) != len(answers[i].Records) {
+				t.Fatalf("%v streamed query %d: %d verified records vs buffered %d",
+					mode, i, len(r.Answer.Records), len(answers[i].Records))
+			}
+		}
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("%v: stream never delivered query %d", mode, i)
+			}
+		}
 	}
 }
 

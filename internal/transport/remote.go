@@ -2,9 +2,12 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"iter"
 	"net/http"
+	"sync"
 
 	"aqverify/internal/backend"
 	"aqverify/internal/metrics"
@@ -20,9 +23,12 @@ import (
 // Answers are returned raw by default, exactly as they traveled;
 // WithVerify(pub) checks each one against the owner's published
 // parameters first, like every other backend. QueryBatch spends one
-// HTTP exchange for the whole batch; QueryStream performs that same
-// exchange and then yields the items in order (a pipelined wire
-// transport is a roadmap item — the frame is buffered today).
+// HTTP exchange for the whole batch; QueryStream opens the pipelined
+// POST /query/stream exchange and yields each item — verified as it
+// lands, under WithVerify, across the WithWorkers pool when one is
+// requested — the moment its frame arrives, in completion order.
+// Against a server that predates the route (no /params capability, or
+// a 404) it falls back to the buffered batch exchange.
 type Remote struct {
 	c *HTTPClient
 }
@@ -81,7 +87,7 @@ func (r *Remote) QueryBatch(ctx context.Context, qs []query.Query, opts ...backe
 	}
 	for i, it := range items {
 		answers[i].Shard = it.Shard
-		if it.Err != "" {
+		if it.Status == wire.StatusRefused {
 			errs[i] = fmt.Errorf("transport: server refused query %d: %s", i, it.Err)
 			continue
 		}
@@ -91,15 +97,187 @@ func (r *Remote) QueryBatch(ctx context.Context, qs []query.Query, opts ...backe
 	return answers, errs
 }
 
-// QueryStream implements backend.Backend over the batch exchange: one
-// round trip, then the items yield in index order.
+// QueryStream implements backend.Backend over the pipelined wire
+// transport: the batch travels in one POST /query/stream exchange whose
+// response is decoded frame by frame off the open body, so each item
+// yields — verified first, under WithVerify — as the server completes
+// it, in completion order, with the first result observable before the
+// last one is computed. Breaking out of the iteration closes the body
+// and cancels the request, which cancels the server's in-flight work. A
+// mid-stream transport failure (the server died, the frame stream is
+// truncated or malformed) fails exactly the items that had not yet been
+// delivered. Servers that predate the route — no /params capability, or
+// a 404/405 on the post — are answered through the buffered batch
+// exchange instead, yielding in index order.
 func (r *Remote) QueryStream(ctx context.Context, qs []query.Query, opts ...backend.Option) iter.Seq2[int, backend.BatchResult] {
 	return func(yield func(int, backend.BatchResult) bool) {
-		answers, errs := r.QueryBatch(ctx, qs, opts...)
-		for i := range qs {
-			if !yield(i, backend.BatchResult{Answer: answers[i], Err: errs[i]}) {
+		if len(qs) == 0 {
+			return
+		}
+		if !r.c.Streams() {
+			r.streamBuffered(ctx, qs, opts, yield)
+			return
+		}
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		sr, body, err := r.c.openStream(ctx, qs)
+		if errors.Is(err, errStreamUnsupported) {
+			r.streamBuffered(ctx, qs, opts, yield)
+			return
+		}
+		delivered := make([]bool, len(qs))
+		if err != nil {
+			failUndelivered(delivered, err, yield)
+			return
+		}
+		defer body.Close()
+		fin := backend.NewFinisher(opts...)
+		if workers := fin.Workers(len(qs)); fin.Verifies() && workers > 1 {
+			// Per-item verification is real work; overlap it with the
+			// network and with itself across the requested pool.
+			streamVerifyPool(ctx, cancel, sr, qs, opts, workers, yield)
+			return
+		}
+		defer fin.Flush()
+		for {
+			item, err := sr.Next()
+			if err == io.EOF {
+				return // strict trailer: every item was delivered
+			}
+			if err != nil {
+				failUndelivered(delivered, fmt.Errorf("transport: answer stream: %w", err), yield)
 				return
 			}
+			delivered[item.Index] = true
+			if !yield(item.Index, streamResultOf(fin, qs, item)) {
+				return // deferred close + cancel abort the server side
+			}
+		}
+	}
+}
+
+// streamResultOf converts one decoded item frame into the consumer's
+// result, finishing (byte accounting and, under WithVerify, in-place
+// verification) answered items. A failed verification keeps the shard
+// attribution and drops the bytes, per the Answer contract.
+func streamResultOf(fin *backend.Finisher, qs []query.Query, item wire.StreamItem) backend.BatchResult {
+	res := backend.BatchResult{Answer: backend.Answer{Shard: item.Ans.Shard}}
+	if item.Ans.Status == wire.StatusRefused {
+		res.Err = fmt.Errorf("transport: server refused query %d: %s", item.Index, item.Ans.Err)
+		return res
+	}
+	res.Answer.Raw = item.Ans.Answer
+	if err := fin.Finish(qs[item.Index], &res.Answer); err != nil {
+		return backend.BatchResult{Answer: backend.Answer{Shard: item.Ans.Shard}, Err: err}
+	}
+	return res
+}
+
+// streamVerifyPool drains the frame decoder through a bounded
+// verification pool: one reader goroutine decodes frames off the open
+// body as they arrive, the workers verify them concurrently (each into
+// its own Finisher, flushed serially after the join, keeping the
+// WithCounter single-goroutine contract), and the consumer yields
+// verification-completion order. An early break cancels the request,
+// which aborts the body read and unwinds reader and workers; a
+// mid-stream transport failure fails exactly the items not yet yielded.
+func streamVerifyPool(ctx context.Context, cancel context.CancelFunc, sr *wire.StreamReader,
+	qs []query.Query, opts []backend.Option, workers int, yield func(int, backend.BatchResult) bool) {
+	type indexed struct {
+		i int
+		r backend.BatchResult
+	}
+	frames := make(chan wire.StreamItem)
+	results := make(chan indexed)
+	finishers := make([]*backend.Finisher, workers)
+	for w := range finishers {
+		finishers[w] = backend.NewFinisher(opts...)
+	}
+	var rerr error // written by the reader, read after results closes
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // reader
+		defer wg.Done()
+		defer close(frames)
+		for {
+			item, err := sr.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				rerr = fmt.Errorf("transport: answer stream: %w", err)
+				return
+			}
+			select {
+			case frames <- item:
+			case <-ctx.Done():
+				rerr = ctx.Err()
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for item := range frames {
+				select {
+				case results <- indexed{item.Index, streamResultOf(finishers[w], qs, item)}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(results) }()
+
+	// Consume until the pool drains; keep draining after a break so the
+	// join (and the counter flush) always happens on this goroutine.
+	delivered := make([]bool, len(qs))
+	broke := false
+	for item := range results {
+		if broke {
+			continue
+		}
+		delivered[item.i] = true
+		if !yield(item.i, item.r) {
+			broke = true
+			cancel() // aborts the body read, unblocking the reader
+		}
+	}
+	for _, f := range finishers {
+		f.Flush()
+	}
+	if broke {
+		return
+	}
+	if rerr != nil {
+		failUndelivered(delivered, rerr, yield)
+	}
+}
+
+// streamBuffered is the fallback stream: one buffered batch exchange,
+// yielded in index order — exactly what QueryStream did before the
+// pipelined transport existed.
+func (r *Remote) streamBuffered(ctx context.Context, qs []query.Query, opts []backend.Option, yield func(int, backend.BatchResult) bool) {
+	answers, errs := r.QueryBatch(ctx, qs, opts...)
+	for i := range qs {
+		if !yield(i, backend.BatchResult{Answer: answers[i], Err: errs[i]}) {
+			return
+		}
+	}
+}
+
+// failUndelivered yields err for every index the stream had not
+// delivered when it failed: a transport-level failure costs exactly the
+// undelivered items, never the ones already yielded.
+func failUndelivered(delivered []bool, err error, yield func(int, backend.BatchResult) bool) {
+	for i, done := range delivered {
+		if done {
+			continue
+		}
+		if !yield(i, backend.BatchResult{Answer: backend.Answer{Shard: wire.ShardNone}, Err: err}) {
+			return
 		}
 	}
 }

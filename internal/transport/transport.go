@@ -6,10 +6,11 @@
 //
 // Endpoints:
 //
-//	POST /query        body: wire-encoded query        -> wire-encoded answer
-//	POST /query/batch  body: wire-encoded query batch  -> wire-encoded answer batch
-//	GET  /params       -> JSON trust bundle (scheme, verifier key, template, mode, domain)
-//	GET  /stats        -> JSON cumulative server metrics
+//	POST /query         body: wire-encoded query        -> wire-encoded answer
+//	POST /query/batch   body: wire-encoded query batch  -> wire-encoded answer batch
+//	POST /query/stream  body: wire-encoded query batch  -> pipelined answer stream
+//	GET  /params        -> JSON trust bundle (scheme, verifier key, template, mode, domain)
+//	GET  /stats         -> JSON cumulative server metrics
 //
 // The handler serves any backend.Backend — the metrics-keeping
 // in-process server, one shard's tree of a multi-process deployment, or
@@ -17,13 +18,19 @@
 // batch endpoint carries many queries in one length-prefixed frame
 // (see wire.EncodeQueryBatch) and answers them concurrently on the
 // server; each item of the response is either that query's answer bytes
-// or its error string, so one bad query never fails the batch. Against
-// a domain-sharded server, batch items are grouped per shard before
-// dispatch and each response item carries the answering shard's id
-// (docs/WIRE.md specifies the byte layout); /params advertises the
-// shard count and the serving domain, and /stats the per-shard
-// tallies. Routes are registered with Go 1.22 method patterns, so a
-// wrong-method request is a 405, not a 404.
+// or its error string, so one bad query never fails the batch. The
+// stream endpoint takes the same request frame but pipelines the
+// response: item frames are written and flushed in completion order as
+// the backend's QueryStream yields them, closed by a trailer that makes
+// truncation detectable, so the client sees the first answer before the
+// last one is computed and a client disconnect cancels the in-flight
+// work through the request context. Against a domain-sharded server,
+// batch items are grouped per shard before dispatch and each response
+// item carries the answering shard's id (docs/WIRE.md specifies the
+// byte layouts); /params advertises the shard count, the serving domain
+// and the stream capability, and /stats the per-shard tallies. Routes
+// are registered with Go 1.22 method patterns, so a wrong-method
+// request is a 405, not a 404.
 package transport
 
 import (
@@ -40,6 +47,7 @@ import (
 	"aqverify/internal/geometry"
 	"aqverify/internal/mesh"
 	"aqverify/internal/metrics"
+	"aqverify/internal/query"
 	"aqverify/internal/server"
 	"aqverify/internal/sig"
 	"aqverify/internal/wire"
@@ -67,6 +75,10 @@ type Params struct {
 	// deployment — that shard's sub-box. A routing front-end (vqfront)
 	// reconstructs the shard plan from its backends' domains.
 	Domain *BoxJSON `json:"domain,omitempty"`
+	// Stream advertises POST /query/stream, the pipelined answer
+	// transport. Absent on servers that predate it; clients fall back
+	// to the buffered batch exchange.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // TplJSON is the JSON form of a utility-function template.
@@ -174,6 +186,7 @@ func NewBackendHandler(b backend.Backend, p Params) (*Handler, error) {
 	if p.Backend == "" {
 		p.Backend = b.Name()
 	}
+	p.Stream = true // the handler always serves the pipelined route
 	h := &Handler{b: b, params: p, mux: http.NewServeMux()}
 	if st, ok := b.(statser); ok {
 		h.stats = st
@@ -187,6 +200,7 @@ func NewBackendHandler(b backend.Backend, p Params) (*Handler, error) {
 	}
 	h.mux.HandleFunc("POST /query", h.handleQuery)
 	h.mux.HandleFunc("POST /query/batch", h.handleBatch)
+	h.mux.HandleFunc("POST /query/stream", h.handleStream)
 	h.mux.HandleFunc("GET /params", h.handleParams)
 	h.mux.HandleFunc("GET /stats", h.handleStats)
 	return h, nil
@@ -198,9 +212,15 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBytes))
+	// Read one byte past the limit so an oversize request is a 413, not
+	// a silent truncation misreported as a 400 bad query.
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBytes+1))
 	if err != nil {
 		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxQueryBytes {
+		http.Error(w, "query request exceeds the size limit", http.StatusRequestEntityTooLarge)
 		return
 	}
 	q, err := wire.DecodeQuery(body)
@@ -221,44 +241,118 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	w.Write(ans.Raw)
 }
 
+// readBatchRequest reads and decodes the query-batch frame both batch
+// routes take, writing the error response itself: 413 past the size
+// limit (read limit+1, never silently truncate), 400 on a bad frame.
+func readBatchRequest(w http.ResponseWriter, r *http.Request) ([]query.Query, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBatchBytes+1))
+	if err != nil {
+		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	if len(body) > maxBatchBytes {
+		http.Error(w, "batch request exceeds the size limit; split it", http.StatusRequestEntityTooLarge)
+		return nil, false
+	}
+	qs, err := wire.DecodeQueryBatch(body)
+	if err != nil {
+		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	return qs, true
+}
+
 // handleBatch answers many queries in one exchange. The whole batch is
 // decoded up front; the backend fans the queries out across its worker
 // pool, and every per-query failure travels inside the frame so the
 // other answers still arrive.
 func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBatchBytes+1))
-	if err != nil {
-		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	if len(body) > maxBatchBytes {
-		http.Error(w, "batch request exceeds the size limit; split it", http.StatusRequestEntityTooLarge)
-		return
-	}
-	qs, err := wire.DecodeQueryBatch(body)
-	if err != nil {
-		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
+	qs, ok := readBatchRequest(w, r)
+	if !ok {
 		return
 	}
 	var ctr metrics.Counter
 	answers, errs := h.b.QueryBatch(r.Context(), qs, backend.WithCounter(&ctr))
 	items := make([]wire.BatchAnswer, len(qs))
 	for i := range qs {
-		items[i].Shard = answers[i].Shard
+		items[i] = batchItem(answers[i], errs[i])
 		if h.tally != nil {
 			h.tally.Count(answers[i].Shard, errs[i])
-		}
-		if errs[i] != nil {
-			items[i].Err = errs[i].Error()
-		} else {
-			items[i].Answer = answers[i].Raw
 		}
 	}
 	if h.tally != nil {
 		h.tally.AddCost(ctr)
 	}
+	frame, err := wire.EncodeAnswerBatch(items)
+	if err != nil {
+		http.Error(w, "encode: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Write(wire.EncodeAnswerBatch(items))
+	w.Write(frame)
+}
+
+// batchItem converts one backend outcome into its wire item, carrying
+// the status explicitly: a refusal stays a refusal even when its
+// message renders empty.
+func batchItem(ans backend.Answer, err error) wire.BatchAnswer {
+	if err != nil {
+		return wire.NewRefusal(err.Error(), ans.Shard)
+	}
+	return wire.NewAnswer(ans.Raw, ans.Shard)
+}
+
+// handleStream answers a batch over the pipelined wire transport: the
+// request is the same query-batch frame POST /query/batch takes, but
+// the response is written frame by frame as the backend's QueryStream
+// yields completions — header, one flushed item frame per outcome in
+// completion order, then the trailer. A client that disconnects (or
+// breaks out of its stream) cancels the remaining server-side work
+// through r.Context(); the trailer is only written after a complete
+// stream, so a dying server is always detectable as truncation.
+func (h *Handler) handleStream(w http.ResponseWriter, r *http.Request) {
+	qs, ok := readBatchRequest(w, r)
+	if !ok {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := w.Write(wire.EncodeStreamHeader(len(qs))); err != nil {
+		return
+	}
+	flush()
+	var ctr metrics.Counter
+	sent := 0
+	for i, res := range h.b.QueryStream(r.Context(), qs, backend.WithCounter(&ctr)) {
+		if r.Context().Err() != nil {
+			break // client gone; stop writing, cancel the rest
+		}
+		frame, err := wire.EncodeStreamItem(i, batchItem(res.Answer, res.Err))
+		if err != nil {
+			break // unencodable outcome: close as a truncated stream
+		}
+		if _, err := w.Write(frame); err != nil {
+			break
+		}
+		flush()
+		// Tally what was actually delivered: items the disconnect
+		// prevented never reach the stream and never count.
+		if h.tally != nil {
+			h.tally.Count(res.Answer.Shard, res.Err)
+		}
+		sent++
+	}
+	if sent == len(qs) {
+		w.Write(wire.EncodeStreamTrailer(sent))
+	}
+	if h.tally != nil {
+		h.tally.AddCost(ctr)
+	}
 }
 
 func (h *Handler) handleParams(w http.ResponseWriter, _ *http.Request) {

@@ -25,16 +25,55 @@ const maxBatchItems = 1 << 20
 // a single-tree server, or a query the router refused.
 const ShardNone = -1
 
-// BatchAnswer is one entry of a batched response: either the serialized
-// answer bytes (the same bytes POST /query would have returned) or the
-// server's refusal; exactly one of those two is set. Shard records which
-// shard of a domain-sharded deployment answered (ShardNone when
-// unsharded or refused before routing). Verification never depends on
-// it — it is observability for clients and load balancers.
+// Item status bytes, written to the wire verbatim. The status is
+// carried explicitly rather than inferred from the error string: a
+// refusal whose message happens to be empty is still a refusal, and
+// inferring success from Err == "" would silently re-encode it as an
+// empty answer.
+const (
+	// StatusRefused marks an item whose payload is the server's refusal
+	// message (possibly empty).
+	StatusRefused uint8 = 0
+	// StatusAnswer marks an item whose payload is the query's answer
+	// bytes, exactly what POST /query would have returned.
+	StatusAnswer uint8 = 1
+)
+
+// BatchAnswer is one entry of a batched or streamed response: either
+// the serialized answer bytes (the same bytes POST /query would have
+// returned) or the server's refusal, selected by the explicit Status
+// byte — use NewAnswer/NewRefusal rather than struct literals so the
+// status always matches the payload. Shard records which shard of a
+// domain-sharded deployment answered (ShardNone when unsharded or
+// refused before routing). Verification never depends on it — it is
+// observability for clients and load balancers.
 type BatchAnswer struct {
+	Status uint8
 	Answer []byte
 	Err    string
 	Shard  int
+}
+
+// NewAnswer builds a successful item carrying the answer bytes.
+func NewAnswer(raw []byte, shard int) BatchAnswer {
+	return BatchAnswer{Status: StatusAnswer, Answer: raw, Shard: shard}
+}
+
+// NewRefusal builds a refused item carrying the server's message (which
+// may legitimately be empty — the status byte, not the message, decides
+// the outcome).
+func NewRefusal(msg string, shard int) BatchAnswer {
+	return BatchAnswer{Status: StatusRefused, Err: msg, Shard: shard}
+}
+
+// decodeShard validates and unbiases one wire shard word (0 = ShardNone,
+// k = shard k-1). The u32 is bounded before the int conversion so a
+// forged word cannot wrap negative on a 32-bit platform.
+func decodeShard(v uint32) (int, error) {
+	if v > maxBatchItems {
+		return 0, fmt.Errorf("wire: shard id %d exceeds the limit", v)
+	}
+	return int(v) - 1, nil
 }
 
 // EncodeQueryBatch frames many queries into one request body.
@@ -77,31 +116,43 @@ func DecodeQueryBatch(b []byte) ([]query.Query, error) {
 }
 
 // EncodeAnswerBatch frames many per-query outcomes into one response
-// body. Each item is a status byte (1 = answer, 0 = error), a u32 shard
-// id biased by one (0 = ShardNone, k = shard k-1), and the
-// length-prefixed payload. See docs/WIRE.md for worked byte layouts.
-func EncodeAnswerBatch(items []BatchAnswer) []byte {
+// body. Each item is its explicit status byte (StatusAnswer /
+// StatusRefused), a u32 shard id biased by one (0 = ShardNone, k =
+// shard k-1), and the length-prefixed payload. An item whose status is
+// neither constant is a programming error and fails the encode — a
+// frame must never be emitted that the decoder would reject. See
+// docs/WIRE.md for worked byte layouts.
+func EncodeAnswerBatch(items []BatchAnswer) ([]byte, error) {
 	w := &writer{}
 	w.u8(magicAnswerBatch)
 	w.u32(uint32(len(items)))
-	for _, it := range items {
-		if it.Err != "" {
-			w.u8(0)
-		} else {
-			w.u8(1)
-		}
-		if it.Shard < 0 {
-			w.u32(0)
-		} else {
-			w.u32(uint32(it.Shard) + 1)
-		}
-		if it.Err != "" {
-			w.bytes([]byte(it.Err))
-		} else {
-			w.bytes(it.Answer)
+	for i, it := range items {
+		if err := w.answerItem(it); err != nil {
+			return nil, fmt.Errorf("wire: batch item %d: %w", i, err)
 		}
 	}
-	return w.buf
+	return w.buf, nil
+}
+
+// answerItem appends one outcome's status byte, 1-biased shard id and
+// length-prefixed payload — the item layout the answer batch and the
+// answer stream share.
+func (w *writer) answerItem(it BatchAnswer) error {
+	if it.Status != StatusAnswer && it.Status != StatusRefused {
+		return fmt.Errorf("unknown status %d", it.Status)
+	}
+	w.u8(it.Status)
+	if it.Shard < 0 {
+		w.u32(0)
+	} else {
+		w.u32(uint32(it.Shard) + 1)
+	}
+	if it.Status == StatusRefused {
+		w.bytes([]byte(it.Err))
+	} else {
+		w.bytes(it.Answer)
+	}
+	return nil
 }
 
 // DecodeAnswerBatch parses a response body framed by EncodeAnswerBatch.
@@ -117,16 +168,20 @@ func DecodeAnswerBatch(b []byte) ([]BatchAnswer, error) {
 	out := make([]BatchAnswer, 0, n)
 	for i := 0; i < n; i++ {
 		status := r.u8("batch status")
-		shard := int(r.u32("batch shard")) - 1
+		shardWord := r.u32("batch shard")
 		payload := r.bytes("batch payload")
 		if r.err != nil {
 			break
 		}
+		shard, err := decodeShard(shardWord)
+		if err != nil {
+			return nil, fmt.Errorf("wire: batch item %d: %w", i, err)
+		}
 		switch status {
-		case 0:
-			out = append(out, BatchAnswer{Err: string(payload), Shard: shard})
-		case 1:
-			out = append(out, BatchAnswer{Answer: payload, Shard: shard})
+		case StatusRefused:
+			out = append(out, NewRefusal(string(payload), shard))
+		case StatusAnswer:
+			out = append(out, NewAnswer(payload, shard))
 		default:
 			return nil, fmt.Errorf("wire: batch item %d has unknown status %d", i, status)
 		}

@@ -37,13 +37,17 @@ func TestQueryBatchRoundTrip(t *testing.T) {
 
 func TestAnswerBatchRoundTrip(t *testing.T) {
 	items := []BatchAnswer{
-		{Answer: []byte{0xA1, 1, 2, 3}, Shard: ShardNone},
-		{Err: "core: function input outside the owner-specified domain", Shard: ShardNone},
-		{Answer: []byte{}, Shard: 0},
-		{Answer: []byte{0xA1, 9}, Shard: 3},
-		{Err: "shard refused", Shard: 7},
+		NewAnswer([]byte{0xA1, 1, 2, 3}, ShardNone),
+		NewRefusal("core: function input outside the owner-specified domain", ShardNone),
+		NewAnswer([]byte{}, 0),
+		NewAnswer([]byte{0xA1, 9}, 3),
+		NewRefusal("shard refused", 7),
 	}
-	got, err := DecodeAnswerBatch(EncodeAnswerBatch(items))
+	enc, err := EncodeAnswerBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeAnswerBatch(enc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,17 +55,49 @@ func TestAnswerBatchRoundTrip(t *testing.T) {
 		t.Fatalf("decoded %d items, want %d", len(got), len(items))
 	}
 	for i := range items {
-		if got[i].Err != items[i].Err || !bytes.Equal(got[i].Answer, items[i].Answer) ||
-			got[i].Shard != items[i].Shard {
+		if got[i].Status != items[i].Status || got[i].Err != items[i].Err ||
+			!bytes.Equal(got[i].Answer, items[i].Answer) || got[i].Shard != items[i].Shard {
 			t.Errorf("item %d = %+v, want %+v", i, got[i], items[i])
 		}
+	}
+}
+
+// TestAnswerBatchEmptyRefusal is the regression for the status
+// inference bug: a refusal whose error message is empty used to
+// re-encode as a *successful* empty answer, because the encoder derived
+// the status byte from Err != "". The status travels explicitly now.
+func TestAnswerBatchEmptyRefusal(t *testing.T) {
+	enc, err := EncodeAnswerBatch([]BatchAnswer{NewRefusal("", 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeAnswerBatch(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Status != StatusRefused {
+		t.Fatalf("empty-message refusal round-tripped with status %d, want StatusRefused", got[0].Status)
+	}
+	if got[0].Shard != 2 || got[0].Err != "" || got[0].Answer != nil {
+		t.Fatalf("empty-message refusal round-tripped as %+v", got[0])
+	}
+}
+
+// TestEncodeAnswerBatchRejectsUnknownStatus pins the encoder-side
+// guard: a frame the decoder would reject must never be emitted.
+func TestEncodeAnswerBatchRejectsUnknownStatus(t *testing.T) {
+	if _, err := EncodeAnswerBatch([]BatchAnswer{{Status: 7, Answer: []byte{1}}}); err == nil {
+		t.Fatal("item with status 7 encoded")
 	}
 }
 
 func TestBatchDecodeRejectsMalformed(t *testing.T) {
 	qs := batchQueries()
 	qenc := EncodeQueryBatch(qs)
-	aenc := EncodeAnswerBatch([]BatchAnswer{{Answer: []byte{1, 2}}, {Err: "x"}})
+	aenc, err := EncodeAnswerBatch([]BatchAnswer{NewAnswer([]byte{1, 2}, ShardNone), NewRefusal("x", ShardNone)})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Wrong magic: a query batch is not an answer batch and vice versa.
 	if _, err := DecodeAnswerBatch(qenc); err == nil {
@@ -89,9 +125,23 @@ func TestBatchDecodeRejectsMalformed(t *testing.T) {
 	}
 
 	// An unknown status byte is rejected.
-	bad := EncodeAnswerBatch([]BatchAnswer{{Answer: []byte{1}}})
+	bad, err := EncodeAnswerBatch([]BatchAnswer{NewAnswer([]byte{1}, ShardNone)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	bad[5] = 7 // magic + u32 count, then the status byte
 	if _, err := DecodeAnswerBatch(bad); err == nil {
 		t.Error("unknown status byte decoded")
+	}
+
+	// A forged shard word at the u32 maximum is rejected before the int
+	// conversion (it would wrap negative on a 32-bit platform).
+	bad, err = EncodeAnswerBatch([]BatchAnswer{NewAnswer([]byte{1}, ShardNone)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(bad[6:10], []byte{0xFF, 0xFF, 0xFF, 0xFF}) // the shard word after the status byte
+	if _, err := DecodeAnswerBatch(bad); err == nil {
+		t.Error("0xFFFFFFFF shard word decoded")
 	}
 }
