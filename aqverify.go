@@ -38,6 +38,23 @@
 // BuildSharded, BuildMesh — remain as deprecated shims over the same
 // plane.
 //
+// # The mutation plane
+//
+// An outsourced product is not frozen: Apply re-outsources a previous
+// build under a batch of record-level mutations — Insert, Delete,
+// Update — and returns a new BuildResult exactly one publication epoch
+// above the input. For canonical-order builds over univariate
+// templates the work is incremental (only the pair buckets, sweep
+// boundaries and signatures the changed records touch are recomputed),
+// and the result is byte-identical to a full Outsource of the mutated
+// table at the same epoch. Every published bundle carries its epoch in
+// PublicParams.Epoch; epoch-aware servers swap the new bundle in
+// atomically, answers carry the epoch they were computed at, and a
+// client pinned to an older epoch surfaces the mismatch as a typed
+// *EpochError instead of a misleading verification failure. The
+// signature-mesh baseline retains no signing state and returns
+// ErrStaticBuild.
+//
 // # The query plane
 //
 // Every evaluator — a local tree, a domain-sharded tree set, the
@@ -180,6 +197,23 @@ type (
 	// PlanRequest carries a planner's inputs.
 	PlanRequest = build.PlanRequest
 )
+
+// The mutation plane (see internal/build): record-level changes
+// re-outsourced incrementally under epoch discipline.
+type (
+	// Mutation is one record-level change of an outsourced table;
+	// construct with Insert, Delete and Update.
+	Mutation = build.Mutation
+	// EpochError is the typed staleness signal a client receives when a
+	// server answers from a different publication epoch than the one the
+	// client pinned at dial; re-read the published parameters and retry.
+	EpochError = backend.EpochError
+)
+
+// ErrStaticBuild marks a product that cannot be mutated in place: the
+// signature-mesh baseline retains no signing state, so a mutated mesh
+// must be re-outsourced from scratch with Outsource.
+var ErrStaticBuild = build.ErrStatic
 
 // ShardNone marks an unsharded product (BuildResult.Shard,
 // BuildProgress.Shard) or an unattributed answer (BackendAnswer.Shard).
@@ -336,6 +370,32 @@ func EvenCuts(ctx context.Context, req PlanRequest) (ShardPlan, error) {
 // breakpoint distribution, balancing skewed workloads across shards.
 func QuantileCuts(ctx context.Context, req PlanRequest) (ShardPlan, error) {
 	return build.QuantileCuts(ctx, req)
+}
+
+// Insert appends a record to the table. Inserted records land after
+// every surviving record, in batch order.
+func Insert(rec Record) Mutation { return build.Insert(rec) }
+
+// Delete removes the record at index i of the previous epoch's table.
+// Surviving records keep their relative order (the table compacts).
+func Delete(i int) Mutation { return build.Delete(i) }
+
+// Update replaces the record at index i of the previous epoch's table
+// in place: the row keeps its (compacted) position, but its digest,
+// utility function and intersections are all recomputed.
+func Update(i int, rec Record) Mutation { return build.Update(i, rec) }
+
+// Apply re-outsources a previously built product under a batch of
+// record mutations, returning a new BuildResult one publication epoch
+// above the input; the previous result is left untouched, so a server
+// keeps answering from its snapshot until the new epoch is swapped in.
+// For canonical-order builds (WithShuffle) over univariate templates
+// the work is incremental and byte-identical to a full Outsource of
+// the mutated table at the same epoch, at any worker count. Sharded
+// products mutate every shard concurrently onto one common epoch; the
+// mesh baseline returns ErrStaticBuild.
+func Apply(ctx context.Context, prev *BuildResult, muts ...Mutation) (*BuildResult, error) {
+	return build.Apply(ctx, prev, muts...)
 }
 
 // Build constructs the IFMH-tree (the server-side structure the data

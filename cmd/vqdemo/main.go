@@ -1,7 +1,11 @@
 // Command vqdemo walks the full outsourcing story end to end: a data
 // owner builds and signs the IFMH-tree, a cloud server answers analytic
-// queries with verification objects, an honest round trip verifies, and a
-// battery of attacks by a lying server or network adversary is rejected.
+// queries with verification objects, an honest round trip verifies, a
+// battery of attacks by a lying server or network adversary is rejected,
+// and (for the ifmh backend) the owner mutates the live database — the
+// incremental re-outsourcing is swapped in as a new epoch, a pinned
+// client detects the bump as a typed error, refreshes, and resumes
+// verified queries.
 //
 // Usage:
 //
@@ -10,11 +14,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 
+	bkd "aqverify/internal/backend"
 	"aqverify/internal/build"
 	"aqverify/internal/client"
 	"aqverify/internal/core"
@@ -22,9 +29,11 @@ import (
 	"aqverify/internal/geometry"
 	"aqverify/internal/owner"
 	"aqverify/internal/query"
+	"aqverify/internal/record"
 	"aqverify/internal/server"
 	"aqverify/internal/sig"
 	"aqverify/internal/tamper"
+	"aqverify/internal/transport"
 	"aqverify/internal/wire"
 	"aqverify/internal/workload"
 )
@@ -63,9 +72,10 @@ func run() error {
 
 	var srv *server.Server
 	var cli *client.Client
+	var res *build.Result
 	switch *backend {
 	case "ifmh":
-		res, err := build.Outsource(context.Background(), o.Spec(tbl, tpl, dom),
+		res, err = build.Outsource(context.Background(), o.Spec(tbl, tpl, dom),
 			build.WithMode(mode), build.WithShuffle(*seed))
 		if err != nil {
 			return err
@@ -78,7 +88,7 @@ func run() error {
 		}
 		cli = client.NewIFMH(res.Public)
 	case "mesh":
-		res, err := build.Outsource(context.Background(), o.Spec(tbl, tpl, dom), build.WithMesh())
+		res, err = build.Outsource(context.Background(), o.Spec(tbl, tpl, dom), build.WithMesh())
 		if err != nil {
 			return err
 		}
@@ -179,9 +189,89 @@ func run() error {
 		return fmt.Errorf("%d attacks went undetected", applied-detected)
 	}
 
+	if *backend == "ifmh" {
+		if err := liveMutation(context.Background(), res, srv, dom, *n); err != nil {
+			return err
+		}
+	}
+
 	stats, count := srv.Stats()
 	fmt.Printf("\nserver handled %d queries; cumulative: %s\n", count, (&stats).String())
 	cs := cli.Stats()
 	fmt.Printf("client cumulative: %s\n", (&cs).String())
+	return nil
+}
+
+// liveMutation walks the mutation plane end to end over a real HTTP
+// exchange: a verifying client pins the serving epoch at dial, the
+// owner applies a record-level mutation batch and the server swaps the
+// new bundle in, the client's next query surfaces the typed staleness
+// signal instead of a misleading verification failure, and a refresh
+// plus the owner's republished parameters restore verified service at
+// the new epoch.
+func liveMutation(ctx context.Context, res *build.Result, srv *server.Server, dom geometry.Box, n int) error {
+	fmt.Println("\n== Live mutation: epoch-versioned re-outsourcing ==")
+	h, err := transport.NewIFMHHandler(srv, res.Public)
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	r, err := transport.DialRemote(ts.URL, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("client dialed %s, pinned epoch %d\n", ts.URL, r.Epoch())
+
+	x := geometry.Point{dom.Lo[0] + (dom.Hi[0]-dom.Lo[0])*0.5}
+	qs := []query.Query{query.NewTopK(x, 3)}
+	answers, errs := r.QueryBatch(ctx, qs, bkd.WithVerify(res.Public))
+	if errs[0] != nil {
+		return errs[0]
+	}
+	fmt.Printf("verified %d records at epoch %d\n", len(answers[0].Records), answers[0].Epoch)
+
+	// The owner mutates the outsourced table: one insert, one update,
+	// one delete, applied as a batch against the epoch-1 snapshot.
+	rows := res.Tree.Table().Records
+	upd := rows[0]
+	upd.Attrs = append([]float64(nil), upd.Attrs...)
+	upd.Attrs[0] += 0.25
+	muts := []build.Mutation{
+		build.Insert(record.Record{ID: uint64(n + 1), Attrs: []float64{0.33, -0.1}}),
+		build.Update(0, upd),
+		build.Delete(1),
+	}
+	res2, err := build.Apply(ctx, res, muts...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("owner applied %v -> epoch %d\n", muts, res2.Tree.Epoch())
+	if err := srv.Swap(server.IFMH{Tree: res2.Tree}); err != nil {
+		return err
+	}
+	fmt.Printf("server swapped to epoch %d (swaps so far: %d)\n", srv.Epoch(), srv.Swaps())
+
+	// The client is still pinned to epoch 1: the next answer arrives
+	// stamped with epoch 2 and surfaces as the typed staleness error.
+	_, errs = r.QueryBatch(ctx, qs)
+	var ee *bkd.EpochError
+	if !errors.As(errs[0], &ee) {
+		return fmt.Errorf("expected an epoch error after the swap, got %v", errs[0])
+	}
+	fmt.Printf("client detected staleness: %v\n", ee)
+
+	// Recovery: re-read /params to re-pin, fetch the owner's republished
+	// parameters, and re-query — verified at the new epoch.
+	e, err := r.Client().Refresh(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("client refreshed, re-pinned epoch %d\n", e)
+	answers, errs = r.QueryBatch(ctx, qs, bkd.WithVerify(res2.Public))
+	if errs[0] != nil {
+		return errs[0]
+	}
+	fmt.Printf("verified %d records at epoch %d\n", len(answers[0].Records), answers[0].Epoch)
 	return nil
 }

@@ -40,11 +40,12 @@ import (
 
 // Answer is one query's outcome on any backend: the serialized answer
 // bytes (the same bytes POST /query would return) plus the answering
-// shard. Records is populated only when the answer was verified (the
-// WithVerify option) or decoded by the backend itself; callers that
-// skip verification work from Raw. On a failed query Raw and Records
-// are nil and Shard still reports the routing choice when one was made
-// — the shard that refused — and ShardNone otherwise.
+// shard and the publication epoch it answered under. Records is
+// populated only when the answer was verified (the WithVerify option)
+// or decoded by the backend itself; callers that skip verification work
+// from Raw. On a failed query Raw and Records are nil and Shard still
+// reports the routing choice when one was made — the shard that refused
+// — and ShardNone otherwise.
 type Answer struct {
 	// Raw is the wire-encoded answer (wire.EncodeIFMH / EncodeMesh).
 	Raw []byte
@@ -53,6 +54,39 @@ type Answer struct {
 	// Shard is the answering shard (wire.ShardNone when the backend is
 	// unsharded).
 	Shard int
+	// Epoch is the publication epoch of the bundle that answered, 0 when
+	// the backend is pre-epoch (the mesh baseline) or the epoch is
+	// unknown. An answer verifies against exactly one epoch's published
+	// parameters; a mismatch against the pinned epoch surfaces as an
+	// *EpochError before a misleading verification failure can.
+	Epoch uint64
+}
+
+// EpochError reports an answer produced under a different publication
+// epoch than the one the caller pinned — a server that swapped in a new
+// bundle since /params was read (Got > Want), or a stale or forked
+// replica still serving an old epoch (Got < Want). The answer itself
+// may verify perfectly against its own epoch's parameters; the error
+// exists so clients refresh their pinned bundle instead of misreading
+// the situation as tampering.
+type EpochError struct {
+	// Want is the epoch the caller pinned (from /params or PublicParams).
+	Want uint64
+	// Got is the epoch the answer was produced under.
+	Got uint64
+	// Shard is the answering shard, wire.ShardNone when unsharded.
+	Shard int
+}
+
+func (e *EpochError) Error() string {
+	dir := "stale"
+	if e.Got > e.Want {
+		dir = "newer"
+	}
+	if e.Shard < 0 {
+		return fmt.Sprintf("backend: answer from %s epoch %d, client pinned epoch %d; re-read /params", dir, e.Got, e.Want)
+	}
+	return fmt.Sprintf("backend: shard %d answered from %s epoch %d, client pinned epoch %d; re-read /params", e.Shard, dir, e.Got, e.Want)
 }
 
 // BatchResult pairs one batch item's answer with its error; exactly one

@@ -161,13 +161,13 @@ type tamper struct {
 
 func (m tamper) Name() string { return m.inner.Name() }
 
-func (m tamper) process(q query.Query, ctr *metrics.Counter) (int, []byte, error) {
-	sh, raw, err := m.inner.process(q, ctr)
+func (m tamper) process(q query.Query, ctr *metrics.Counter) (int, uint64, []byte, error) {
+	sh, epoch, raw, err := m.inner.process(q, ctr)
 	if err == nil && len(raw) > 40 {
 		raw = append([]byte(nil), raw...)
 		raw[40] ^= 0xFF
 	}
-	return sh, raw, err
+	return sh, epoch, raw, err
 }
 
 func (m tamper) Query(ctx context.Context, q query.Query, opts ...Option) (Answer, error) {

@@ -13,15 +13,17 @@ import (
 
 // Process is the per-query primitive the in-process backends share:
 // answer q, charging its costs — traversal and the serialized answer's
-// bytes — to ctr, and report the answering shard: wire.ShardNone when
-// unsharded or the query never routed, the owning shard otherwise
-// (kept on refusals, so attribution survives errors). The drivers do
-// not account bytes themselves; a Process that already charges them,
-// like the in-process server's encoders, must not be charged twice.
-// The exported Drive* helpers lift a Process into the full Backend
-// surface, so implementing a new backend — in this package or outside
-// it — means supplying only the evaluation itself.
-type Process func(q query.Query, ctr *metrics.Counter) (shard int, raw []byte, err error)
+// bytes — to ctr, and report the answering shard and publication epoch:
+// wire.ShardNone when unsharded or the query never routed, the owning
+// shard otherwise (kept on refusals, so attribution survives errors);
+// epoch 0 when the evaluator is pre-epoch (the mesh baseline) or the
+// query failed before reaching a bundle. The drivers do not account
+// bytes themselves; a Process that already charges them, like the
+// in-process server's encoders, must not be charged twice. The exported
+// Drive* helpers lift a Process into the full Backend surface, so
+// implementing a new backend — in this package or outside it — means
+// supplying only the evaluation itself.
+type Process func(q query.Query, ctr *metrics.Counter) (shard int, epoch uint64, raw []byte, err error)
 
 // DriveQuery answers one query through p under the call options.
 func DriveQuery(ctx context.Context, p Process, q query.Query, opts ...Option) (Answer, error) {
@@ -94,13 +96,13 @@ func DriveBatchOrdered(ctx context.Context, p Process, qs []query.Query, order [
 // keep the Process's shard attribution — the shard that refused, or
 // ShardNone when the query never routed.
 func driveOne(o *options, p Process, q query.Query, ctr *metrics.Counter) (Answer, error) {
-	sh, raw, err := p(q, ctr)
+	sh, epoch, raw, err := p(q, ctr)
 	if err != nil {
-		return Answer{Shard: sh}, err
+		return Answer{Shard: sh, Epoch: epoch}, err
 	}
-	ans := Answer{Raw: raw, Shard: sh}
+	ans := Answer{Raw: raw, Shard: sh, Epoch: epoch}
 	if err := o.finish(q, &ans, ctr); err != nil {
-		return Answer{Shard: sh}, err
+		return Answer{Shard: sh, Epoch: epoch}, err
 	}
 	return ans, nil
 }

@@ -71,6 +71,35 @@ func (f *Fanout) Route(q query.Query) (int, error) {
 // Name implements Backend.
 func (f *Fanout) Name() string { return f.name }
 
+// Epoch returns the logical database's publication epoch as seen
+// through the children: the maximum epoch any child reports, 0 when no
+// child reports one. During a per-shard rollout the maximum is the
+// authoritative epoch — the owner publishes monotonically, so the
+// highest epoch any shard serves is the newest bundle.
+func (f *Fanout) Epoch() uint64 {
+	var max uint64
+	for _, e := range f.Epochs() {
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// Epochs returns every child's publication epoch in shard order (0 for
+// children that report none). Children mid-rollout may legitimately
+// disagree; the lag shows up in /stats when a handler fronts the
+// fanout.
+func (f *Fanout) Epochs() []uint64 {
+	out := make([]uint64, len(f.kids))
+	for i, k := range f.kids {
+		if e, ok := k.(interface{ Epoch() uint64 }); ok {
+			out[i] = e.Epoch()
+		}
+	}
+	return out
+}
+
 // Query implements Backend: route, then answer on the owning child.
 func (f *Fanout) Query(ctx context.Context, q query.Query, opts ...Option) (Answer, error) {
 	sh, err := f.Route(q)

@@ -48,14 +48,17 @@ func (b *Local) QueryStream(ctx context.Context, qs []query.Query, opts ...Optio
 	return DriveStream(ctx, b.process, qs, opts...)
 }
 
-func (b *Local) process(q query.Query, ctr *metrics.Counter) (int, []byte, error) {
+// Epoch returns the served tree's publication epoch.
+func (b *Local) Epoch() uint64 { return b.tree.Epoch() }
+
+func (b *Local) process(q query.Query, ctr *metrics.Counter) (int, uint64, []byte, error) {
 	ans, err := b.tree.Process(q, ctr)
 	if err != nil {
-		return wire.ShardNone, nil, err
+		return wire.ShardNone, b.tree.Epoch(), nil, err
 	}
 	out := wire.EncodeIFMH(ans)
 	ctr.AddBytes(uint64(len(out)))
-	return wire.ShardNone, out, nil
+	return wire.ShardNone, b.tree.Epoch(), out, nil
 }
 
 // Sharded serves a domain-sharded tree set behind a router: every query
@@ -97,17 +100,41 @@ func (b *Sharded) QueryStream(ctx context.Context, qs []query.Query, opts ...Opt
 	return DriveStream(ctx, b.process, qs, opts...)
 }
 
-func (b *Sharded) process(q query.Query, ctr *metrics.Counter) (int, []byte, error) {
+// Epoch returns the served set's publication epoch — the maximum across
+// shards, which all agree on when the set is untorn (build.Apply and
+// shard.BuildCtx both land every shard on one epoch).
+func (b *Sharded) Epoch() uint64 {
+	var max uint64
+	for _, t := range b.router.Set().Trees {
+		if e := t.Epoch(); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// Epochs returns every shard's publication epoch, in shard order.
+func (b *Sharded) Epochs() []uint64 {
+	trees := b.router.Set().Trees
+	out := make([]uint64, len(trees))
+	for i, t := range trees {
+		out[i] = t.Epoch()
+	}
+	return out
+}
+
+func (b *Sharded) process(q query.Query, ctr *metrics.Counter) (int, uint64, []byte, error) {
 	sh, ans, err := b.router.Process(q, ctr)
 	if err != nil {
 		if sh < 0 {
 			sh = wire.ShardNone
+			return sh, 0, nil, err
 		}
-		return sh, nil, err // the owning shard when routing succeeded
+		return sh, b.router.Set().Trees[sh].Epoch(), nil, err // the owning shard when routing succeeded
 	}
 	out := wire.EncodeIFMH(ans)
 	ctr.AddBytes(uint64(len(out)))
-	return sh, out, nil
+	return sh, b.router.Set().Trees[sh].Epoch(), out, nil
 }
 
 // ifmhName reports the backend name for a signing mode, matching the

@@ -253,3 +253,25 @@ func TestConfigValidation(t *testing.T) {
 		t.Errorf("maxSize = %d", c.maxSize())
 	}
 }
+
+// TestMutationShapes asserts the mutation figure's claims at quick
+// scale: the applied tree answers identically to the full rebuild on
+// every row, and the single-record batch beats the rebuild on every
+// size (the speedup bar EXPERIMENTS.md quotes is checked at paper
+// scale there; here the shape must hold even at toy sizes).
+func TestMutationShapes(t *testing.T) {
+	h := quickHarness(t)
+	tbl := runFig(t, h, "mutM1")
+	for r, row := range tbl.Rows {
+		if row[5] != "ok" {
+			t.Errorf("row %d (%s/%s): identity = %q", r, row[0], row[1], row[5])
+		}
+		speed, err := strconv.ParseFloat(strings.TrimSuffix(row[4], "x"), 64)
+		if err != nil {
+			t.Fatalf("row %d: speedup cell %q: %v", r, row[4], err)
+		}
+		if row[1] == "1" && speed < 1.5 {
+			t.Errorf("n=%s single-record apply speedup %.2fx, want comfortably above a rebuild", row[0], speed)
+		}
+	}
+}

@@ -34,6 +34,7 @@ func Figures() []Figure {
 		{"planQ1", "Shard planners: even vs quantile cuts on a clustered workload", planScaling},
 		{"fanoutF1", "Fanout: single-process sharded vs K-process front-end batch throughput", fanoutScaling},
 		{"streamT1", "Streaming transport: time-to-first-verified-result vs the buffered batch exchange", streamFirstResult},
+		{"mutM1", "Mutation plane: incremental apply vs full rebuild by batch size", mutationScaling},
 	}
 }
 

@@ -97,6 +97,7 @@ type options struct {
 	materialize bool
 	hasher      *hashing.Hasher
 	workers     int
+	epoch       uint64
 	progress    func(Progress)
 
 	plan      *shard.Plan
@@ -135,6 +136,15 @@ func WithHasher(h *hashing.Hasher) Option { return func(o *options) { o.hasher =
 // In a sharded build each shard reuses the same bound internally, so the
 // effective parallelism is K × workers.
 func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+// WithEpoch stamps the built product's publication epoch (default 1 for
+// IFMH products; the mesh baseline is epoch-less and rejects it). Apply
+// bumps epochs automatically; the explicit stamp exists so a full
+// rebuild can land on the same epoch an incremental apply would — the
+// equivalence tests build both sides at one epoch and demand identical
+// bytes — and so an owner restoring from offline state can resume its
+// epoch sequence.
+func WithEpoch(e uint64) Option { return func(o *options) { o.epoch = e } }
 
 // WithProgress observes every construction stage as it starts. fn must
 // be cheap, must not block, and — for sharded products, whose K shard
@@ -210,8 +220,8 @@ func Outsource(ctx context.Context, spec Spec, opts ...Option) (*Result, error) 
 		if o.plan != nil || o.shardsSet || o.shardSet {
 			return nil, fmt.Errorf("build: the mesh baseline cannot be domain-sharded")
 		}
-		if o.materialize || o.shuffle || o.mode != core.OneSignature {
-			return nil, fmt.Errorf("build: WithMode/WithShuffle/WithMaterialize apply to IFMH products only")
+		if o.materialize || o.shuffle || o.mode != core.OneSignature || o.epoch != 0 {
+			return nil, fmt.Errorf("build: WithMode/WithShuffle/WithMaterialize/WithEpoch apply to IFMH products only")
 		}
 		m, err := mesh.BuildCtx(ctx, spec.Table, mesh.Params{
 			Signer:   spec.Signer,
@@ -237,6 +247,7 @@ func Outsource(ctx context.Context, spec Spec, opts ...Option) (*Result, error) 
 		Seed:        o.seed,
 		Materialize: o.materialize,
 		Workers:     o.workers,
+		Epoch:       o.epoch,
 	}
 
 	if o.plan == nil && !o.shardsSet {

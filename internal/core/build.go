@@ -69,7 +69,14 @@ func BuildCtx(ctx context.Context, tbl record.Table, p Params) (*Tree, error) {
 		table:    tbl,
 		fs:       fs,
 		verifier: p.Signer.Verifier(),
+		epoch:    p.Epoch,
+		bp:       p,
 	}
+	if t.epoch == 0 {
+		t.epoch = 1
+	}
+	t.bp.Progress = nil
+	t.bp.Inters1D = nil
 	workers := p.workers()
 	p.progress(StageDigest, tbl.Len())
 	t.recDigests = make([]hashing.Digest, tbl.Len())
@@ -104,6 +111,15 @@ func BuildCtx(ctx context.Context, tbl record.Table, p Params) (*Tree, error) {
 		t.itree, err = itree.Build(space, inters, opt)
 		if err != nil {
 			return nil, err
+		}
+		if p.Shuffle {
+			// Retain the canonical arrangement the tree shape is a pure
+			// function of: the mutation plane merges dirty pairs into it
+			// and reconstructs the next epoch's tree directly, instead of
+			// re-enumerating and re-inserting from scratch.
+			if t.arr, err = itree.NewArrangement1D(space, inters, p.Seed); err != nil {
+				return nil, err
+			}
 		}
 		if err := t.buildLists1D(ctx, inters, p, workers); err != nil {
 			return nil, err
@@ -197,14 +213,11 @@ func SweepInputs1D(space *geometry.Space1D, subs []*itree.Subdomain, boundaries 
 // already O(S log n) in total.
 func (t *Tree) buildLists1D(ctx context.Context, inters []itree.Intersection, p Params, workers int) error {
 	space := t.space.(*geometry.Space1D)
-	subs := t.itree.Subs
-	t.subs = make([]*SubInfo, len(subs))
-
 	boundaries, err := t.itree.Boundaries1D()
 	if err != nil {
 		return err
 	}
-	witnesses, groups, err := SweepInputs1D(space, subs, boundaries, inters)
+	witnesses, groups, err := SweepInputs1D(space, t.itree.Subs, boundaries, inters)
 	if err != nil {
 		return err
 	}
@@ -213,16 +226,26 @@ func (t *Tree) buildLists1D(ctx context.Context, inters []itree.Intersection, p 
 	if err != nil {
 		return err
 	}
+	return t.listsFromPlan(ctx, plan, p, workers)
+}
+
+// listsFromPlan builds every subdomain's FMH list from a computed sweep
+// plan — the tail of buildLists1D, shared with the mutation plane's
+// ApplyCtx, which derives the plan incrementally instead.
+func (t *Tree) listsFromPlan(ctx context.Context, plan sweep.Plan, p Params, workers int) error {
+	subs := t.itree.Subs
+	t.subs = make([]*SubInfo, len(subs))
 	t.plan = plan
 	t.cursor = sweep.NewCursor(plan)
 
 	perm := append([]int(nil), plan.BasePerm...)
 	p.progress(StageLists, len(subs))
 
+	boundaries := len(subs) - 1
 	if p.Materialize {
 		perms := make([][]int, len(subs))
 		perms[0] = append([]int(nil), perm...)
-		for k := range boundaries {
+		for k := 0; k < boundaries; k++ {
 			for _, pos := range plan.Swaps[k] {
 				perm[pos], perm[pos+1] = perm[pos+1], perm[pos]
 			}
@@ -245,7 +268,7 @@ func (t *Tree) buildLists1D(ctx context.Context, inters []itree.Intersection, p 
 		return err
 	}
 	t.subs[0] = &SubInfo{Sub: subs[0], List: list}
-	for k := range boundaries {
+	for k := 0; k < boundaries; k++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}

@@ -112,6 +112,11 @@ type Params struct {
 	// of units (records, intersections, subdomains, tree nodes, ...) the
 	// stage is about to process. It must be cheap and must not block.
 	Progress func(stage Stage, units int)
+	// Epoch stamps the built tree's publication epoch. Zero means 1 —
+	// the first epoch of a fresh outsourcing; ApplyCtx bumps it per
+	// mutation batch. Clients pin the epoch their verification ran
+	// against, so a bundle's epoch is part of its published identity.
+	Epoch uint64
 }
 
 // Stage names one construction stage for Params.Progress callbacks, in
@@ -147,6 +152,14 @@ type PublicParams struct {
 	Mode     Mode
 	// SemTol is the semantic-check tolerance; zero means DefaultSemTol.
 	SemTol float64
+	// Epoch is the monotonic publication epoch of the bundle the
+	// parameters describe: 1 for a fresh outsourcing, bumped by every
+	// applied mutation batch. Zero marks a pre-epoch (static) bundle —
+	// the signature-mesh baseline and legacy deployments. An answer
+	// verifies against exactly one epoch's bundle; clients compare
+	// epochs to detect a stale or forked server before misreading a
+	// verification failure as tampering.
+	Epoch uint64
 }
 
 // SubInfo is the per-subdomain state of a built tree.
@@ -188,6 +201,14 @@ type Tree struct {
 	rootSig    []byte // one-signature mode
 	verifier   sig.Verifier
 	sigCount   int
+
+	// Mutation-plane state: the publication epoch, the canonical
+	// arrangement the tree shape is a function of (1-D canonical-order
+	// builds only), and the build parameters, retained so ApplyCtx can
+	// rebuild stages the same way the original construction did.
+	epoch uint64
+	arr   *itree.Arrangement1D
+	bp    Params
 }
 
 // Mode returns the tree's signing scheme.
@@ -200,8 +221,17 @@ func (t *Tree) Public() PublicParams {
 		Template: t.template,
 		Mode:     t.mode,
 		SemTol:   DefaultSemTol,
+		Epoch:    t.epoch,
 	}
 }
+
+// Epoch returns the tree's publication epoch (1 for a fresh build,
+// bumped by every applied mutation batch).
+func (t *Tree) Epoch() uint64 { return t.epoch }
+
+// Table returns the outsourced table the tree authenticates. The
+// mutation plane indexes its deletes and updates against it.
+func (t *Tree) Table() record.Table { return t.table }
 
 // NumSubdomains returns the subdomain (FMH-tree) count.
 func (t *Tree) NumSubdomains() int { return len(t.subs) }

@@ -1,0 +1,225 @@
+package itree
+
+import (
+	"math/rand"
+	"testing"
+
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+)
+
+// sameTree asserts two trees are structurally identical: same node
+// shape, same representative intersections (indexes and hyperplane
+// bytes), same leaf intervals including strictness flags, and same
+// subdomain IDs.
+func sameTree(t *testing.T, a, b *Tree) {
+	t.Helper()
+	if a.NodeCount != b.NodeCount {
+		t.Fatalf("node count %d vs %d", a.NodeCount, b.NodeCount)
+	}
+	if a.Inserted != b.Inserted {
+		t.Fatalf("inserted %d vs %d", a.Inserted, b.Inserted)
+	}
+	if len(a.Subs) != len(b.Subs) {
+		t.Fatalf("subdomain count %d vs %d", len(a.Subs), len(b.Subs))
+	}
+	var walk func(path string, x, y *Node)
+	walk = func(path string, x, y *Node) {
+		if x.IsLeaf() != y.IsLeaf() {
+			t.Fatalf("%s: leaf %v vs %v", path, x.IsLeaf(), y.IsLeaf())
+		}
+		if x.IsLeaf() {
+			ix := x.Leaf.Region.(geometry.Interval1D)
+			iy := y.Leaf.Region.(geometry.Interval1D)
+			if ix.Lo.Cmp(iy.Lo) != 0 || ix.Hi.Cmp(iy.Hi) != 0 ||
+				ix.LoStrict != iy.LoStrict || ix.HiStrict != iy.HiStrict {
+				t.Fatalf("%s: leaf interval %+v vs %+v", path, ix, iy)
+			}
+			if x.Leaf.ID != y.Leaf.ID {
+				t.Fatalf("%s: leaf ID %d vs %d", path, x.Leaf.ID, y.Leaf.ID)
+			}
+			return
+		}
+		if x.Int.I != y.Int.I || x.Int.J != y.Int.J {
+			t.Fatalf("%s: node pair (%d,%d) vs (%d,%d)", path, x.Int.I, x.Int.J, y.Int.I, y.Int.J)
+		}
+		ex, ey := x.Int.H.Encode(nil), y.Int.H.Encode(nil)
+		if string(ex) != string(ey) {
+			t.Fatalf("%s: node hyperplane bytes differ", path)
+		}
+		walk(path+"/a", x.Above, y.Above)
+		walk(path+"/b", x.Below, y.Below)
+	}
+	walk("root", a.Root, b.Root)
+}
+
+// randomLines generates n univariate lines, with clusters of parallel
+// lines and lines concurrent through shared points so duplicate
+// breakpoints and degenerate pairs are exercised.
+func randomLines(n int, seed int64) []funcs.Linear {
+	rng := rand.New(rand.NewSource(seed))
+	fs := make([]funcs.Linear, n)
+	for i := range fs {
+		switch rng.Intn(4) {
+		case 0: // parallel family: same slope, different bias
+			fs[i] = funcs.Linear{Coef: []float64{2}, Bias: float64(rng.Intn(6))}
+		case 1: // concurrent family: all pass through (1, 3)
+			sl := float64(rng.Intn(7) - 3)
+			fs[i] = funcs.Linear{Coef: []float64{sl}, Bias: 3 - sl}
+		default:
+			fs[i] = funcs.Linear{Coef: []float64{rng.NormFloat64() * 3}, Bias: rng.NormFloat64() * 2}
+		}
+		fs[i].Index = i
+	}
+	return fs
+}
+
+// TestBuildCanonicalEqualsInsert is the mutation plane's keystone: the
+// direct Cartesian construction from the arrangement must reproduce
+// the insert-path canonical tree exactly — treap uniqueness in action —
+// across random inputs with duplicate breakpoints, concurrent crossing
+// points and out-of-domain intersections.
+func TestBuildCanonicalEqualsInsert(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		fs := randomLines(30+trial, int64(trial))
+		dom, err := geometry.NewBox([]float64{-1}, []float64{2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inters, err := Pairs1D(fs, dom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		space, err := geometry.NewSpace1D(dom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := int64(trial * 7)
+		viaInsert, err := Build(space, inters, BuildOptions{Shuffle: true, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr, err := NewArrangement1D(space, inters, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := BuildCanonical1D(space, arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameTree(t, viaInsert, direct)
+	}
+}
+
+// TestMergeArrangementEqualsRescan: merging dirty pairs into a prior
+// arrangement must equal arranging the mutated function set from a
+// full rescan — for deletes, inserts and updates, including records
+// whose breakpoints collide with surviving ones.
+func TestMergeArrangementEqualsRescan(t *testing.T) {
+	dom, err := geometry.NewBox([]float64{-1}, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := geometry.NewSpace1D(dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		fs := randomLines(25, int64(trial+100))
+		inters, err := Pairs1D(fs, dom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := int64(trial)
+		prev, err := NewArrangement1D(space, inters, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Mutate: delete a couple, update one, insert a couple. Deletes
+		// compact preserving order; inserts append.
+		del := map[int]bool{rng.Intn(25): true, rng.Intn(25): true}
+		upd := rng.Intn(25)
+		for del[upd] {
+			upd = (upd + 1) % 25
+		}
+		var newFs []funcs.Linear
+		cleanRemap := make([]int, len(fs))
+		dirtyNew := []bool{}
+		for i, f := range fs {
+			if del[i] {
+				cleanRemap[i] = -1
+				continue
+			}
+			ni := len(newFs)
+			if i == upd {
+				f = funcs.Linear{Coef: []float64{rng.NormFloat64() * 2}, Bias: rng.NormFloat64()}
+				cleanRemap[i] = -1 // updated: old pairs are dead
+			} else {
+				cleanRemap[i] = ni
+			}
+			f.Index = ni
+			newFs = append(newFs, f)
+			dirtyNew = append(dirtyNew, i == upd)
+		}
+		for k := 0; k < 2; k++ {
+			f := funcs.Linear{Coef: []float64{rng.NormFloat64() * 3}, Bias: rng.NormFloat64()}
+			f.Index = len(newFs)
+			newFs = append(newFs, f)
+			dirtyNew = append(dirtyNew, true)
+		}
+
+		dirty, err := DirtyPairs1D(newFs, dirtyNew, dom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged, classes, err := MergeArrangement1D(space, prev, cleanRemap, dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		full, err := Pairs1D(newFs, dom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := NewArrangement1D(space, full, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(merged.Groups) != len(want.Groups) {
+			t.Fatalf("trial %d: %d merged groups vs %d rescanned", trial, len(merged.Groups), len(want.Groups))
+		}
+		if len(classes) != len(merged.Groups) {
+			t.Fatalf("trial %d: %d classes for %d groups", trial, len(classes), len(merged.Groups))
+		}
+		for g := range merged.Groups {
+			mg, wg := merged.Groups[g], want.Groups[g]
+			if mg.T.Cmp(wg.T) != 0 {
+				t.Fatalf("trial %d group %d: breakpoint %v vs %v", trial, g, mg.T, wg.T)
+			}
+			if len(mg.Members) != len(wg.Members) {
+				t.Fatalf("trial %d group %d: %d members vs %d", trial, g, len(mg.Members), len(wg.Members))
+			}
+			for m := range mg.Members {
+				a, b := mg.Members[m], wg.Members[m]
+				if a.I != b.I || a.J != b.J || string(a.H.Encode(nil)) != string(b.H.Encode(nil)) {
+					t.Fatalf("trial %d group %d member %d: %+v vs %+v", trial, g, m, a, b)
+				}
+				if mg.prios[m] != wg.prios[m] {
+					t.Fatalf("trial %d group %d member %d: priority mismatch", trial, g, m)
+				}
+			}
+		}
+		// And the trees built from both must agree.
+		mt, err := BuildCanonical1D(space, merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wt, err := BuildCanonical1D(space, want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameTree(t, mt, wt)
+	}
+}

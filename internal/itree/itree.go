@@ -17,7 +17,6 @@ import (
 	"context"
 	"fmt"
 	"math/big"
-	"math/rand"
 	"sort"
 
 	"aqverify/internal/funcs"
@@ -71,12 +70,17 @@ type Tree struct {
 
 // BuildOptions tunes construction.
 type BuildOptions struct {
-	// Shuffle randomizes the insertion order of intersections, which
-	// keeps the expected tree depth logarithmic the same way random
-	// insertion balances a binary search tree. The paper does not fix an
-	// insertion order; the ablation bench quantifies the difference.
+	// Shuffle inserts the intersections in the canonical content-keyed
+	// pseudorandom order (see canonical.go) instead of enumeration
+	// order, which keeps the expected tree depth logarithmic the same
+	// way random insertion balances a binary search tree — the paper
+	// does not fix an insertion order; the ablation bench quantifies
+	// the difference. Unlike an index shuffle, the canonical order is a
+	// pure function of each intersection's content, so the tree shape
+	// is determined by the intersection *set* — the property the
+	// mutation plane's incremental apply relies on.
 	Shuffle bool
-	// Seed seeds the shuffle.
+	// Seed seeds the canonical priorities.
 	Seed int64
 }
 
@@ -128,13 +132,14 @@ func Build(space geometry.Space, inters []Intersection, opt BuildOptions) (*Tree
 		Root:      &Node{Leaf: &Subdomain{Region: space.Root()}},
 		NodeCount: 1,
 	}
-	order := make([]int, len(inters))
-	for i := range order {
-		order[i] = i
-	}
+	var order []int
 	if opt.Shuffle {
-		rng := rand.New(rand.NewSource(opt.Seed))
-		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		order = canonicalOrder(inters, opt.Seed)
+	} else {
+		order = make([]int, len(inters))
+		for i := range order {
+			order[i] = i
+		}
 	}
 	for _, k := range order {
 		t.insert(t.Root, space.Root(), &inters[k])

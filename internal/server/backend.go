@@ -29,10 +29,15 @@ func (s *Server) Query(ctx context.Context, q query.Query, opts ...backend.Optio
 // without occupying a worker, and consecutive workers hit the same tree
 // instead of interleaving all K.
 func (s *Server) QueryBatch(ctx context.Context, qs []query.Query, opts ...backend.Option) ([]backend.Answer, []error) {
-	if s.sharded == nil {
+	// The routing pass and the per-query snapshots may straddle a Swap;
+	// that is safe because a swap never changes the shard plan (Swap
+	// enforces the same shard count, and mutations keep the sub-boxes),
+	// so the old snapshot's grouping is valid for the new one.
+	sharded := s.serving.Load().sharded
+	if sharded == nil {
 		return backend.DriveBatch(ctx, s.processRecorded, qs, opts...)
 	}
-	_, groups, rerrs := s.sharded.Group(qs)
+	_, groups, rerrs := sharded.Group(qs)
 	order := make([]int, 0, len(qs))
 	for _, g := range groups {
 		order = append(order, g...)
@@ -57,28 +62,31 @@ func (s *Server) QueryStream(ctx context.Context, qs []query.Query, opts ...back
 // its cost into the server's cumulative metrics (the driver's counter
 // may span many queries, so the per-query cost is measured locally and
 // merged).
-func (s *Server) processRecorded(q query.Query, ctr *metrics.Counter) (int, []byte, error) {
+func (s *Server) processRecorded(q query.Query, ctr *metrics.Counter) (int, uint64, []byte, error) {
 	var local metrics.Counter
-	sh, out, err := s.processOnce(q, &local)
+	sh, epoch, out, err := s.processOnce(q, &local)
 	ctr.Add(local)
-	return sh, out, err
+	return sh, epoch, out, err
 }
 
 // processOnce routes and answers one query, recording it, and reports
 // the answering shard (wire.ShardNone for unsharded backends and
-// unroutable queries).
-func (s *Server) processOnce(q query.Query, ctr *metrics.Counter) (int, []byte, error) {
-	if s.sharded != nil {
-		sh, err := s.sharded.Shard(q)
+// unroutable queries) and the epoch it answered under. The serving
+// snapshot is loaded exactly once, so a query that races a Swap is
+// routed, answered and attributed against one consistent epoch.
+func (s *Server) processOnce(q query.Query, ctr *metrics.Counter) (int, uint64, []byte, error) {
+	sv := s.serving.Load()
+	if sv.sharded != nil {
+		sh, err := sv.sharded.Shard(q)
 		if err != nil {
 			s.record(metrics.Counter{}, wire.ShardNone, err)
-			return wire.ShardNone, nil, err
+			return wire.ShardNone, 0, nil, err
 		}
-		out, err := s.sharded.ProcessOn(sh, q, ctr)
+		out, err := sv.sharded.ProcessOn(sh, q, ctr)
 		s.record(*ctr, sh, err)
-		return sh, out, err
+		return sh, sv.shardEpoch(sh), out, err
 	}
-	out, err := s.backend.Process(q, ctr)
+	out, err := sv.backend.Process(q, ctr)
 	s.record(*ctr, wire.ShardNone, err)
-	return wire.ShardNone, out, err
+	return wire.ShardNone, sv.epoch, out, err
 }

@@ -11,6 +11,8 @@ package server
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"aqverify/internal/backend"
 	"aqverify/internal/core"
@@ -47,6 +49,9 @@ func (b IFMH) Name() string {
 // server hosts one shard of a multi-process deployment).
 func (b IFMH) Domain() geometry.Box { return b.Tree.Domain() }
 
+// Epoch returns the hosted tree's publication epoch.
+func (b IFMH) Epoch() uint64 { return b.Tree.Epoch() }
+
 // Process implements Backend.
 func (b IFMH) Process(q query.Query, ctr *metrics.Counter) ([]byte, error) {
 	ans, err := b.Tree.Process(q, ctr)
@@ -80,10 +85,51 @@ func (b Mesh) Process(q query.Query, ctr *metrics.Counter) ([]byte, error) {
 	return out, nil
 }
 
-// ShardStat is one shard's serving tally.
+// ShardStat is one shard's serving tally, including its publication
+// epoch and its lag behind the serving epoch (both 0 on pre-epoch
+// backends).
 type ShardStat struct {
-	Queries int `json:"queries"`
-	Errors  int `json:"errors"`
+	Queries int    `json:"queries"`
+	Errors  int    `json:"errors"`
+	Epoch   uint64 `json:"epoch"`
+	Lag     uint64 `json:"lag"`
+}
+
+// serving is one immutable epoch's snapshot of the hosted backend. The
+// server swaps whole snapshots atomically: a query loads the pointer
+// once and routes, answers and attributes against that one snapshot, so
+// an in-flight query finishes against the epoch it started on even if a
+// swap lands mid-query. Epoch is 0 for pre-epoch backends (the mesh
+// baseline and custom backends that report no epoch); epochs carries
+// the per-shard epochs of a sharded snapshot, nil otherwise.
+type serving struct {
+	backend Backend
+	sharded ShardedBackend // nil for single-tree backends
+	epoch   uint64
+	epochs  []uint64
+}
+
+// newServing snapshots a backend, discovering its epoch through the
+// optional Epoch()/Epochs() accessors the built-in backends provide.
+func newServing(b Backend) *serving {
+	sv := &serving{backend: b}
+	if e, ok := b.(interface{ Epoch() uint64 }); ok {
+		sv.epoch = e.Epoch()
+	}
+	if sb, ok := b.(ShardedBackend); ok {
+		sv.sharded = sb
+		sv.epochs = sb.Epochs()
+	}
+	return sv
+}
+
+// shardEpoch returns the epoch of one shard's bundle within the
+// snapshot (the snapshot epoch when unsharded or out of range).
+func (sv *serving) shardEpoch(sh int) uint64 {
+	if sh >= 0 && sh < len(sv.epochs) {
+		return sv.epochs[sh]
+	}
+	return sv.epoch
 }
 
 // Server wraps a backend with cumulative metrics. All methods are safe
@@ -93,14 +139,19 @@ type ShardStat struct {
 // server additionally routes batches shard-by-shard and keeps per-shard
 // tallies.
 //
+// The hosted backend lives behind an atomic snapshot pointer so Swap
+// can publish a mutated epoch without a lock on the query path: queries
+// in flight keep answering from the snapshot they loaded, new queries
+// see the new epoch, and nothing ever observes a half-swapped mix.
+//
 // The tallies are written by every batch worker, so the plain counts —
 // answered, refused, per-shard — are atomics (see Tally); only the
 // multi-field metrics.Counter needs the mutex. Stats() still returns
 // (total, count) as a consistent pair: the answered-query count is
 // incremented under the same lock that folds the query's cost in.
 type Server struct {
-	backend Backend
-	sharded ShardedBackend // nil for single-tree backends
+	serving atomic.Pointer[serving]
+	swapMu  sync.Mutex // serializes Swap's validate-then-store
 	tally   *Tally
 }
 
@@ -109,23 +160,73 @@ func New(b Backend) (*Server, error) {
 	if b == nil {
 		return nil, fmt.Errorf("server: backend is required")
 	}
-	s := &Server{backend: b}
-	if sb, ok := b.(ShardedBackend); ok {
-		s.sharded = sb
-		s.tally = NewTally(sb.NumShards())
+	sv := newServing(b)
+	s := &Server{}
+	s.serving.Store(sv)
+	if sv.sharded != nil {
+		s.tally = NewTally(sv.sharded.NumShards())
 	} else {
 		s.tally = NewTally(0)
 	}
+	s.tally.ObserveEpoch(sv.epoch, sv.epochs)
 	return s, nil
 }
 
+// Swap atomically replaces the hosted backend with a later epoch of the
+// same logical database — the serve-side half of the mutation plane
+// (build.Apply produces the bundle, Swap publishes it). It refuses
+// anything that is not the same database one or more epochs later: a
+// different backend name, a changed sharding arity or shard count, an
+// epoch that does not strictly advance, and a sharded set whose shards
+// disagree on their epoch (a torn set must never be published).
+// In-flight queries finish against the snapshot they started on.
+func (s *Server) Swap(b Backend) error {
+	if b == nil {
+		return fmt.Errorf("server: swap needs a backend")
+	}
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	cur := s.serving.Load()
+	if b.Name() != cur.backend.Name() {
+		return fmt.Errorf("server: cannot swap %q in over %q; same logical database required", b.Name(), cur.backend.Name())
+	}
+	nv := newServing(b)
+	if (nv.sharded == nil) != (cur.sharded == nil) {
+		return fmt.Errorf("server: cannot swap between sharded and unsharded backends")
+	}
+	if nv.sharded != nil && nv.sharded.NumShards() != cur.sharded.NumShards() {
+		return fmt.Errorf("server: swap changes the shard count from %d to %d; re-deploy instead", cur.sharded.NumShards(), nv.sharded.NumShards())
+	}
+	for i, e := range nv.epochs {
+		if e != nv.epoch {
+			return fmt.Errorf("server: shard %d is at epoch %d but the set advertises %d; refusing to publish a torn set", i, e, nv.epoch)
+		}
+	}
+	if nv.epoch <= cur.epoch {
+		return fmt.Errorf("server: swap epoch %d does not advance the serving epoch %d", nv.epoch, cur.epoch)
+	}
+	s.serving.Store(nv)
+	s.tally.ObserveSwap(nv.epoch, nv.epochs)
+	return nil
+}
+
+// Epoch returns the serving publication epoch (0 for pre-epoch
+// backends).
+func (s *Server) Epoch() uint64 { return s.serving.Load().epoch }
+
+// Swaps returns how many epoch swaps this server has completed.
+func (s *Server) Swaps() int { return s.tally.Swaps() }
+
+// Backend returns the currently serving backend.
+func (s *Server) Backend() Backend { return s.serving.Load().backend }
+
 // Name returns the backend name.
-func (s *Server) Name() string { return s.backend.Name() }
+func (s *Server) Name() string { return s.serving.Load().backend.Name() }
 
 // Domain returns the hosted backend's serving domain, when it reports
 // one (every built-in backend does).
 func (s *Server) Domain() (geometry.Box, bool) {
-	if d, ok := s.backend.(interface{ Domain() geometry.Box }); ok {
+	if d, ok := s.serving.Load().backend.(interface{ Domain() geometry.Box }); ok {
 		return d.Domain(), true
 	}
 	return geometry.Box{}, false
@@ -134,10 +235,11 @@ func (s *Server) Domain() (geometry.Box, bool) {
 // NumShards returns the backend's shard count, or 0 for a single-tree
 // backend.
 func (s *Server) NumShards() int {
-	if s.sharded == nil {
+	sv := s.serving.Load()
+	if sv.sharded == nil {
 		return 0
 	}
-	return s.sharded.NumShards()
+	return sv.sharded.NumShards()
 }
 
 // Handle processes one query, accumulating metrics. It returns the
@@ -147,7 +249,7 @@ func (s *Server) NumShards() int {
 // over answered queries.
 func (s *Server) Handle(q query.Query) ([]byte, error) {
 	var ctr metrics.Counter
-	_, out, err := s.processOnce(q, &ctr)
+	_, _, out, err := s.processOnce(q, &ctr)
 	return out, err
 }
 

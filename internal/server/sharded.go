@@ -29,6 +29,10 @@ type ShardedBackend interface {
 	// obtained from Shard; answering on a non-owning shard fails (the
 	// query's input lies outside that shard's sub-domain).
 	ProcessOn(sh int, q query.Query, ctr *metrics.Counter) ([]byte, error)
+	// Epochs returns every shard's publication epoch in shard order
+	// (all zero for a pre-epoch backend). The server snapshots them at
+	// construction and on every Swap, refusing a torn set.
+	Epochs() []uint64
 }
 
 // ShardedIFMH hosts a domain-sharded set of IFMH-trees behind a router.
@@ -61,6 +65,29 @@ func (b ShardedIFMH) Domain() geometry.Box { return b.Router.Set().Plan.Domain }
 
 // Shard implements ShardedBackend.
 func (b ShardedIFMH) Shard(q query.Query) (int, error) { return b.Router.Route(q) }
+
+// Epoch returns the set's publication epoch — the maximum across
+// shards, which all agree on when the set is untorn (build.Apply lands
+// every shard on one epoch).
+func (b ShardedIFMH) Epoch() uint64 {
+	var max uint64
+	for _, e := range b.Epochs() {
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// Epochs implements ShardedBackend.
+func (b ShardedIFMH) Epochs() []uint64 {
+	trees := b.Router.Set().Trees
+	out := make([]uint64, len(trees))
+	for i, t := range trees {
+		out[i] = t.Epoch()
+	}
+	return out
+}
 
 // Group implements ShardedBackend.
 func (b ShardedIFMH) Group(qs []query.Query) ([]int, [][]int, []error) {

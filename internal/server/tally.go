@@ -15,9 +15,11 @@ import (
 // concurrent batch worker — and only the multi-field metrics.Counter
 // sits behind the mutex.
 type Tally struct {
-	count    atomic.Int64 // answered queries (paired with total by Record)
-	errCount atomic.Int64 // refused queries
-	perShard []shardTally // per-shard tallies; nil when unsharded
+	count    atomic.Int64  // answered queries (paired with total by Record)
+	errCount atomic.Int64  // refused queries
+	epoch    atomic.Uint64 // serving publication epoch (gauge)
+	swaps    atomic.Int64  // epoch swaps observed
+	perShard []shardTally  // per-shard tallies; nil when unsharded
 
 	mu    sync.Mutex
 	total metrics.Counter
@@ -27,6 +29,7 @@ type Tally struct {
 type shardTally struct {
 	queries atomic.Int64
 	errors  atomic.Int64
+	epoch   atomic.Uint64 // the shard's publication epoch (gauge)
 }
 
 // NewTally creates a tally attributing to the given shard count (0 =
@@ -95,16 +98,52 @@ func (t *Tally) Stats() (metrics.Counter, int) {
 // ErrorCount returns how many queries were refused.
 func (t *Tally) ErrorCount() int { return int(t.errCount.Load()) }
 
+// ObserveEpoch publishes the serving epoch and per-shard epochs into
+// the gauges — the initial observation, at host construction. shards
+// may be nil (unsharded) or shorter than the tally (extra gauges keep
+// their zero).
+func (t *Tally) ObserveEpoch(epoch uint64, shards []uint64) {
+	t.epoch.Store(epoch)
+	for i := range t.perShard {
+		if i < len(shards) {
+			t.perShard[i].epoch.Store(shards[i])
+		}
+	}
+}
+
+// ObserveSwap is ObserveEpoch for a completed epoch swap: it updates
+// the gauges and counts the swap.
+func (t *Tally) ObserveSwap(epoch uint64, shards []uint64) {
+	t.ObserveEpoch(epoch, shards)
+	t.swaps.Add(1)
+}
+
+// Epoch returns the serving publication epoch gauge.
+func (t *Tally) Epoch() uint64 { return t.epoch.Load() }
+
+// Swaps returns how many epoch swaps were observed.
+func (t *Tally) Swaps() int { return int(t.swaps.Load()) }
+
 // ShardStats returns per-shard serving tallies, or nil when unsharded.
+// Each shard's Lag is how many epochs it trails the serving epoch — 0
+// on a healthy set, nonzero in a multi-process deployment mid-rollout.
 func (t *Tally) ShardStats() []ShardStat {
 	if t.perShard == nil {
 		return nil
 	}
+	serving := t.epoch.Load()
 	out := make([]ShardStat, len(t.perShard))
 	for i := range t.perShard {
+		e := t.perShard[i].epoch.Load()
+		var lag uint64
+		if serving > e {
+			lag = serving - e
+		}
 		out[i] = ShardStat{
 			Queries: int(t.perShard[i].queries.Load()),
 			Errors:  int(t.perShard[i].errors.Load()),
+			Epoch:   e,
+			Lag:     lag,
 		}
 	}
 	return out

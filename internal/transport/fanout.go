@@ -71,6 +71,10 @@ func DialFanout(urls []string, hc *http.Client) (*backend.Fanout, Params, error)
 	boxes := make([]geometry.Box, len(ds))
 	kids := make([]backend.Backend, len(ds))
 	for i, d := range ds {
+		// Child remotes relay: the end client holds the epoch pin; the
+		// front-end forwards answers with their epoch stamps intact and
+		// keeps each child's observed epoch current across shard swaps.
+		d.remote.relay = true
 		boxes[i] = d.box
 		kids[i] = d.remote
 		urls[i] = d.url
@@ -86,6 +90,11 @@ func DialFanout(urls []string, hc *http.Client) (*backend.Fanout, Params, error)
 	params := ds[0].params
 	params.Shards = plan.K()
 	params.Domain = ToBoxJSON(plan.Domain)
+	// The front-end advertises the newest epoch any shard serves — the
+	// owner publishes monotonically, so the maximum is authoritative;
+	// per-shard lag during a rollout shows on the front-end's /stats.
+	// The handler reads the live value off Fanout.Epoch at request time.
+	params.Epoch = f.Epoch()
 	return f, params, nil
 }
 

@@ -41,6 +41,13 @@ type HTTPClient struct {
 	cli    *client.Client
 	params Params
 	pub    *core.PublicParams // nil for mesh backends
+	// epoch pins the publication epoch the client verified /params
+	// against, compared to the epoch word of every batched or streamed
+	// answer: a mismatch is a typed staleness signal (the server swapped
+	// a mutated bundle in, or a replica lags), not a verification
+	// failure. Refresh re-pins it; 0 disables the check (pre-epoch
+	// servers).
+	epoch atomic.Uint64
 	// noStream latches a discovered downgrade: the bundle advertised
 	// streaming but the route 404ed (e.g. a stripping proxy), so later
 	// calls skip the doomed probe and go straight to the buffered
@@ -77,6 +84,7 @@ func Dial(base string, hc *http.Client) (*HTTPClient, error) {
 	tpl := fromTplJSON(p.Template)
 
 	out := &HTTPClient{base: base, hc: hc, params: p}
+	out.epoch.Store(p.Epoch)
 	switch p.Backend {
 	case "ifmh-one", "ifmh-multi":
 		mode := core.OneSignature
@@ -85,6 +93,7 @@ func Dial(base string, hc *http.Client) (*HTTPClient, error) {
 		}
 		pub := core.PublicParams{
 			Verifier: ver, Template: tpl, Mode: mode, SemTol: p.SemTol,
+			Epoch: p.Epoch,
 		}
 		out.pub = &pub
 		out.cli = client.NewIFMH(pub)
@@ -111,8 +120,56 @@ func (c *HTTPClient) Shards() int { return c.params.Shards }
 // back to the buffered batch exchange.
 func (c *HTTPClient) Streams() bool { return c.params.Stream && !c.noStream.Load() }
 
-// Params returns the server's advertised trust bundle as fetched.
+// Params returns the server's advertised trust bundle as fetched at
+// dial time. The live epoch is Epoch(), which Refresh re-pins.
 func (c *HTTPClient) Params() Params { return c.params }
+
+// Epoch returns the publication epoch the client has pinned — from the
+// dial-time /params, or the last successful Refresh. 0 means the server
+// is pre-epoch and staleness checking is off.
+func (c *HTTPClient) Epoch() uint64 { return c.epoch.Load() }
+
+// observeEpoch advances the pin to e if e is newer — the relay path
+// (a front-end's child remote) tracks the newest epoch its shard has
+// been seen serving instead of enforcing the dial-time pin.
+func (c *HTTPClient) observeEpoch(e uint64) {
+	for {
+		cur := c.epoch.Load()
+		if e <= cur || c.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// Refresh re-reads /params and re-pins the serving epoch — the recovery
+// step after a backend.EpochError: the owner applied a mutation batch
+// and the server swapped the new bundle in, so the client refreshes its
+// pin and re-queries. Only the epoch moves; the trust anchors (verifier
+// key, template, domain) are fixed at dial, so a server that changes
+// them mid-flight is refused rather than silently re-trusted.
+func (c *HTTPClient) Refresh(ctx context.Context) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/params", nil)
+	if err != nil {
+		return 0, fmt.Errorf("transport: build request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("transport: refresh params: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("transport: params endpoint returned %s", resp.Status)
+	}
+	var p Params
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&p); err != nil {
+		return 0, fmt.Errorf("transport: parse params: %w", err)
+	}
+	if p.Backend != c.params.Backend || p.Verifier != c.params.Verifier {
+		return 0, fmt.Errorf("transport: server changed its identity (backend %q, was %q); re-dial to re-establish trust", p.Backend, c.params.Backend)
+	}
+	c.epoch.Store(p.Epoch)
+	return p.Epoch, nil
+}
 
 // Domain returns the server's advertised serving domain, when it
 // advertises one — a shard server of a multi-process deployment

@@ -31,6 +31,12 @@ import (
 // a 404) it falls back to the buffered batch exchange.
 type Remote struct {
 	c *HTTPClient
+	// relay disables pin enforcement: a front-end's child remote
+	// forwards every answer with its epoch stamp intact — the end
+	// client, not the relay, holds the pin — and tracks the newest
+	// epoch seen so the composed /params stays current across the
+	// shard's swaps. Set by DialFanout.
+	relay bool
 }
 
 // NewRemote wraps a dialed client.
@@ -57,12 +63,36 @@ func (r *Remote) Client() *HTTPClient { return r.c }
 // backend name.
 func (r *Remote) Name() string { return r.c.Backend() }
 
-// Query implements backend.Backend.
+// Epoch returns the publication epoch the client pinned at dial (or
+// last Refresh); 0 for pre-epoch servers.
+func (r *Remote) Epoch() uint64 { return r.c.Epoch() }
+
+// epochErr checks one wire item against the pinned epoch: a nonzero
+// item epoch that disagrees with a nonzero pin is the typed staleness
+// signal — the server swapped a mutated bundle in since the pin, or a
+// lagging replica answered. The caller surfaces it instead of the
+// answer; HTTPClient.Refresh re-pins and the query can be retried.
+func (r *Remote) epochErr(it wire.BatchAnswer) error {
+	pin := r.c.Epoch()
+	if it.Epoch == 0 || pin == 0 || it.Epoch == pin {
+		return nil
+	}
+	if r.relay {
+		r.c.observeEpoch(it.Epoch)
+		return nil
+	}
+	return &backend.EpochError{Want: pin, Got: it.Epoch, Shard: it.Shard}
+}
+
+// Query implements backend.Backend. The single-query exchange carries
+// no epoch word (the answer body is the bare wire answer), so
+// Answer.Epoch is 0 and staleness detection applies to the batch and
+// stream exchanges only.
 func (r *Remote) Query(ctx context.Context, q query.Query, opts ...backend.Option) (backend.Answer, error) {
-	return backend.DriveQuery(ctx, func(q query.Query, ctr *metrics.Counter) (int, []byte, error) {
+	return backend.DriveQuery(ctx, func(q query.Query, ctr *metrics.Counter) (int, uint64, []byte, error) {
 		raw, err := r.c.rawQuery(ctx, q)
 		ctr.AddBytes(uint64(len(raw)))
-		return wire.ShardNone, raw, err
+		return wire.ShardNone, 0, raw, err
 	}, q, opts...)
 }
 
@@ -87,8 +117,13 @@ func (r *Remote) QueryBatch(ctx context.Context, qs []query.Query, opts ...backe
 	}
 	for i, it := range items {
 		answers[i].Shard = it.Shard
+		answers[i].Epoch = it.Epoch
 		if it.Status == wire.StatusRefused {
 			errs[i] = fmt.Errorf("transport: server refused query %d: %s", i, it.Err)
+			continue
+		}
+		if err := r.epochErr(it); err != nil {
+			errs[i] = err
 			continue
 		}
 		answers[i].Raw = it.Answer
@@ -135,7 +170,7 @@ func (r *Remote) QueryStream(ctx context.Context, qs []query.Query, opts ...back
 		if workers := fin.Workers(len(qs)); fin.Verifies() && workers > 1 {
 			// Per-item verification is real work; overlap it with the
 			// network and with itself across the requested pool.
-			streamVerifyPool(ctx, cancel, sr, qs, opts, workers, yield)
+			r.streamVerifyPool(ctx, cancel, sr, qs, opts, workers, yield)
 			return
 		}
 		defer fin.Flush()
@@ -149,7 +184,7 @@ func (r *Remote) QueryStream(ctx context.Context, qs []query.Query, opts ...back
 				return
 			}
 			delivered[item.Index] = true
-			if !yield(item.Index, streamResultOf(fin, qs, item)) {
+			if !yield(item.Index, r.streamResultOf(fin, qs, item)) {
 				return // deferred close + cancel abort the server side
 			}
 		}
@@ -158,17 +193,22 @@ func (r *Remote) QueryStream(ctx context.Context, qs []query.Query, opts ...back
 
 // streamResultOf converts one decoded item frame into the consumer's
 // result, finishing (byte accounting and, under WithVerify, in-place
-// verification) answered items. A failed verification keeps the shard
-// attribution and drops the bytes, per the Answer contract.
-func streamResultOf(fin *backend.Finisher, qs []query.Query, item wire.StreamItem) backend.BatchResult {
-	res := backend.BatchResult{Answer: backend.Answer{Shard: item.Ans.Shard}}
+// verification) answered items after the epoch check. A failed
+// verification or epoch mismatch keeps the shard and epoch attribution
+// and drops the bytes, per the Answer contract.
+func (r *Remote) streamResultOf(fin *backend.Finisher, qs []query.Query, item wire.StreamItem) backend.BatchResult {
+	res := backend.BatchResult{Answer: backend.Answer{Shard: item.Ans.Shard, Epoch: item.Ans.Epoch}}
 	if item.Ans.Status == wire.StatusRefused {
 		res.Err = fmt.Errorf("transport: server refused query %d: %s", item.Index, item.Ans.Err)
 		return res
 	}
+	if err := r.epochErr(item.Ans); err != nil {
+		res.Err = err
+		return res
+	}
 	res.Answer.Raw = item.Ans.Answer
 	if err := fin.Finish(qs[item.Index], &res.Answer); err != nil {
-		return backend.BatchResult{Answer: backend.Answer{Shard: item.Ans.Shard}, Err: err}
+		return backend.BatchResult{Answer: backend.Answer{Shard: item.Ans.Shard, Epoch: item.Ans.Epoch}, Err: err}
 	}
 	return res
 }
@@ -181,7 +221,7 @@ func streamResultOf(fin *backend.Finisher, qs []query.Query, item wire.StreamIte
 // verification-completion order. An early break cancels the request,
 // which aborts the body read and unwinds reader and workers; a
 // mid-stream transport failure fails exactly the items not yet yielded.
-func streamVerifyPool(ctx context.Context, cancel context.CancelFunc, sr *wire.StreamReader,
+func (r *Remote) streamVerifyPool(ctx context.Context, cancel context.CancelFunc, sr *wire.StreamReader,
 	qs []query.Query, opts []backend.Option, workers int, yield func(int, backend.BatchResult) bool) {
 	type indexed struct {
 		i int
@@ -222,7 +262,7 @@ func streamVerifyPool(ctx context.Context, cancel context.CancelFunc, sr *wire.S
 			defer wg.Done()
 			for item := range frames {
 				select {
-				case results <- indexed{item.Index, streamResultOf(finishers[w], qs, item)}:
+				case results <- indexed{item.Index, r.streamResultOf(finishers[w], qs, item)}:
 				case <-ctx.Done():
 					return
 				}

@@ -205,12 +205,12 @@ func newGateBackend() *gateBackend {
 	return &gateBackend{gate: make(chan struct{}), ctxCh: make(chan context.Context, 1)}
 }
 
-func (g *gateBackend) process(q query.Query, ctr *metrics.Counter) (int, []byte, error) {
+func (g *gateBackend) process(q query.Query, ctr *metrics.Counter) (int, uint64, []byte, error) {
 	g.started.Add(1)
 	if q.K != 1 {
 		<-g.gate
 	}
-	return wire.ShardNone, []byte{0xA1, byte(q.K)}, nil
+	return wire.ShardNone, 0, []byte{0xA1, byte(q.K)}, nil
 }
 
 func (g *gateBackend) Name() string { return "ifmh-multi" }

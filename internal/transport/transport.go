@@ -79,6 +79,14 @@ type Params struct {
 	// transport. Absent on servers that predate it; clients fall back
 	// to the buffered batch exchange.
 	Stream bool `json:"stream,omitempty"`
+	// Epoch advertises the serving publication epoch: 1 for a fresh
+	// outsourcing, bumped by every mutation batch the owner applies and
+	// the server swaps in. Absent (0) on pre-epoch backends — the mesh
+	// baseline — and servers that predate the mutation plane. Clients
+	// pin it at dial and compare it against the epoch word in every
+	// batched or streamed answer, surfacing a mismatch as a typed
+	// staleness error rather than a verification failure.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // TplJSON is the JSON form of a utility-function template.
@@ -197,6 +205,13 @@ func NewBackendHandler(b backend.Backend, p Params) (*Handler, error) {
 		}
 		h.tally = server.NewTally(shards)
 		h.stats = h.tally
+		if e, ok := b.(interface{ Epoch() uint64 }); ok {
+			var per []uint64
+			if es, ok := b.(interface{ Epochs() []uint64 }); ok {
+				per = es.Epochs()
+			}
+			h.tally.ObserveEpoch(e.Epoch(), per)
+		}
 	}
 	h.mux.HandleFunc("POST /query", h.handleQuery)
 	h.mux.HandleFunc("POST /query/batch", h.handleBatch)
@@ -293,13 +308,14 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // batchItem converts one backend outcome into its wire item, carrying
-// the status explicitly: a refusal stays a refusal even when its
-// message renders empty.
+// the status explicitly — a refusal stays a refusal even when its
+// message renders empty — and the epoch the backend answered under
+// (kept on refusals, like the shard, so attribution survives errors).
 func batchItem(ans backend.Answer, err error) wire.BatchAnswer {
 	if err != nil {
-		return wire.NewRefusal(err.Error(), ans.Shard)
+		return wire.NewRefusal(err.Error(), ans.Shard).AtEpoch(ans.Epoch)
 	}
-	return wire.NewAnswer(ans.Raw, ans.Shard)
+	return wire.NewAnswer(ans.Raw, ans.Shard).AtEpoch(ans.Epoch)
 }
 
 // handleStream answers a batch over the pipelined wire transport: the
@@ -355,8 +371,17 @@ func (h *Handler) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleParams serves the trust bundle with the *live* serving epoch:
+// the bundle fields are fixed at construction (verifier, template,
+// domain never change across epochs of one database), but the epoch is
+// read off the backend on every request, so a client re-reading /params
+// after an epoch-mismatch error always sees the current epoch.
 func (h *Handler) handleParams(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, h.params)
+	p := h.params
+	if e, ok := h.b.(interface{ Epoch() uint64 }); ok {
+		p.Epoch = e.Epoch()
+	}
+	writeJSON(w, p)
 }
 
 func (h *Handler) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -368,6 +393,14 @@ func (h *Handler) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"nodesVisited": stats.NodesVisited,
 		"cellsVisited": stats.CellsVisited,
 		"bytes":        stats.Bytes,
+	}
+	if e, ok := h.b.(interface{ Epoch() uint64 }); ok {
+		body["epoch"] = e.Epoch()
+	} else {
+		body["epoch"] = h.params.Epoch
+	}
+	if sw, ok := h.stats.(interface{ Swaps() int }); ok {
+		body["swaps"] = sw.Swaps()
 	}
 	if ss := h.stats.ShardStats(); ss != nil {
 		body["shards"] = len(ss)

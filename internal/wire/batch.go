@@ -10,11 +10,16 @@ import (
 // count, and length-prefixed items, mirroring the single-answer codecs:
 // deterministic, big-endian, no reflection. There is exactly one valid
 // layout per magic: 0xB2 was the answer-batch layout without the
-// per-item shard id and is retired — a frame carrying it fails decoding
-// rather than being misparsed under the current layout.
+// per-item shard id, 0xB3 the layout without the per-item epoch word —
+// both are retired, and a frame carrying either fails decoding rather
+// than being misparsed under the current layout.
 const (
 	magicQueryBatch  = 0xB1
-	magicAnswerBatch = 0xB3
+	magicAnswerBatch = 0xB5
+
+	// Retired layouts, recognized only to refuse them by name.
+	magicAnswerBatchV1  = 0xB3
+	magicAnswerStreamV1 = 0xB4
 )
 
 // maxBatchItems bounds the item count a decoder accepts, so a forged
@@ -45,13 +50,19 @@ const (
 // byte — use NewAnswer/NewRefusal rather than struct literals so the
 // status always matches the payload. Shard records which shard of a
 // domain-sharded deployment answered (ShardNone when unsharded or
-// refused before routing). Verification never depends on it — it is
-// observability for clients and load balancers.
+// refused before routing); Epoch the publication epoch of the bundle
+// that answered (0 = pre-epoch or unknown — the mesh baseline, or a
+// refusal before routing). Epochs travel per item, not per frame,
+// because a front-end merging per-shard streams can legitimately relay
+// items from shards mid-swap at different epochs; the client, not the
+// frame, decides what a torn mix means. Verification never depends on
+// either word — they are observability and staleness detection.
 type BatchAnswer struct {
 	Status uint8
 	Answer []byte
 	Err    string
 	Shard  int
+	Epoch  uint64
 }
 
 // NewAnswer builds a successful item carrying the answer bytes.
@@ -64,6 +75,13 @@ func NewAnswer(raw []byte, shard int) BatchAnswer {
 // the outcome).
 func NewRefusal(msg string, shard int) BatchAnswer {
 	return BatchAnswer{Status: StatusRefused, Err: msg, Shard: shard}
+}
+
+// AtEpoch stamps the item with the publication epoch it was answered
+// under, returning the item for chaining.
+func (a BatchAnswer) AtEpoch(e uint64) BatchAnswer {
+	a.Epoch = e
+	return a
 }
 
 // decodeShard validates and unbiases one wire shard word (0 = ShardNone,
@@ -118,10 +136,11 @@ func DecodeQueryBatch(b []byte) ([]query.Query, error) {
 // EncodeAnswerBatch frames many per-query outcomes into one response
 // body. Each item is its explicit status byte (StatusAnswer /
 // StatusRefused), a u32 shard id biased by one (0 = ShardNone, k =
-// shard k-1), and the length-prefixed payload. An item whose status is
-// neither constant is a programming error and fails the encode — a
-// frame must never be emitted that the decoder would reject. See
-// docs/WIRE.md for worked byte layouts.
+// shard k-1), a u64 publication epoch (0 = pre-epoch), and the
+// length-prefixed payload. An item whose status is neither constant is
+// a programming error and fails the encode — a frame must never be
+// emitted that the decoder would reject. See docs/WIRE.md for worked
+// byte layouts.
 func EncodeAnswerBatch(items []BatchAnswer) ([]byte, error) {
 	w := &writer{}
 	w.u8(magicAnswerBatch)
@@ -134,9 +153,9 @@ func EncodeAnswerBatch(items []BatchAnswer) ([]byte, error) {
 	return w.buf, nil
 }
 
-// answerItem appends one outcome's status byte, 1-biased shard id and
-// length-prefixed payload — the item layout the answer batch and the
-// answer stream share.
+// answerItem appends one outcome's status byte, 1-biased shard id,
+// epoch word and length-prefixed payload — the item layout the answer
+// batch and the answer stream share.
 func (w *writer) answerItem(it BatchAnswer) error {
 	if it.Status != StatusAnswer && it.Status != StatusRefused {
 		return fmt.Errorf("unknown status %d", it.Status)
@@ -147,6 +166,7 @@ func (w *writer) answerItem(it BatchAnswer) error {
 	} else {
 		w.u32(uint32(it.Shard) + 1)
 	}
+	w.u64(it.Epoch)
 	if it.Status == StatusRefused {
 		w.bytes([]byte(it.Err))
 	} else {
@@ -158,10 +178,14 @@ func (w *writer) answerItem(it BatchAnswer) error {
 // DecodeAnswerBatch parses a response body framed by EncodeAnswerBatch.
 func DecodeAnswerBatch(b []byte) ([]BatchAnswer, error) {
 	r := &reader{buf: b}
-	if r.u8("magic") != magicAnswerBatch {
+	switch magic := r.u8("magic"); magic {
+	case magicAnswerBatch:
+	case magicAnswerBatchV1:
+		return nil, fmt.Errorf("wire: answer batch uses the retired pre-epoch layout (0xB3); upgrade the server")
+	default:
 		return nil, fmt.Errorf("wire: not an answer batch")
 	}
-	n := r.count("batch answers", 9)
+	n := r.count("batch answers", 17)
 	if n > maxBatchItems {
 		return nil, fmt.Errorf("wire: batch of %d answers exceeds the limit", n)
 	}
@@ -169,6 +193,7 @@ func DecodeAnswerBatch(b []byte) ([]BatchAnswer, error) {
 	for i := 0; i < n; i++ {
 		status := r.u8("batch status")
 		shardWord := r.u32("batch shard")
+		epoch := r.u64("batch epoch")
 		payload := r.bytes("batch payload")
 		if r.err != nil {
 			break
@@ -179,9 +204,9 @@ func DecodeAnswerBatch(b []byte) ([]BatchAnswer, error) {
 		}
 		switch status {
 		case StatusRefused:
-			out = append(out, NewRefusal(string(payload), shard))
+			out = append(out, NewRefusal(string(payload), shard).AtEpoch(epoch))
 		case StatusAnswer:
-			out = append(out, NewAnswer(payload, shard))
+			out = append(out, NewAnswer(payload, shard).AtEpoch(epoch))
 		default:
 			return nil, fmt.Errorf("wire: batch item %d has unknown status %d", i, status)
 		}

@@ -39,9 +39,9 @@ func TestAnswerBatchRoundTrip(t *testing.T) {
 	items := []BatchAnswer{
 		NewAnswer([]byte{0xA1, 1, 2, 3}, ShardNone),
 		NewRefusal("core: function input outside the owner-specified domain", ShardNone),
-		NewAnswer([]byte{}, 0),
-		NewAnswer([]byte{0xA1, 9}, 3),
-		NewRefusal("shard refused", 7),
+		NewAnswer([]byte{}, 0).AtEpoch(1),
+		NewAnswer([]byte{0xA1, 9}, 3).AtEpoch(1<<40 + 7),
+		NewRefusal("shard refused", 7).AtEpoch(2),
 	}
 	enc, err := EncodeAnswerBatch(items)
 	if err != nil {
@@ -56,9 +56,19 @@ func TestAnswerBatchRoundTrip(t *testing.T) {
 	}
 	for i := range items {
 		if got[i].Status != items[i].Status || got[i].Err != items[i].Err ||
-			!bytes.Equal(got[i].Answer, items[i].Answer) || got[i].Shard != items[i].Shard {
+			!bytes.Equal(got[i].Answer, items[i].Answer) || got[i].Shard != items[i].Shard ||
+			got[i].Epoch != items[i].Epoch {
 			t.Errorf("item %d = %+v, want %+v", i, got[i], items[i])
 		}
+	}
+}
+
+// TestAnswerBatchRejectsRetiredMagic pins that the retired pre-epoch
+// layout (0xB3) is refused by name rather than misparsed under the
+// current layout.
+func TestAnswerBatchRejectsRetiredMagic(t *testing.T) {
+	if _, err := DecodeAnswerBatch([]byte{0xB3, 0, 0, 0, 0}); err == nil {
+		t.Fatal("retired 0xB3 answer batch decoded")
 	}
 }
 

@@ -122,9 +122,10 @@ func FuzzDecodeAnswerStream(f *testing.F) {
 		}
 		return out
 	}
-	// A complete two-item stream, completion order ≠ index order.
+	// A complete two-item stream, completion order ≠ index order, one
+	// item carrying a publication epoch.
 	full := stream(2,
-		mustItem(1, NewAnswer([]byte{0xA1, 1, 2}, 0)),
+		mustItem(1, NewAnswer([]byte{0xA1, 1, 2}, 0).AtEpoch(4)),
 		mustItem(0, NewRefusal("no", ShardNone)),
 		EncodeStreamTrailer(2))
 	f.Add(full)
@@ -168,6 +169,42 @@ func FuzzDecodeAnswerStream(f *testing.F) {
 			enc = append(enc, frame...)
 		}
 		enc = append(enc, EncodeStreamTrailer(len(items))...)
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("decode/encode not canonical: %d vs %d bytes", len(enc), len(data))
+		}
+	})
+}
+
+// FuzzDecodeAnswerBatch drives the epoch-carrying answer-batch decoder
+// over attacker-controlled bytes: it must never panic, and any batch it
+// accepts must re-encode to the identical bytes — including the
+// per-item shard and epoch words.
+func FuzzDecodeAnswerBatch(f *testing.F) {
+	mustBatch := func(items ...BatchAnswer) []byte {
+		enc, err := EncodeAnswerBatch(items)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return enc
+	}
+	f.Add(mustBatch())
+	f.Add(mustBatch(
+		NewAnswer([]byte{0xA1, 1, 2, 3}, 2).AtEpoch(7),
+		NewRefusal("no", ShardNone),
+		NewAnswer(nil, 0).AtEpoch(1<<40)))
+	// Retired pre-epoch magic, bare header, wrong magic.
+	f.Add([]byte{0xB3, 0, 0, 0, 0})
+	f.Add([]byte{0xB5, 0, 0, 0, 1})
+	f.Add([]byte{0xB1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		items, err := DecodeAnswerBatch(data)
+		if err != nil {
+			return
+		}
+		enc, err := EncodeAnswerBatch(items)
+		if err != nil {
+			t.Fatalf("accepted batch does not re-encode: %v", err)
+		}
 		if !bytes.Equal(enc, data) {
 			t.Fatalf("decode/encode not canonical: %d vs %d bytes", len(enc), len(data))
 		}

@@ -8,7 +8,7 @@ import (
 )
 
 // Streaming answer frames: the response body of POST /query/stream.
-// Where the answer batch (0xB3) buffers every outcome into one frame,
+// Where the answer batch (0xB5) buffers every outcome into one frame,
 // the stream pipelines them — a header frame announcing the item count,
 // then one self-delimiting item frame per outcome *in completion
 // order*, closed by a trailer frame whose tally makes truncation
@@ -16,9 +16,11 @@ import (
 // dies; a batch frame cannot lose its tail without failing its length
 // checks). Each item carries the original batch index because arrival
 // order is completion order, not request order. The item's status,
-// shard and payload encoding is shared with the answer batch
-// (writer.answerItem). See docs/WIRE.md for the byte layouts.
-const magicAnswerStream = 0xB4
+// shard, epoch and payload encoding is shared with the answer batch
+// (writer.answerItem); 0xB4 was the stream layout without the per-item
+// epoch word and is retired — refused by name, never misparsed. See
+// docs/WIRE.md for the byte layouts.
+const magicAnswerStream = 0xB6
 
 // Stream frame kinds, following the header.
 const (
@@ -48,9 +50,9 @@ func EncodeStreamHeader(count int) []byte {
 }
 
 // EncodeStreamItem frames one outcome as it completes. The index is the
-// item's position in the query batch; status, shard and payload use the
-// answer-batch item layout. An out-of-range index or unknown status is
-// a programming error and fails the encode.
+// item's position in the query batch; status, shard, epoch and payload
+// use the answer-batch item layout. An out-of-range index or unknown
+// status is a programming error and fails the encode.
 func EncodeStreamItem(index int, it BatchAnswer) ([]byte, error) {
 	if index < 0 {
 		return nil, fmt.Errorf("wire: stream item index %d is negative", index)
@@ -99,7 +101,11 @@ func NewStreamReader(r io.Reader) (*StreamReader, error) {
 	if err := sr.readFull(hdr[:], "stream header"); err != nil {
 		return nil, err
 	}
-	if hdr[0] != magicAnswerStream {
+	switch hdr[0] {
+	case magicAnswerStream:
+	case magicAnswerStreamV1:
+		return nil, fmt.Errorf("wire: answer stream uses the retired pre-epoch layout (0xB4); upgrade the server")
+	default:
 		return nil, fmt.Errorf("wire: not an answer stream")
 	}
 	// Bound the u32 before converting: on a 32-bit platform a huge
@@ -183,7 +189,7 @@ func (sr *StreamReader) readItem() (StreamItem, error) {
 	if sr.seen[idx] {
 		return StreamItem{}, fmt.Errorf("wire: stream item %d delivered twice", idx)
 	}
-	var head [5]byte // status byte + shard word
+	var head [13]byte // status byte + shard word + epoch word
 	if err := sr.readFull(head[:], "stream item"); err != nil {
 		return StreamItem{}, err
 	}
@@ -191,10 +197,11 @@ func (sr *StreamReader) readItem() (StreamItem, error) {
 	if status != StatusAnswer && status != StatusRefused {
 		return StreamItem{}, fmt.Errorf("wire: stream item %d has unknown status %d", idx, status)
 	}
-	shard, err := decodeShard(binary.BigEndian.Uint32(head[1:]))
+	shard, err := decodeShard(binary.BigEndian.Uint32(head[1:5]))
 	if err != nil {
 		return StreamItem{}, fmt.Errorf("wire: stream item %d: %w", idx, err)
 	}
+	epoch := binary.BigEndian.Uint64(head[5:])
 	plen, err := sr.readU32("stream payload length")
 	if err != nil {
 		return StreamItem{}, err
@@ -210,9 +217,9 @@ func (sr *StreamReader) readItem() (StreamItem, error) {
 	sr.received++
 	it := StreamItem{Index: int(idx)}
 	if status == StatusRefused {
-		it.Ans = NewRefusal(string(payload), shard)
+		it.Ans = NewRefusal(string(payload), shard).AtEpoch(epoch)
 	} else {
-		it.Ans = NewAnswer(payload, shard)
+		it.Ans = NewAnswer(payload, shard).AtEpoch(epoch)
 	}
 	return it, nil
 }

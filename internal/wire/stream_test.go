@@ -48,10 +48,10 @@ func streamItems() []StreamItem {
 	// Completion order is not index order — that is the point of the
 	// stream: index 2 finished first.
 	return []StreamItem{
-		{Index: 2, Ans: NewAnswer([]byte{0xA1, 9, 9}, 1)},
+		{Index: 2, Ans: NewAnswer([]byte{0xA1, 9, 9}, 1).AtEpoch(5)},
 		{Index: 0, Ans: NewRefusal("out of domain", ShardNone)},
-		{Index: 3, Ans: NewRefusal("", 0)}, // refusal with an empty message stays a refusal
-		{Index: 1, Ans: NewAnswer(nil, ShardNone)},
+		{Index: 3, Ans: NewRefusal("", 0).AtEpoch(1)}, // refusal with an empty message stays a refusal
+		{Index: 1, Ans: NewAnswer(nil, ShardNone).AtEpoch(1 << 33)},
 	}
 }
 
@@ -69,7 +69,7 @@ func TestStreamRoundTrip(t *testing.T) {
 		g := got[i]
 		if g.Index != want.Index || g.Ans.Status != want.Ans.Status ||
 			g.Ans.Err != want.Ans.Err || !bytes.Equal(g.Ans.Answer, want.Ans.Answer) ||
-			g.Ans.Shard != want.Ans.Shard {
+			g.Ans.Shard != want.Ans.Shard || g.Ans.Epoch != want.Ans.Epoch {
 			t.Errorf("item %d = %+v, want %+v", i, g, want)
 		}
 	}
@@ -153,25 +153,31 @@ func TestStreamRejectsBadFrames(t *testing.T) {
 	// A forged u32 at its maximum must be bounded *before* any int
 	// conversion (it would wrap negative on a 32-bit platform): a
 	// 0xFFFFFFFF header count and a 0xFFFFFFFF item index both reject.
-	hugeCount := []byte{0xB4, 0xFF, 0xFF, 0xFF, 0xFF}
+	hugeCount := []byte{0xB6, 0xFF, 0xFF, 0xFF, 0xFF}
 	if _, err := NewStreamReader(bytes.NewReader(hugeCount)); err == nil {
 		t.Error("stream with a 0xFFFFFFFF count accepted")
 	}
 	var buf2 bytes.Buffer
 	buf2.Write(EncodeStreamHeader(1))
-	buf2.Write([]byte{frameStreamItem, 0xFF, 0xFF, 0xFF, 0xFF}) // index
-	buf2.Write([]byte{StatusAnswer, 0, 0, 0, 0, 0, 0, 0, 0})    // status, shard, empty payload
+	buf2.Write([]byte{frameStreamItem, 0xFF, 0xFF, 0xFF, 0xFF})           // index
+	buf2.Write([]byte{StatusAnswer, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}) // status, shard, epoch
+	buf2.Write([]byte{0, 0, 0, 0})                                       // empty payload
 	buf2.Write(EncodeStreamTrailer(1))
 	if _, err := drainStream(buf2.Bytes()); err == nil {
 		t.Error("stream item with a 0xFFFFFFFF index decoded")
 	}
 	buf2.Reset()
 	buf2.Write(EncodeStreamHeader(1))
-	buf2.Write([]byte{frameStreamItem, 0, 0, 0, 0})                      // index 0
-	buf2.Write([]byte{StatusAnswer, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}) // huge shard word
+	buf2.Write([]byte{frameStreamItem, 0, 0, 0, 0})                                  // index 0
+	buf2.Write([]byte{StatusAnswer, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0, 0, 0, 0, 0}) // huge shard word
 	buf2.Write(EncodeStreamTrailer(1))
 	if _, err := drainStream(buf2.Bytes()); err == nil {
 		t.Error("stream item with a 0xFFFFFFFF shard word decoded")
+	}
+
+	// The retired pre-epoch stream layout (0xB4) is refused by name.
+	if _, err := NewStreamReader(bytes.NewReader([]byte{0xB4, 0, 0, 0, 0})); err == nil {
+		t.Error("retired 0xB4 stream header accepted")
 	}
 
 	// Encoder-side guards mirror the decoder.
@@ -209,7 +215,7 @@ func TestStreamErrorsAreSticky(t *testing.T) {
 func TestStreamWorkedExample(t *testing.T) {
 	var buf bytes.Buffer
 	buf.Write(EncodeStreamHeader(2))
-	frame, err := EncodeStreamItem(1, NewAnswer([]byte{0xA1, 0xAA, 0xBB, 0xCC}, 2))
+	frame, err := EncodeStreamItem(1, NewAnswer([]byte{0xA1, 0xAA, 0xBB, 0xCC}, 2).AtEpoch(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,14 +229,16 @@ func TestStreamWorkedExample(t *testing.T) {
 
 	want := []byte{
 		// header
-		0xB4, 0x00, 0x00, 0x00, 0x02,
-		// item frame: index 1, answered by shard 2, 4 payload bytes
+		0xB6, 0x00, 0x00, 0x00, 0x02,
+		// item frame: index 1, answered by shard 2 at epoch 3, 4 payload bytes
 		0x01, 0x00, 0x00, 0x00, 0x01,
 		0x01, 0x00, 0x00, 0x00, 0x03,
+		0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03,
 		0x00, 0x00, 0x00, 0x04, 0xA1, 0xAA, 0xBB, 0xCC,
-		// item frame: index 0, refused before routing, message "no"
+		// item frame: index 0, refused before routing (no epoch), message "no"
 		0x01, 0x00, 0x00, 0x00, 0x00,
 		0x00, 0x00, 0x00, 0x00, 0x00,
+		0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
 		0x00, 0x00, 0x00, 0x02, 0x6E, 0x6F,
 		// trailer
 		0x02, 0x00, 0x00, 0x00, 0x02,
