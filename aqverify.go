@@ -69,6 +69,20 @@
 // primitives (Tree.Process server-side, Verify/VerifyBatch client-side)
 // remain for code that handles wire bytes itself.
 //
+// # The cache plane
+//
+// WrapCache decorates any Backend with two memory tiers: a whole-answer
+// LRU keyed by (canonical query, publication epoch) that holds wire
+// bytes and, once some caller has verified them, the verified records —
+// so N callers of one hot query cost one backend walk and one
+// verification (concurrent identical queries collapse into a single
+// flight) — and a permutation LRU that delta-mode trees consult before
+// replaying their sweep cursor. Invalidation is the epoch discipline
+// itself: a server swap or client refresh moves the epoch and strands
+// the previous epoch's entries. Hit, miss, collapse and eviction
+// counters surface through CacheStats (served as the "cache" object on
+// /stats); cmd/vqserve and cmd/vqfront enable the tier with -cache.
+//
 // # Scaling
 //
 // Construction shards its embarrassingly parallel steps — record
@@ -107,6 +121,7 @@ import (
 
 	"aqverify/internal/backend"
 	"aqverify/internal/build"
+	"aqverify/internal/cache"
 	"aqverify/internal/core"
 	"aqverify/internal/funcs"
 	"aqverify/internal/geometry"
@@ -114,8 +129,10 @@ import (
 	"aqverify/internal/metrics"
 	"aqverify/internal/query"
 	"aqverify/internal/record"
+	"aqverify/internal/server"
 	"aqverify/internal/shard"
 	"aqverify/internal/sig"
+	"aqverify/internal/workload"
 )
 
 // Data model.
@@ -440,6 +457,48 @@ func NewShardedBackend(r *ShardRouter) (Backend, error) { return backend.NewShar
 // remote shard servers — into one logical database.
 func NewFanout(plan ShardPlan, kids []Backend) (*Fanout, error) {
 	return backend.NewFanout(plan, kids)
+}
+
+// The cache plane (see internal/cache): a Backend decorator serving
+// repeated queries from memory under the epoch discipline.
+type (
+	// Cache decorates a backend with the answer and permutation cache
+	// tiers; it implements Backend.
+	Cache = cache.Cache
+	// CacheOption tunes one WrapCache call.
+	CacheOption = cache.Option
+	// CacheStats is the cache plane's counter snapshot: answer-tier
+	// hits (cumulative and per current epoch), misses, single-flight
+	// collapses and evictions, plus the permutation tier's counts.
+	CacheStats = server.CacheStats
+)
+
+// WrapCache decorates b with the cache tiers: a whole-answer LRU keyed
+// by (canonical query, epoch) with single-flight collapse of concurrent
+// identical queries, and — on backends exposing local trees — a
+// per-tree permutation LRU for delta-mode sweeps. One wrapped backend
+// must front exactly one logical database.
+func WrapCache(b Backend, opts ...CacheOption) (*Cache, error) { return cache.Wrap(b, opts...) }
+
+// WithAnswerCapacity bounds the whole-answer LRU to n entries.
+func WithAnswerCapacity(n int) CacheOption { return cache.WithAnswerCapacity(n) }
+
+// WithPermCapacity bounds each tree's permutation LRU to n entries.
+func WithPermCapacity(n int) CacheOption { return cache.WithPermCapacity(n) }
+
+// WithoutPermTier skips the permutation tier, isolating the
+// whole-answer tier.
+func WithoutPermTier() CacheOption { return cache.WithoutPermTier() }
+
+// ZipfConfig configures the skewed query workload of the cache
+// experiments.
+type ZipfConfig = workload.ZipfConfig
+
+// ZipfQueries generates a reproducible Zipf-skewed query stream over a
+// fixed universe of distinct queries, returning the stream and the
+// universe it draws from.
+func ZipfQueries(dom Box, cfg ZipfConfig) ([]Query, []Query, error) {
+	return workload.Zipf(dom, cfg)
 }
 
 // WithWorkers bounds a backend call's worker pool (<= 0 = one per CPU).

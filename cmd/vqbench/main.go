@@ -7,7 +7,7 @@
 //	vqbench [flags]
 //
 //	-figure id     run one figure (fig5a..fig8b, ablationA1..A4, shardS1,
-//	               fanoutF1, streamT1, mutM1); default runs all
+//	               fanoutF1, streamT1, mutM1, cacheC1); default runs all
 //	-quick         scaled-down sweep (seconds instead of minutes)
 //	-sizes list    comma-separated database sizes (default paper scale)
 //	-qsizes list   comma-separated result sizes for Figs 6d/7/8a
@@ -24,6 +24,9 @@
 //	-stream        answer the fanoutF1 front-end batches over the
 //	               pipelined wire transport (POST /query/stream) instead
 //	               of the buffered batch exchange
+//	-cache         front the fanoutF1 front-end with the cache tier
+//	               (cache.Wrap), the vqfront -cache topology; the cacheC1
+//	               figure measures cached vs uncached regardless
 //	-csv dir       also write one CSV per figure into dir
 package main
 
@@ -63,6 +66,7 @@ func run() error {
 		workers  = flag.Int("workers", 1, "construction worker pool per build (0 = one per CPU, 1 = the paper's serial timings)")
 		shards   = flag.String("shards", "", "comma-separated shard counts for the sharding figure")
 		stream   = flag.Bool("stream", false, "use the pipelined wire transport for the fanout figure's front-end exchanges")
+		cacheOn  = flag.Bool("cache", false, "front the fanout figure's front-end with the cache tier")
 		csvDir   = flag.String("csv", "", "write CSVs into this directory")
 	)
 	flag.Parse()
@@ -105,6 +109,7 @@ func run() error {
 	}
 	cfg.Workers = *workers
 	cfg.Stream = *stream
+	cfg.Cache = *cacheOn
 	if *shards != "" {
 		v, err := parseInts(*shards)
 		if err != nil {

@@ -8,7 +8,15 @@
 //
 // Usage:
 //
-//	vqfront [-addr :8080] -backends http://host1:8081,http://host2:8082,...
+//	vqfront [-addr :8080] [-cache] -backends http://host1:8081,http://host2:8082,...
+//
+// -cache fronts the fan-out with the in-memory cache tier
+// (internal/cache): repeated queries are answered at the front-end
+// without touching any shard process, and concurrent identical queries
+// collapse into one forwarded walk. The front-end's epoch pin is the
+// maximum across the shard processes, so rolling a new epoch through
+// the backends strands the front-end's cached answers. /stats gains a
+// "cache" object.
 //
 // The shard plan is recovered from the backends' advertised serving
 // domains (/params carries each shard's sub-box): the sub-boxes must
@@ -35,6 +43,8 @@ import (
 	"strings"
 	"time"
 
+	"aqverify/internal/backend"
+	"aqverify/internal/cache"
 	"aqverify/internal/transport"
 )
 
@@ -49,6 +59,7 @@ func run() error {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		backends = flag.String("backends", "", "comma-separated base URLs, one vqserve per shard (required)")
+		cacheOn  = flag.Bool("cache", false, "front the fan-out with the in-memory cache tier (/stats gains a cache object)")
 	)
 	flag.Parse()
 	if *backends == "" {
@@ -63,7 +74,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	h, err := transport.NewBackendHandler(f, params)
+	var served backend.Backend = f
+	if *cacheOn {
+		if served, err = cache.Wrap(f); err != nil {
+			return err
+		}
+	}
+	h, err := transport.NewBackendHandler(served, params)
 	if err != nil {
 		return err
 	}

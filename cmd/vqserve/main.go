@@ -8,7 +8,14 @@
 //
 //	vqserve [-addr :8080] [-n 1000] [-backend ifmh|mesh] [-mode one|multi]
 //	        [-scheme ed25519] [-seed 1] [-workers 0] [-shards 1] [-shardaxis 0]
-//	        [-planner even|quantile] [-shard -1] [-keyseed 0]
+//	        [-planner even|quantile] [-shard -1] [-keyseed 0] [-cache]
+//
+// -cache fronts the server with the in-memory cache tier (internal/cache):
+// repeated queries are answered from a whole-answer LRU, concurrent
+// identical queries collapse into one walk, and delta-mode subdomain
+// permutations are cached per epoch. /stats gains a "cache" object with
+// hit/miss/collapse/eviction counters. Epoch swaps invalidate by
+// keying — stale entries are never served.
 //
 // Endpoints: POST /query, POST /query/batch and POST /query/stream
 // (binary; the stream route pipelines a batch's answers back in
@@ -56,6 +63,7 @@ import (
 	"time"
 
 	"aqverify/internal/build"
+	"aqverify/internal/cache"
 	"aqverify/internal/core"
 	"aqverify/internal/funcs"
 	"aqverify/internal/geometry"
@@ -91,6 +99,7 @@ func run() error {
 		plannerStr = flag.String("planner", "even", "shard-cut planner: even|quantile (with -shards)")
 		shardIdx   = flag.Int("shard", -1, "serve only this shard of the -shards plan (multi-process deployment; -1 = all)")
 		keySeed    = flag.Int64("keyseed", 0, "derive the signing key deterministically from this seed (0 = fresh random key)")
+		cacheOn    = flag.Bool("cache", false, "front the server with the in-memory cache tier (ifmh backend; /stats gains a cache object)")
 	)
 	flag.Parse()
 
@@ -160,6 +169,9 @@ func run() error {
 		if *shards > 1 || *shardIdx >= 0 {
 			return fmt.Errorf("-shards/-shard apply to the ifmh backend only")
 		}
+		if *cacheOn {
+			return fmt.Errorf("-cache applies to the ifmh backend only")
+		}
 		opts = []build.Option{build.WithMesh(), build.WithWorkers(*workers)}
 	default:
 		return fmt.Errorf("unknown backend %q", *backendStr)
@@ -172,6 +184,21 @@ func run() error {
 	}
 
 	var h *transport.Handler
+	// With -cache the handler serves the cache-wrapped server — hits and
+	// collapsed duplicates skip the tree walk — while /params still
+	// publishes the server's own bundle.
+	ifmhHandler := func(srv *server.Server) (err error) {
+		if *cacheOn {
+			cb, err2 := cache.Wrap(srv)
+			if err2 != nil {
+				return err2
+			}
+			h, err = transport.NewIFMHHandlerFor(srv, cb, res.Public)
+			return err
+		}
+		h, err = transport.NewIFMHHandler(srv, res.Public)
+		return err
+	}
 	switch {
 	case res.Mesh != nil:
 		srv, err := server.New(server.Mesh{M: res.Mesh})
@@ -192,7 +219,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if h, err = transport.NewIFMHHandler(srv, res.Public); err != nil {
+		if err = ifmhHandler(srv); err != nil {
 			return err
 		}
 		fmt.Printf("built %s over %d records in %.1fs: %d shards (%s cuts), %d subdomains total, %d signature(s)\n",
@@ -208,7 +235,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if h, err = transport.NewIFMHHandler(srv, res.Public); err != nil {
+		if err = ifmhHandler(srv); err != nil {
 			return err
 		}
 		st := res.Tree.Stats()

@@ -55,6 +55,10 @@ type Config struct {
 	// buffered batch, so its throughput can be compared across
 	// transports; the streamT1 figure always measures both.
 	Stream bool
+	// Cache fronts the fanout figure's front-end with the cache tier
+	// (cache.Wrap), the vqfront -cache topology; the cacheC1 figure
+	// always measures cached against uncached regardless.
+	Cache bool
 }
 
 // DefaultConfig approximates the paper's scale. The full sweep builds

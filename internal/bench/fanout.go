@@ -9,6 +9,7 @@ import (
 
 	"aqverify/internal/backend"
 	"aqverify/internal/build"
+	"aqverify/internal/cache"
 	"aqverify/internal/core"
 	"aqverify/internal/funcs"
 	"aqverify/internal/geometry"
@@ -33,6 +34,9 @@ func fanoutScaling(h *Harness) (*Table, error) {
 	exchange := "buffered POST /query/batch per shard"
 	if h.Cfg.Stream {
 		exchange = "pipelined POST /query/stream per shard (-stream)"
+	}
+	if h.Cfg.Cache {
+		exchange += "; front-end cache tier on (-cache): the timed warm batch is answered from the whole-answer cache"
 	}
 	t := &Table{
 		ID:    "fanoutF1",
@@ -69,7 +73,7 @@ func fanoutScaling(h *Harness) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			fanoutQPS, fanoutAns, err := timeFanoutBatch(set, qs, h.Cfg.Stream)
+			fanoutQPS, fanoutAns, err := timeFanoutBatch(set, qs, h.Cfg.Stream, h.Cfg.Cache)
 			if err != nil {
 				return nil, err
 			}
@@ -134,8 +138,9 @@ func timeShardedBatch(set *shard.Set, qs []query.Query) (float64, []backend.Answ
 // timeFanoutBatch serves each shard tree on its own loopback HTTP
 // server, composes them with the vqfront dial path, and times the same
 // batch through the front-end — over one buffered batch exchange per
-// shard, or (stream) over the pipelined wire transport.
-func timeFanoutBatch(set *shard.Set, qs []query.Query, stream bool) (float64, []backend.Answer, error) {
+// shard, or (stream) over the pipelined wire transport, with (cached)
+// the front-end wrapped in the cache tier, the vqfront -cache topology.
+func timeFanoutBatch(set *shard.Set, qs []query.Query, stream, cached bool) (float64, []backend.Answer, error) {
 	urls := make([]string, set.NumShards())
 	servers := make([]*httptest.Server, set.NumShards())
 	defer func() {
@@ -161,14 +166,20 @@ func timeFanoutBatch(set *shard.Set, qs []query.Query, stream bool) (float64, []
 	if err != nil {
 		return 0, nil, err
 	}
+	var front backend.Backend = f
+	if cached {
+		if front, err = cache.Wrap(f); err != nil {
+			return 0, nil, err
+		}
+	}
 	ctx := context.Background()
 	run := func(qs []query.Query) ([]backend.Answer, []error) {
 		if !stream {
-			return f.QueryBatch(ctx, qs)
+			return front.QueryBatch(ctx, qs)
 		}
 		answers := make([]backend.Answer, len(qs))
 		errs := make([]error, len(qs))
-		for i, r := range f.QueryStream(ctx, qs) {
+		for i, r := range front.QueryStream(ctx, qs) {
 			answers[i], errs[i] = r.Answer, r.Err
 		}
 		return answers, errs

@@ -35,6 +35,7 @@ func Figures() []Figure {
 		{"fanoutF1", "Fanout: single-process sharded vs K-process front-end batch throughput", fanoutScaling},
 		{"streamT1", "Streaming transport: time-to-first-verified-result vs the buffered batch exchange", streamFirstResult},
 		{"mutM1", "Mutation plane: incremental apply vs full rebuild by batch size", mutationScaling},
+		{"cacheC1", "Cache plane: verified query latency, cached vs uncached, Zipf workload", cacheScaling},
 	}
 }
 

@@ -1,0 +1,85 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"aqverify/internal/record"
+	"aqverify/internal/server"
+)
+
+// alru is the whole-answer LRU: bounded, mutex-guarded, front-of-list
+// most recent. Evictions are reported to the tally so /stats shows
+// pressure; stranded-epoch entries age out the same way — invalidation
+// is by key, not by sweep.
+type alru struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // of *aentry, front = most recently used
+	m     map[akey]*list.Element
+	tally *server.Tally
+}
+
+type aentry struct {
+	k akey
+	e entry
+}
+
+func newALRU(capacity int, tally *server.Tally) *alru {
+	return &alru{
+		cap:   capacity,
+		ll:    list.New(),
+		m:     make(map[akey]*list.Element),
+		tally: tally,
+	}
+}
+
+// get returns the entry for k, promoting it to most recently used.
+func (l *alru) get(k akey) (entry, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.m[k]
+	if !ok {
+		return entry{}, false
+	}
+	l.ll.MoveToFront(el)
+	return el.Value.(*aentry).e, true
+}
+
+// put inserts or replaces k's entry and evicts from the cold end while
+// over capacity.
+func (l *alru) put(k akey, e entry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.m[k]; ok {
+		el.Value.(*aentry).e = e
+		l.ll.MoveToFront(el)
+		return
+	}
+	l.m[k] = l.ll.PushFront(&aentry{k: k, e: e})
+	for l.ll.Len() > l.cap {
+		cold := l.ll.Back()
+		l.ll.Remove(cold)
+		delete(l.m, cold.Value.(*aentry).k)
+		l.tally.CacheEvict()
+	}
+}
+
+// upgrade attaches verified records to k's entry if it is still cached
+// and still unverified — the first verifying caller pays once, later
+// hits reuse.
+func (l *alru) upgrade(k akey, recs []record.Record) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.m[k]; ok {
+		if ae := el.Value.(*aentry); ae.e.recs == nil {
+			ae.e.recs = recs
+		}
+	}
+}
+
+func (l *alru) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ll.Len()
+}

@@ -1,0 +1,56 @@
+package cache
+
+import (
+	"sync"
+
+	"aqverify/internal/backend"
+)
+
+// flight is one in-progress walk of the inner backend for a cache key.
+// The leader fills ans/err and closes done exactly once; waiters read
+// both only after done is closed.
+type flight struct {
+	done chan struct{}
+	ans  backend.Answer
+	err  error
+}
+
+// flightMap collapses concurrent identical queries: the first joiner of
+// a key becomes its leader and walks the inner backend, later joiners
+// wait for the leader's result. Completion removes the flight before
+// closing done, and the leader stores successful answers in the LRU
+// before completing, so a query that misses the map can only race with
+// already-cached answers.
+type flightMap struct {
+	mu sync.Mutex
+	m  map[akey]*flight
+}
+
+// join returns the key's flight and whether the caller is its leader.
+func (fm *flightMap) join(k akey) (*flight, bool) {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	if fl, ok := fm.m[k]; ok {
+		return fl, false
+	}
+	if fm.m == nil {
+		fm.m = make(map[akey]*flight)
+	}
+	fl := &flight{done: make(chan struct{})}
+	fm.m[k] = fl
+	return fl, true
+}
+
+// complete publishes the leader's result and releases the key for new
+// flights. The map check tolerates the key having been re-led (a waiter
+// retried after a canceled leader and started a fresh flight before the
+// old leader's complete ran).
+func (fm *flightMap) complete(k akey, fl *flight, ans backend.Answer, err error) {
+	fm.mu.Lock()
+	if fm.m[k] == fl {
+		delete(fm.m, k)
+	}
+	fm.mu.Unlock()
+	fl.ans, fl.err = ans, err
+	close(fl.done)
+}

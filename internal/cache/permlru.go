@@ -1,0 +1,113 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// PermSink receives the permutation tier's hit/miss/evict events.
+// *server.Tally implements it; a nil sink discards them.
+type PermSink interface {
+	PermHit()
+	PermMiss()
+	PermEvict()
+}
+
+// permKey keys a materialized subdomain permutation by (subdomain,
+// epoch): after a mutation epoch advances, the same subdomain id maps
+// to a different permutation, so the epoch must be part of the key — a
+// cache keyed by subdomain alone would serve the pre-mutation
+// permutation and verification would wrongly reject fresh answers.
+type permKey struct {
+	sub   int
+	epoch uint64
+}
+
+// PermLRU is the delta-mode permutation cache: a bounded LRU of
+// materialized subdomain permutations that core.Tree consults before
+// replaying the sweep cursor (see core.PermCache). One PermLRU serves
+// one tree lineage — shards reuse subdomain ids, so they must not share
+// one — but persists across that lineage's epoch swaps: epoch-keyed
+// entries from the old epoch are simply never hit again and age out,
+// while subdomains the mutation didn't touch still re-materialize only
+// once per epoch.
+type PermLRU struct {
+	mu   sync.Mutex
+	cap  int
+	ll   *list.List // of *pentry, front = most recently used
+	m    map[permKey]*list.Element
+	sink PermSink
+}
+
+type pentry struct {
+	k    permKey
+	perm []int
+}
+
+// NewPermLRU creates a permutation LRU bounded to capacity entries
+// (DefaultPermCapacity when capacity < 1). sink may be nil.
+func NewPermLRU(capacity int, sink PermSink) *PermLRU {
+	if capacity < 1 {
+		capacity = DefaultPermCapacity
+	}
+	return &PermLRU{
+		cap:  capacity,
+		ll:   list.New(),
+		m:    make(map[permKey]*list.Element),
+		sink: sink,
+	}
+}
+
+// Get implements core.PermCache. The returned slice is shared and must
+// be treated as read-only, like a materialized tree's own permutations.
+func (l *PermLRU) Get(sub int, epoch uint64) ([]int, bool) {
+	l.mu.Lock()
+	el, ok := l.m[permKey{sub: sub, epoch: epoch}]
+	if ok {
+		l.ll.MoveToFront(el)
+	}
+	l.mu.Unlock()
+	if !ok {
+		if l.sink != nil {
+			l.sink.PermMiss()
+		}
+		return nil, false
+	}
+	if l.sink != nil {
+		l.sink.PermHit()
+	}
+	return el.Value.(*pentry).perm, true
+}
+
+// Put implements core.PermCache, evicting from the cold end while over
+// capacity.
+func (l *PermLRU) Put(sub int, epoch uint64, perm []int) {
+	k := permKey{sub: sub, epoch: epoch}
+	evicted := 0
+	l.mu.Lock()
+	if el, ok := l.m[k]; ok {
+		el.Value.(*pentry).perm = perm
+		l.ll.MoveToFront(el)
+	} else {
+		l.m[k] = l.ll.PushFront(&pentry{k: k, perm: perm})
+		for l.ll.Len() > l.cap {
+			cold := l.ll.Back()
+			l.ll.Remove(cold)
+			delete(l.m, cold.Value.(*pentry).k)
+			evicted++
+		}
+	}
+	l.mu.Unlock()
+	if l.sink != nil {
+		for ; evicted > 0; evicted-- {
+			l.sink.PermEvict()
+		}
+	}
+}
+
+// Len returns the cached permutation count, for tests and sizing.
+func (l *PermLRU) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ll.Len()
+}

@@ -285,14 +285,26 @@ func (t *Tree) listsFromPlan(ctx context.Context, plan sweep.Plan, p Params, wor
 
 // permFor returns the sorted permutation of subdomain id: the stored
 // permutation in materialized mode, or a cursor-replayed copy in delta
-// mode. Either way the result is safe to read concurrently with other
-// queries.
+// mode — consulting the installed PermCache first, keyed by
+// (subdomain, epoch) so a permutation materialized before a mutation
+// batch can never answer for the epoch the batch produced. Either way
+// the result is safe to read concurrently with other queries.
 func (t *Tree) permFor(id int) ([]int, error) {
 	if id < 0 || id >= len(t.subs) {
 		return nil, fmt.Errorf("core: subdomain %d out of range", id)
 	}
 	if p := t.subs[id].Perm; p != nil {
 		return p, nil
+	}
+	if pc := t.permCache.load(); pc != nil {
+		if p, ok := pc.Get(id, t.epoch); ok {
+			return p, nil
+		}
+		p, err := t.cursor.PermAt(id)
+		if err == nil {
+			pc.Put(id, t.epoch, p)
+		}
+		return p, err
 	}
 	return t.cursor.PermAt(id)
 }

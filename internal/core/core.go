@@ -209,6 +209,11 @@ type Tree struct {
 	epoch uint64
 	arr   *itree.Arrangement1D
 	bp    Params
+
+	// permCache is the optional delta-mode permutation cache (see
+	// SetPermCache); behind an atomic pointer so installation can race
+	// in-flight queries safely.
+	permCache permCacheHook
 }
 
 // Mode returns the tree's signing scheme.

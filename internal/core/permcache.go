@@ -1,0 +1,54 @@
+package core
+
+import "sync/atomic"
+
+// PermCache is a pluggable store of materialized subdomain permutations
+// for delta-mode trees. Every delta-mode query replays the sweep cursor
+// to reconstruct the queried subdomain's sorted permutation — an
+// O(swaps) walk under the cursor's mutex — so a host serving a skewed
+// workload can install a cache and pay that walk once per hot
+// subdomain. Entries are keyed by (subdomain id, publication epoch):
+// the epoch is part of the key, never an afterthought, because a
+// mutation batch (ApplyCtx) can reorder a subdomain's list without
+// changing its id — a cache keyed on the id alone would serve the stale
+// permutation and break verification. One PermCache serves one tree
+// lineage (the chain of epochs ApplyCtx produces); installing it on the
+// next epoch's tree is safe and is how a server keeps the cache warm
+// across swaps. Implementations must be safe for concurrent use, and
+// must treat stored permutations as immutable — Get returns the stored
+// slice without copying, exactly as materialized mode shares
+// SubInfo.Perm across queries.
+type PermCache interface {
+	// Get returns the permutation cached for subdomain sub at epoch, or
+	// (nil, false) on a miss.
+	Get(sub int, epoch uint64) ([]int, bool)
+	// Put stores a permutation for subdomain sub at epoch. The cache
+	// takes ownership of perm; callers must not mutate it afterwards.
+	Put(sub int, epoch uint64, perm []int)
+}
+
+// permCacheHook holds a tree's installed PermCache behind an atomic
+// pointer so installation can race in-flight queries safely.
+type permCacheHook struct {
+	pc atomic.Pointer[PermCache]
+}
+
+func (h *permCacheHook) load() PermCache {
+	if p := h.pc.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// SetPermCache installs (or, with nil, removes) a permutation cache on
+// the tree. Delta-mode queries consult it before replaying the sweep
+// cursor; materialized trees and d >= 2 builds keep every permutation
+// in SubInfo.Perm already and never touch the cache. Safe to call on a
+// serving tree.
+func (t *Tree) SetPermCache(pc PermCache) {
+	if pc == nil {
+		t.permCache.pc.Store(nil)
+		return
+	}
+	t.permCache.pc.Store(&pc)
+}

@@ -153,6 +153,14 @@ type Server struct {
 	serving atomic.Pointer[serving]
 	swapMu  sync.Mutex // serializes Swap's validate-then-store
 	tally   *Tally
+
+	// Permutation-cache state (see SetPermCaches), guarded by swapMu:
+	// one persistent cache per shard position, re-installed on the new
+	// epoch's trees by every Swap so the caches survive epoch changes —
+	// entries are keyed by epoch inside the cache, so the stale epoch's
+	// permutations strand instead of being served.
+	permMk     func() core.PermCache
+	permCaches []core.PermCache
 }
 
 // New creates a server for the backend.
@@ -205,8 +213,56 @@ func (s *Server) Swap(b Backend) error {
 	if nv.epoch <= cur.epoch {
 		return fmt.Errorf("server: swap epoch %d does not advance the serving epoch %d", nv.epoch, cur.epoch)
 	}
+	s.installPermCaches(nv) // before publication: the new trees go live warm
 	s.serving.Store(nv)
 	s.tally.ObserveSwap(nv.epoch, nv.epochs)
+	return nil
+}
+
+// SetPermCaches installs a delta-mode permutation cache on every tree
+// the server hosts, one cache per shard position (shards have
+// overlapping subdomain ids, so they must not share a cache), created
+// by mk. The caches persist across Swap: every swap re-installs the
+// same per-position caches on the new epoch's trees, keeping them warm
+// — the epoch in the cache key strands the previous epoch's entries.
+// Passing nil mk uninstalls nothing; it only stops future swaps from
+// installing. Backends without reachable trees (the mesh baseline,
+// custom backends) are left untouched.
+func (s *Server) SetPermCaches(mk func() core.PermCache) {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	s.permMk = mk
+	s.installPermCaches(s.serving.Load())
+}
+
+// installPermCaches puts the per-position caches (creating missing
+// ones) on the snapshot's trees. Caller holds swapMu.
+func (s *Server) installPermCaches(sv *serving) {
+	if s.permMk == nil {
+		return
+	}
+	for i, t := range servingTrees(sv.backend) {
+		if i >= len(s.permCaches) {
+			s.permCaches = append(s.permCaches, s.permMk())
+		}
+		t.SetPermCache(s.permCaches[i])
+	}
+}
+
+// servingTrees enumerates the core trees a backend hosts: one for the
+// single-tree IFMH backend, the shard set's trees for the sharded one,
+// whatever a custom backend exposes through a Trees accessor, and none
+// for the mesh baseline.
+func servingTrees(b Backend) []*core.Tree {
+	switch v := b.(type) {
+	case IFMH:
+		return []*core.Tree{v.Tree}
+	case ShardedIFMH:
+		return v.Router.Set().Trees
+	}
+	if tp, ok := b.(interface{ Trees() []*core.Tree }); ok {
+		return tp.Trees()
+	}
 	return nil
 }
 

@@ -21,6 +21,20 @@ type Tally struct {
 	swaps    atomic.Int64  // epoch swaps observed
 	perShard []shardTally  // per-shard tallies; nil when unsharded
 
+	// Cache-plane counters (cache.Wrap records into them; zero and
+	// inert on hosts without a cache). epochHits is the per-epoch hit
+	// gauge: it resets on every observed swap, so operators can see a
+	// cache refilling after an epoch change instead of a cumulative
+	// total that hides the invalidation.
+	cacheHits      atomic.Int64
+	cacheEpochHits atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheCollapses atomic.Int64
+	cacheEvicts    atomic.Int64
+	permHits       atomic.Int64
+	permMisses     atomic.Int64
+	permEvicts     atomic.Int64
+
 	mu    sync.Mutex
 	total metrics.Counter
 }
@@ -112,10 +126,13 @@ func (t *Tally) ObserveEpoch(epoch uint64, shards []uint64) {
 }
 
 // ObserveSwap is ObserveEpoch for a completed epoch swap: it updates
-// the gauges and counts the swap.
+// the gauges, counts the swap, and resets the per-epoch cache-hit
+// gauge — entries from the previous epoch are stranded by the swap, so
+// hits start over from zero.
 func (t *Tally) ObserveSwap(epoch uint64, shards []uint64) {
 	t.ObserveEpoch(epoch, shards)
 	t.swaps.Add(1)
+	t.cacheEpochHits.Store(0)
 }
 
 // Epoch returns the serving publication epoch gauge.
@@ -123,6 +140,62 @@ func (t *Tally) Epoch() uint64 { return t.epoch.Load() }
 
 // Swaps returns how many epoch swaps were observed.
 func (t *Tally) Swaps() int { return int(t.swaps.Load()) }
+
+// CacheStats is the cache plane's counter snapshot: the whole-answer
+// tier's hits (cumulative and per current epoch), misses, single-flight
+// collapses and LRU evictions, plus the permutation tier's hit/miss/
+// eviction counts. Served by /stats as the "cache" object on hosts
+// fronted by cache.Wrap.
+type CacheStats struct {
+	Hits          int64 `json:"hits"`
+	EpochHits     int64 `json:"epochHits"`
+	Misses        int64 `json:"misses"`
+	Collapses     int64 `json:"collapses"`
+	Evictions     int64 `json:"evictions"`
+	PermHits      int64 `json:"permHits"`
+	PermMisses    int64 `json:"permMisses"`
+	PermEvictions int64 `json:"permEvictions"`
+}
+
+// CacheHit records one whole-answer cache hit (cumulative and against
+// the current epoch's gauge).
+func (t *Tally) CacheHit() {
+	t.cacheHits.Add(1)
+	t.cacheEpochHits.Add(1)
+}
+
+// CacheMiss records one whole-answer cache miss.
+func (t *Tally) CacheMiss() { t.cacheMisses.Add(1) }
+
+// CacheCollapse records one query that joined an in-flight identical
+// query instead of walking the backend itself.
+func (t *Tally) CacheCollapse() { t.cacheCollapses.Add(1) }
+
+// CacheEvict records one whole-answer entry evicted by the LRU.
+func (t *Tally) CacheEvict() { t.cacheEvicts.Add(1) }
+
+// PermHit records one permutation-tier hit.
+func (t *Tally) PermHit() { t.permHits.Add(1) }
+
+// PermMiss records one permutation-tier miss.
+func (t *Tally) PermMiss() { t.permMisses.Add(1) }
+
+// PermEvict records one permutation entry evicted by the LRU.
+func (t *Tally) PermEvict() { t.permEvicts.Add(1) }
+
+// CacheStats returns the cache plane's counter snapshot.
+func (t *Tally) CacheStats() CacheStats {
+	return CacheStats{
+		Hits:          t.cacheHits.Load(),
+		EpochHits:     t.cacheEpochHits.Load(),
+		Misses:        t.cacheMisses.Load(),
+		Collapses:     t.cacheCollapses.Load(),
+		Evictions:     t.cacheEvicts.Load(),
+		PermHits:      t.permHits.Load(),
+		PermMisses:    t.permMisses.Load(),
+		PermEvictions: t.permEvicts.Load(),
+	}
+}
 
 // ShardStats returns per-shard serving tallies, or nil when unsharded.
 // Each shard's Lag is how many epochs it trails the serving epoch — 0

@@ -85,14 +85,16 @@ func (r *Remote) epochErr(it wire.BatchAnswer) error {
 }
 
 // Query implements backend.Backend. The single-query exchange carries
-// no epoch word (the answer body is the bare wire answer), so
-// Answer.Epoch is 0 and staleness detection applies to the batch and
-// stream exchanges only.
+// no epoch word (the answer body is the bare wire answer), so the
+// answer is stamped with the session's pinned epoch — a pinned client's
+// single answers belong to that session by contract. Staleness
+// detection applies to the batch and stream exchanges, whose frames
+// carry the server's actual epoch.
 func (r *Remote) Query(ctx context.Context, q query.Query, opts ...backend.Option) (backend.Answer, error) {
 	return backend.DriveQuery(ctx, func(q query.Query, ctr *metrics.Counter) (int, uint64, []byte, error) {
 		raw, err := r.c.rawQuery(ctx, q)
 		ctr.AddBytes(uint64(len(raw)))
-		return wire.ShardNone, 0, raw, err
+		return wire.ShardNone, r.c.Epoch(), raw, err
 	}, q, opts...)
 }
 

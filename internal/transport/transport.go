@@ -148,6 +148,15 @@ type Handler struct {
 
 // NewIFMHHandler wraps an IFMH-backed server.
 func NewIFMHHandler(srv *server.Server, pub core.PublicParams) (*Handler, error) {
+	return NewIFMHHandlerFor(srv, srv, pub)
+}
+
+// NewIFMHHandlerFor serves b under srv's published parameter bundle —
+// for decorated deployments where the backend answering queries wraps
+// the server rather than being it (vqserve -cache fronts srv with
+// cache.Wrap(srv), and the handler must serve the wrapper so hits skip
+// the walk while /params still describes srv's bundle).
+func NewIFMHHandlerFor(srv *server.Server, b backend.Backend, pub core.PublicParams) (*Handler, error) {
 	vb, err := sig.MarshalVerifier(pub.Verifier)
 	if err != nil {
 		return nil, err
@@ -162,7 +171,7 @@ func NewIFMHHandler(srv *server.Server, pub core.PublicParams) (*Handler, error)
 	if dom, ok := srv.Domain(); ok {
 		p.Domain = ToBoxJSON(dom)
 	}
-	return NewBackendHandler(srv, p)
+	return NewBackendHandler(b, p)
 }
 
 // NewMeshHandler wraps a mesh-backed server.
@@ -405,6 +414,9 @@ func (h *Handler) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if ss := h.stats.ShardStats(); ss != nil {
 		body["shards"] = len(ss)
 		body["perShard"] = ss
+	}
+	if cs, ok := h.b.(interface{ CacheStats() server.CacheStats }); ok {
+		body["cache"] = cs.CacheStats()
 	}
 	writeJSON(w, body)
 }

@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aqverify/internal/geometry"
+	"aqverify/internal/query"
+)
+
+// ZipfConfig configures the skewed query workload the cache experiments
+// use: a fixed universe of distinct top-k queries, drawn Count times
+// with Zipf-distributed popularity, so a small hot set dominates the
+// stream the way repeated dashboard and API queries dominate real
+// serving traffic.
+type ZipfConfig struct {
+	// Count is the workload length (number of drawn queries).
+	Count int
+	// Universe is the number of distinct queries popularity is spread
+	// over.
+	Universe int
+	// S is the Zipf skew exponent; must be > 1 (rand.NewZipf's domain).
+	// Larger is hotter: at S=1.1 the most popular few percent of the
+	// universe absorb most of the stream.
+	S float64
+	// Seed makes the workload reproducible: the same seed yields the
+	// same universe and the same draw sequence.
+	Seed int64
+	// K and Margin pass through to the underlying top-k generator.
+	K      int
+	Margin float64
+}
+
+// Zipf generates a skewed query stream: queries[i] = universe[draw(i)]
+// where draw follows the Zipf(S) rank distribution over the universe.
+// It returns the stream and the distinct universe it draws from, so
+// callers can compute the theoretical working-set size.
+func Zipf(dom geometry.Box, cfg ZipfConfig) ([]query.Query, []query.Query, error) {
+	if cfg.Count < 1 {
+		return nil, nil, fmt.Errorf("workload: zipf count %d must be positive", cfg.Count)
+	}
+	if cfg.Universe < 1 {
+		return nil, nil, fmt.Errorf("workload: zipf universe %d must be positive", cfg.Universe)
+	}
+	if cfg.S <= 1 {
+		return nil, nil, fmt.Errorf("workload: zipf skew %v must exceed 1", cfg.S)
+	}
+	universe := TopK(dom, QueryConfig{
+		Count:  cfg.Universe,
+		Seed:   cfg.Seed,
+		K:      cfg.K,
+		Margin: cfg.Margin,
+	})
+	// A separate rng (offset seed) for the draws, so the popularity
+	// sequence does not correlate with the universe's coordinates.
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	z := rand.NewZipf(rng, cfg.S, 1, uint64(cfg.Universe-1))
+	out := make([]query.Query, cfg.Count)
+	for i := range out {
+		out[i] = universe[z.Uint64()]
+	}
+	return out, universe, nil
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"aqverify/internal/geometry"
+	"aqverify/internal/wire"
+)
+
+func zipfDom() geometry.Box {
+	return geometry.Box{Lo: geometry.Point{0}, Hi: geometry.Point{100}}
+}
+
+// TestZipfDeterminism pins the reproducibility contract: the same seed
+// yields the same universe and the same draw sequence, byte for byte in
+// the canonical query encoding; a different seed yields a different
+// stream.
+func TestZipfDeterminism(t *testing.T) {
+	cfg := ZipfConfig{Count: 300, Universe: 32, S: 1.1, Seed: 7}
+	qs1, u1, err := Zipf(zipfDom(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs2, u2, err := Zipf(zipfDom(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs1) != cfg.Count || len(u1) != cfg.Universe {
+		t.Fatalf("sizes: %d queries, %d universe", len(qs1), len(u1))
+	}
+	for i := range u1 {
+		if !bytes.Equal(wire.EncodeQuery(u1[i]), wire.EncodeQuery(u2[i])) {
+			t.Fatalf("universe entry %d differs across runs with one seed", i)
+		}
+	}
+	for i := range qs1 {
+		if !bytes.Equal(wire.EncodeQuery(qs1[i]), wire.EncodeQuery(qs2[i])) {
+			t.Fatalf("draw %d differs across runs with one seed", i)
+		}
+	}
+
+	cfg.Seed = 8
+	qs3, _, err := Zipf(zipfDom(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range qs1 {
+		if bytes.Equal(wire.EncodeQuery(qs1[i]), wire.EncodeQuery(qs3[i])) {
+			same++
+		}
+	}
+	if same == len(qs1) {
+		t.Fatal("seed change produced an identical stream")
+	}
+}
+
+// TestZipfSkew sanity-checks the distribution shape: every draw comes
+// from the universe, and at S=1.1 the hottest single query absorbs a
+// disproportionate share of the stream while the cold tail goes mostly
+// undrawn.
+func TestZipfSkew(t *testing.T) {
+	cfg := ZipfConfig{Count: 2000, Universe: 64, S: 1.1, Seed: 3}
+	qs, universe, err := Zipf(zipfDom(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	index := make(map[string]int, len(universe))
+	for i, u := range universe {
+		index[string(wire.EncodeQuery(u))] = i
+	}
+	counts := make([]int, len(universe))
+	for _, q := range qs {
+		i, ok := index[string(wire.EncodeQuery(q))]
+		if !ok {
+			t.Fatal("draw outside the universe")
+		}
+		counts[i]++
+	}
+	max, distinct := 0, 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c > 0 {
+			distinct++
+		}
+	}
+	// Uniform would put ~31 draws on each of the 64 entries; Zipf(1.1)
+	// concentrates far harder than that on its head.
+	if max < cfg.Count/10 {
+		t.Fatalf("hottest query drew %d of %d — no skew", max, cfg.Count)
+	}
+	if distinct == len(universe) && max < cfg.Count/4 {
+		t.Fatalf("distribution looks uniform: max %d, all %d entries drawn", max, distinct)
+	}
+}
+
+// TestZipfValidation pins the config errors.
+func TestZipfValidation(t *testing.T) {
+	dom := zipfDom()
+	cases := []ZipfConfig{
+		{Count: 0, Universe: 4, S: 1.1, Seed: 1},
+		{Count: 4, Universe: 0, S: 1.1, Seed: 1},
+		{Count: 4, Universe: 4, S: 1.0, Seed: 1},
+		{Count: 4, Universe: 4, S: 0.5, Seed: 1},
+	}
+	for i, cfg := range cases {
+		if _, _, err := Zipf(dom, cfg); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, _, err := Zipf(dom, ZipfConfig{Count: 1, Universe: 1, S: 1.1, Seed: 1}); err != nil {
+		t.Fatalf("minimal config rejected: %v", err)
+	}
+}
