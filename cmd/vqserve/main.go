@@ -9,6 +9,18 @@
 //	vqserve [-addr :8080] [-n 1000] [-backend ifmh|mesh] [-mode one|multi]
 //	        [-scheme ed25519] [-seed 1] [-workers 0] [-shards 1] [-shardaxis 0]
 //	        [-planner even|quantile] [-shard -1] [-keyseed 0] [-cache]
+//	        [-save dir] [-load dir]
+//
+// -save dir writes the built tree (or the whole K-shard set) as an
+// on-disk artifact (internal/artifact, docs/ARTIFACT.md) after the
+// build; -load dir boots from one instead of building — the blobs are
+// memory-mapped and reconstructed into a serving tree in milliseconds,
+// without reading the raw table at all. With -shard i, -load opens just
+// that shard's blob of a saved set, so a K-process deployment restarts
+// each process from the same artifact directory (or a copy of it);
+// vqfront refuses to compose shards of two different saved sets. Either
+// way a one-line boot report lands on stderr and /params advertises the
+// artifact's content hash and the bundle's provenance (built|loaded).
 //
 // -cache fronts the server with the in-memory cache tier (internal/cache):
 // repeated queries are answered from a whole-answer LRU, concurrent
@@ -62,6 +74,7 @@ import (
 	"os"
 	"time"
 
+	"aqverify/internal/artifact"
 	"aqverify/internal/build"
 	"aqverify/internal/cache"
 	"aqverify/internal/core"
@@ -100,8 +113,25 @@ func run() error {
 		shardIdx   = flag.Int("shard", -1, "serve only this shard of the -shards plan (multi-process deployment; -1 = all)")
 		keySeed    = flag.Int64("keyseed", 0, "derive the signing key deterministically from this seed (0 = fresh random key)")
 		cacheOn    = flag.Bool("cache", false, "front the server with the in-memory cache tier (ifmh backend; /stats gains a cache object)")
+		saveDir    = flag.String("save", "", "save the built tree or shard set as an on-disk artifact in this directory")
+		loadDir    = flag.String("load", "", "boot from a saved artifact directory instead of building (ifmh backend; with -shard i, open that shard alone)")
 	)
 	flag.Parse()
+
+	if *loadDir != "" {
+		switch {
+		case *backendStr == "mesh":
+			return fmt.Errorf("-load applies to the ifmh backend only (the mesh baseline has no artifact form)")
+		case *dataPath != "":
+			return fmt.Errorf("-load boots from a saved artifact; it cannot be combined with -data")
+		case *saveDir != "":
+			return fmt.Errorf("-save would re-save what -load just read; copy the artifact directory instead")
+		}
+		return serveLoaded(*loadDir, *shardIdx, *addr, *cacheOn)
+	}
+	if *saveDir != "" && *shardIdx >= 0 {
+		return fmt.Errorf("-save writes the whole set; drop -shard (each loading process picks its shard with -load -shard i)")
+	}
 
 	var (
 		tbl record.Table
@@ -172,6 +202,9 @@ func run() error {
 		if *cacheOn {
 			return fmt.Errorf("-cache applies to the ifmh backend only")
 		}
+		if *saveDir != "" {
+			return fmt.Errorf("-save applies to the ifmh backend only (the mesh baseline has no artifact form)")
+		}
 		opts = []build.Option{build.WithMesh(), build.WithWorkers(*workers)}
 	default:
 		return fmt.Errorf("unknown backend %q", *backendStr)
@@ -183,21 +216,32 @@ func run() error {
 		return err
 	}
 
+	// -save persists the build as an on-disk artifact; its content hash
+	// rides along on /params so clients (and vqfront) can tell which
+	// saved publication this process serves.
+	artHash := ""
+	if *saveDir != "" {
+		info, err := artifact.Save(*saveDir, res)
+		if err != nil {
+			return err
+		}
+		artHash = info.HashHex()
+		fmt.Fprintf(os.Stderr, "vqserve: saved %s artifact %.12s (%d shard(s), epoch %d) to %s\n",
+			info.Kind, artHash, info.Shards, info.Epoch, *saveDir)
+	}
+
 	var h *transport.Handler
 	// With -cache the handler serves the cache-wrapped server — hits and
 	// collapsed duplicates skip the tree walk — while /params still
 	// publishes the server's own bundle.
-	ifmhHandler := func(srv *server.Server) (err error) {
-		if *cacheOn {
-			cb, err2 := cache.Wrap(srv)
-			if err2 != nil {
-				return err2
-			}
-			h, err = transport.NewIFMHHandlerFor(srv, cb, res.Public)
+	ifmhHandler := func(srv *server.Server) error {
+		var err error
+		h, err = ifmhHandlerFor(srv, res.Public, artHash, "built", *cacheOn)
+		if err != nil {
 			return err
 		}
-		h, err = transport.NewIFMHHandler(srv, res.Public)
-		return err
+		bootReport("built", tbl.Len(), srv.NumShards(), srv.Epoch(), artHash, time.Since(start))
+		return nil
 	}
 	switch {
 	case res.Mesh != nil:
@@ -250,10 +294,95 @@ func run() error {
 		}
 	}
 
+	return serveHTTP(*addr, h, dom)
+}
+
+// serveLoaded boots from a saved artifact: the blobs are memory-mapped,
+// integrity-checked and reconstructed into a serving tree — no raw
+// table, no signing, no build. With shardIdx >= 0 only that shard's
+// blob of a saved set is opened (the multi-process restart path).
+func serveLoaded(dir string, shardIdx int, addr string, cacheOn bool) error {
+	start := time.Now()
+	var (
+		a   *artifact.Artifact
+		err error
+	)
+	if shardIdx >= 0 {
+		a, err = artifact.OpenShard(dir, shardIdx)
+	} else {
+		a, err = artifact.Open(dir)
+	}
+	if err != nil {
+		return err
+	}
+	b, err := a.Backend()
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(b)
+	if err != nil {
+		return err
+	}
+	h, err := ifmhHandlerFor(srv, a.Public, a.HashHex(), "loaded", cacheOn)
+	if err != nil {
+		return err
+	}
+	n := 0
+	if a.Result.Set != nil {
+		n = a.Result.Set.NumRecords()
+	} else {
+		n = a.Result.Tree.NumRecords()
+	}
+	bootReport("loaded", n, srv.NumShards(), srv.Epoch(), a.HashHex(), time.Since(start))
+	if shardIdx >= 0 {
+		fmt.Printf("loaded shard %d of artifact %.12s (%s) from %s\n", shardIdx, a.HashHex(), srv.Name(), dir)
+	} else {
+		fmt.Printf("loaded artifact %.12s (%s, %d shard(s), epoch %d) from %s\n",
+			a.HashHex(), srv.Name(), srv.NumShards(), srv.Epoch(), dir)
+	}
+	dom, _ := srv.Domain()
+	return serveHTTP(addr, h, dom)
+}
+
+// ifmhHandlerFor builds the HTTP handler for an IFMH-backed server,
+// stamping the artifact hash and provenance onto the published bundle
+// and fronting the server with the cache tier when asked.
+func ifmhHandlerFor(srv *server.Server, pub core.PublicParams, artHash, provenance string, cacheOn bool) (*transport.Handler, error) {
+	p, err := transport.IFMHParams(srv, pub)
+	if err != nil {
+		return nil, err
+	}
+	p.Artifact = artHash
+	p.Provenance = provenance
+	if cacheOn {
+		cb, err := cache.Wrap(srv)
+		if err != nil {
+			return nil, err
+		}
+		return transport.NewBackendHandler(cb, p)
+	}
+	return transport.NewBackendHandler(srv, p)
+}
+
+// bootReport is the one-line boot summary on stderr — stable key=value
+// fields so a supervisor (or a test) can grep how this process came up
+// and how long it took.
+func bootReport(provenance string, n, shards int, epoch uint64, artHash string, d time.Duration) {
+	if shards == 0 {
+		shards = 1 // an unsharded server is one tree, not zero
+	}
+	line := fmt.Sprintf("vqserve: %s n=%d shards=%d epoch=%d in %v", provenance, n, shards, epoch, d.Round(100*time.Microsecond))
+	if artHash != "" {
+		line += " artifact=" + artHash[:12]
+	}
+	fmt.Fprintln(os.Stderr, line)
+}
+
+func serveHTTP(addr string, h *transport.Handler, dom geometry.Box) error {
 	fmt.Printf("serving on %s (domain [%g, %g]); endpoints: POST /query, POST /query/batch, POST /query/stream, GET /params, GET /stats\n",
-		*addr, dom.Lo[0], dom.Hi[0])
+		addr, dom.Lo[0], dom.Hi[0])
 	httpSrv := &http.Server{
-		Addr:              *addr,
+		Addr:              addr,
 		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 	}

@@ -1,0 +1,522 @@
+package artifact
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aqverify/internal/build"
+	"aqverify/internal/core"
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+	"aqverify/internal/query"
+	"aqverify/internal/record"
+	"aqverify/internal/server"
+	"aqverify/internal/sig"
+	"aqverify/internal/wire"
+	"aqverify/internal/workload"
+)
+
+func testSpec(t testing.TB, n int, seed int64) build.Spec {
+	t.Helper()
+	tbl, dom, err := workload.Lines(workload.LinesConfig{N: n, Seed: seed, Dist: workload.Gaussian})
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := sig.NewSigner(sig.Ed25519, sig.Options{Rand: sig.DeterministicRand(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return build.Spec{Table: tbl, Template: funcs.AffineLine(0, 1), Domain: dom, Signer: signer}
+}
+
+func sampleQueries(dom geometry.Box, count int) []query.Query {
+	qs := make([]query.Query, 0, 2*count)
+	for i := 0; i < count; i++ {
+		x := dom.Lo[0] + (dom.Hi[0]-dom.Lo[0])*float64(i+1)/float64(count+1)
+		qs = append(qs, query.NewTopK(geometry.Point{x}, 1+i%5))
+		qs = append(qs, query.NewRange(geometry.Point{x}, -2, 2))
+	}
+	return qs
+}
+
+func treesOf(t *testing.T, r *build.Result) []*core.Tree {
+	t.Helper()
+	if r.Tree != nil {
+		return []*core.Tree{r.Tree}
+	}
+	if r.Set != nil {
+		return r.Set.Trees
+	}
+	t.Fatal("result holds no IFMH product")
+	return nil
+}
+
+// answerBytes processes every in-domain query on the tree and returns
+// the serialized answers.
+func answerBytes(t *testing.T, tr *core.Tree, qs []query.Query) [][]byte {
+	t.Helper()
+	out := make([][]byte, 0, len(qs))
+	for _, q := range qs {
+		if !tr.Domain().Contains(q.X) {
+			out = append(out, nil)
+			continue
+		}
+		ans, err := tr.Process(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, wire.EncodeIFMH(ans))
+	}
+	return out
+}
+
+// TestSaveOpenIdentity is the keystone: for both signing modes, both
+// layouts and both product shapes, a tree opened from an artifact must
+// fingerprint identically to the one that was saved and answer every
+// query byte-for-byte the same, with every answer verifying against the
+// loaded bundle.
+func TestSaveOpenIdentity(t *testing.T) {
+	ctx := context.Background()
+	spec := testSpec(t, 60, 3)
+	qs := sampleQueries(spec.Domain, 12)
+
+	cases := []struct {
+		name string
+		opts []build.Option
+	}{
+		{"one/delta", []build.Option{build.WithMode(core.OneSignature), build.WithShuffle(3)}},
+		{"multi/delta", []build.Option{build.WithMode(core.MultiSignature), build.WithShuffle(3)}},
+		{"one/materialized", []build.Option{build.WithMode(core.OneSignature), build.WithShuffle(3), build.WithMaterialize()}},
+		{"one/sharded", []build.Option{build.WithMode(core.OneSignature), build.WithShuffle(3), build.WithShards(3, 0)}},
+		{"multi/sharded", []build.Option{build.WithMode(core.MultiSignature), build.WithShuffle(3), build.WithShards(3, 0)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := build.Outsource(ctx, spec, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := t.TempDir()
+			info, err := Save(dir, res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Epoch != 1 || info.Mode != res.Public.Mode {
+				t.Fatalf("info epoch %d mode %v", info.Epoch, info.Mode)
+			}
+			a, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer a.Close()
+			if a.Hash != info.Hash {
+				t.Fatalf("open hash %x != save hash %x", a.Hash, info.Hash)
+			}
+			built, loaded := treesOf(t, res), treesOf(t, a.Result)
+			if len(built) != len(loaded) {
+				t.Fatalf("saved %d trees, loaded %d", len(built), len(loaded))
+			}
+			pub := a.Result.Public
+			for i := range built {
+				if built[i].Fingerprint() != loaded[i].Fingerprint() {
+					t.Fatalf("tree %d: fingerprint differs after load", i)
+				}
+				ba, la := answerBytes(t, built[i], qs), answerBytes(t, loaded[i], qs)
+				for k := range ba {
+					if !bytes.Equal(ba[k], la[k]) {
+						t.Fatalf("tree %d: answer %d differs after load", i, k)
+					}
+				}
+				for _, q := range qs {
+					if !loaded[i].Domain().Contains(q.X) {
+						continue
+					}
+					ans, err := loaded[i].Process(q, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := core.Verify(pub, q, ans.Records, &ans.VO, nil); err != nil {
+						t.Fatalf("tree %d: loaded answer fails verification: %v", i, err)
+					}
+				}
+			}
+			// ReadInfo agrees with the full open.
+			ri, err := ReadInfo(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ri.Hash != info.Hash || ri.Kind != info.Kind || ri.Shards != info.Shards {
+				t.Fatalf("ReadInfo %+v disagrees with Save %+v", ri, info)
+			}
+			// A loaded tree is serve-only: the mutation plane refuses it.
+			if _, err := build.Apply(ctx, a.Result, build.Delete(0)); err == nil {
+				t.Fatal("Apply accepted a loaded artifact")
+			} else if !strings.Contains(err.Error(), "serve-only") {
+				t.Fatalf("Apply refusal does not name serve-only: %v", err)
+			}
+		})
+	}
+}
+
+// TestOpenShard opens each shard of a set artifact individually and
+// checks it matches the corresponding tree of the full open, carries
+// the shard index, and advertises the whole set's artifact hash.
+func TestOpenShard(t *testing.T) {
+	ctx := context.Background()
+	spec := testSpec(t, 60, 5)
+	res, err := build.Outsource(ctx, spec, build.WithMode(core.OneSignature), build.WithShuffle(5), build.WithShards(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	info, err := Save(dir, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range res.Set.Trees {
+		a, err := OpenShard(dir, i)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if a.Result.Shard != i || a.Result.Tree == nil {
+			t.Fatalf("shard %d: result shard %d", i, a.Result.Shard)
+		}
+		if a.Hash != info.Hash {
+			t.Fatalf("shard %d advertises hash %x, set hash %x", i, a.Hash, info.Hash)
+		}
+		if a.Result.Tree.Fingerprint() != want.Fingerprint() {
+			t.Fatalf("shard %d: fingerprint differs", i)
+		}
+		a.Close()
+	}
+	if _, err := OpenShard(dir, 3); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	// OpenShard refuses a tree artifact.
+	single, err := build.Outsource(ctx, spec, build.WithShuffle(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdir := t.TempDir()
+	if _, err := Save(sdir, single); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenShard(sdir, 0); err == nil {
+		t.Fatal("OpenShard accepted a tree artifact")
+	}
+}
+
+// TestSaveRefusals: the mesh baseline and partial one-shard products
+// have no artifact form.
+func TestSaveRefusals(t *testing.T) {
+	ctx := context.Background()
+	spec := testSpec(t, 30, 1)
+	if _, err := Save(t.TempDir(), nil); err == nil {
+		t.Fatal("nil result accepted")
+	}
+	mesh, err := build.Outsource(ctx, spec, build.WithMesh())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Save(t.TempDir(), mesh); err == nil {
+		t.Fatal("mesh result accepted")
+	}
+	one, err := build.Outsource(ctx, spec, build.WithShuffle(1), build.WithShards(3, 0), build.WithShard(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Save(t.TempDir(), one); err == nil {
+		t.Fatal("partial one-shard result accepted")
+	}
+}
+
+// TestApplyLineage saves every epoch of a mutation lineage and checks
+// each one loads back at its own epoch with the original fingerprint —
+// the epoch log in durable form.
+func TestApplyLineage(t *testing.T) {
+	ctx := context.Background()
+	spec := testSpec(t, 40, 9)
+	res, err := build.Outsource(ctx, spec, build.WithMode(core.MultiSignature), build.WithShuffle(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	lineage := []*build.Result{res}
+	muts := [][]build.Mutation{
+		{build.Insert(record.Record{ID: 900001, Attrs: []float64{1.25, -0.5}})},
+		{build.Delete(3), build.Update(5, record.Record{ID: spec.Table.Records[5].ID, Attrs: []float64{-0.75, 0.25}})},
+	}
+	for _, batch := range muts {
+		next, err := build.Apply(ctx, lineage[len(lineage)-1], batch...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lineage = append(lineage, next)
+	}
+	for i, r := range lineage {
+		dir := filepath.Join(root, r.Tree.Mode().String(), "epoch", string(rune('1'+i)))
+		info, err := Save(dir, r)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", i+1, err)
+		}
+		if info.Epoch != uint64(i+1) {
+			t.Fatalf("epoch %d saved as %d", i+1, info.Epoch)
+		}
+		a, err := Open(dir)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", i+1, err)
+		}
+		if a.Result.Tree.Epoch() != uint64(i+1) || a.Result.Tree.Fingerprint() != r.Tree.Fingerprint() {
+			t.Fatalf("epoch %d loads back wrong", i+1)
+		}
+		a.Close()
+	}
+}
+
+// TestSwapBlueGreen rolls a loaded artifact out over a live server: the
+// server boots from the epoch-1 artifact, epoch 2 is built offline from
+// the owner's result and saved, and Swap publishes the loaded epoch-2
+// backend. Swapping the stale epoch-1 artifact back in must be refused
+// (epochs strictly advance).
+func TestSwapBlueGreen(t *testing.T) {
+	ctx := context.Background()
+	spec := testSpec(t, 40, 11)
+	e1, err := build.Outsource(ctx, spec, build.WithShuffle(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := t.TempDir()
+	if _, err := Save(d1, e1); err != nil {
+		t.Fatal(err)
+	}
+	a1, err := Open(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a1.Close()
+	b1, err := a1.Backend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Epoch() != 1 {
+		t.Fatalf("serving epoch %d from a loaded artifact", srv.Epoch())
+	}
+
+	e2, err := build.Apply(ctx, e1, build.Insert(record.Record{ID: 900002, Attrs: []float64{0.5, 0.5}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := t.TempDir()
+	if _, err := Save(d2, e2); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Open(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	b2, err := a2.Backend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Swap(b2); err != nil {
+		t.Fatalf("blue-green swap of a loaded artifact: %v", err)
+	}
+	if srv.Epoch() != 2 {
+		t.Fatalf("serving epoch %d after swap", srv.Epoch())
+	}
+	if err := srv.Swap(b1); err == nil {
+		t.Fatal("stale artifact swapped back in")
+	}
+}
+
+// corruptCase mutates a valid artifact directory and names the refusal
+// Open must answer with.
+type corruptCase struct {
+	name   string
+	mutate func(t *testing.T, dir string)
+	want   error
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func mustWrite(t *testing.T, path string, b []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRefusalMatrix drives Open through every named refusal: wrong
+// magic, unknown version, truncation, bit flips (content hash), and a
+// mixed-epoch (torn) directory.
+func TestRefusalMatrix(t *testing.T) {
+	ctx := context.Background()
+	spec := testSpec(t, 30, 13)
+	res, err := build.Outsource(ctx, spec, build.WithShuffle(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := build.Apply(ctx, res, build.Delete(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []corruptCase{
+		{"tree-bad-magic", func(t *testing.T, dir string) {
+			p := filepath.Join(dir, treeName)
+			b := mustRead(t, p)
+			b[0] ^= 0xff
+			mustWrite(t, p, b)
+		}, ErrBadMagic},
+		{"manifest-bad-magic", func(t *testing.T, dir string) {
+			p := filepath.Join(dir, ManifestName)
+			b := mustRead(t, p)
+			b[3] = 'X'
+			mustWrite(t, p, b)
+		}, ErrBadMagic},
+		{"tree-version", func(t *testing.T, dir string) {
+			p := filepath.Join(dir, treeName)
+			b := mustRead(t, p)
+			b[7] = 99 // the version word sits right after the magic
+			mustWrite(t, p, b)
+		}, ErrVersion},
+		{"manifest-version", func(t *testing.T, dir string) {
+			p := filepath.Join(dir, ManifestName)
+			b := mustRead(t, p)
+			b[7] = 99
+			mustWrite(t, p, b)
+		}, ErrVersion},
+		{"tree-truncated", func(t *testing.T, dir string) {
+			p := filepath.Join(dir, treeName)
+			b := mustRead(t, p)
+			mustWrite(t, p, b[:len(b)-40]) // ends mid-trailer
+		}, ErrTruncated},
+		{"manifest-truncated", func(t *testing.T, dir string) {
+			p := filepath.Join(dir, ManifestName)
+			b := mustRead(t, p)
+			mustWrite(t, p, b[:len(b)-40])
+		}, ErrTruncated},
+		{"tree-bit-flip", func(t *testing.T, dir string) {
+			p := filepath.Join(dir, treeName)
+			b := mustRead(t, p)
+			b[len(b)/2] ^= 0x01
+			mustWrite(t, p, b)
+		}, ErrCorrupt},
+		{"manifest-bit-flip", func(t *testing.T, dir string) {
+			p := filepath.Join(dir, ManifestName)
+			b := mustRead(t, p)
+			b[len(b)/2] ^= 0x01
+			mustWrite(t, p, b)
+		}, ErrCorrupt},
+		{"torn-mixed-epoch", func(t *testing.T, dir string) {
+			// A self-consistent blob from the epoch-2 artifact lands in
+			// the epoch-1 directory: internally valid, wrong publication.
+			other := t.TempDir()
+			if _, err := Save(other, e2); err != nil {
+				t.Fatal(err)
+			}
+			mustWrite(t, filepath.Join(dir, treeName), mustRead(t, filepath.Join(other, treeName)))
+		}, ErrTorn},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if _, err := Save(dir, res); err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(t, dir)
+			_, err := Open(dir)
+			if err == nil {
+				t.Fatal("corrupt artifact accepted")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+
+	// Every truncation of the blob is refused with a named error, and
+	// never panics.
+	dir := t.TempDir()
+	if _, err := Save(dir, res); err != nil {
+		t.Fatal(err)
+	}
+	blob := mustRead(t, filepath.Join(dir, treeName))
+	for cut := 0; cut < len(blob); cut += 97 {
+		if _, err := decodeTree(blob[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		} else if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("truncation at %d: unnamed refusal %v", cut, err)
+		}
+	}
+}
+
+// TestWorkedExample pins the worked example quoted in docs/ARTIFACT.md
+// byte-for-byte: a deterministic three-record build whose manifest hex,
+// blob content hash and artifact hash must never drift. If this test
+// breaks, the format changed — bump formatVersion and rewrite the doc.
+func TestWorkedExample(t *testing.T) {
+	signer, err := sig.NewSigner(sig.Ed25519, sig.Options{Rand: sig.DeterministicRand(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := record.NewTable(
+		record.Schema{Name: "ex", Columns: []record.Column{{Name: "slope"}, {Name: "intercept"}}},
+		[]record.Record{
+			{ID: 1, Attrs: []float64{1, 0}},
+			{ID: 2, Attrs: []float64{-1, 0.5}},
+			{ID: 3, Attrs: []float64{0.25, -0.25}},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := geometry.MustBox([]float64{-1}, []float64{1})
+	res, err := build.Outsource(context.Background(), build.Spec{
+		Table: tbl, Template: funcs.AffineLine(0, 1), Domain: dom, Signer: signer,
+	}, build.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	info, err := Save(dir, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	manifestHex := hex.EncodeToString(mustRead(t, filepath.Join(dir, ManifestName)))
+	blob := mustRead(t, filepath.Join(dir, treeName))
+	blobHash := sha256.Sum256(blob[:len(blob)-32])
+
+	const wantManifest = "4151414d00000001010000000000000001000000002d04302a300506032b6570032100069d8d6980eaf1bca2e4118bc612a13f23791bf2c60ceef2692b581d27b0a1590000000b616666696e652d6c696e650000000100000000000000013e112e0be826d69500000001bff00000000000003ff000000000000000000000000000000000000111f5ea0b11f979d1952d9fdf819598bdc61e915f3124ea80493750cbbcc57a3e64967d1313ff935c60c0783f7fbfd9f2c261ce42875ccafaf597faf7bc1987528cfdb8e6d0e6d83deff492f33cc775a764b73d34cdad3b1e6d372d54ba5462bf"
+	const wantBlobHash = "11f5ea0b11f979d1952d9fdf819598bdc61e915f3124ea80493750cbbcc57a3e"
+	const wantArtifact = "8cfdb8e6d0e6d83deff492f33cc775a764b73d34cdad3b1e6d372d54ba5462bf"
+	if manifestHex != wantManifest {
+		t.Errorf("manifest bytes drifted:\n got %s\nwant %s", manifestHex, wantManifest)
+	}
+	if got := hex.EncodeToString(blobHash[:]); got != wantBlobHash {
+		t.Errorf("blob content hash drifted: got %s want %s", got, wantBlobHash)
+	}
+	if info.HashHex() != wantArtifact {
+		t.Errorf("artifact hash drifted: got %s want %s", info.HashHex(), wantArtifact)
+	}
+}

@@ -1,0 +1,730 @@
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"aqverify/internal/core"
+	"aqverify/internal/fmh"
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+	"aqverify/internal/hashing"
+	"aqverify/internal/itree"
+	"aqverify/internal/mhtree"
+	"aqverify/internal/record"
+	"aqverify/internal/shard"
+	"aqverify/internal/sweep"
+)
+
+// formatVersion is the on-disk format version both file kinds carry.
+// Bump it on any layout change; Open refuses versions it does not know.
+const formatVersion = 1
+
+// nilIndex marks a nil child pointer / absent shard index in the node
+// tables (indices are u32, so the all-ones value can never be a real
+// index of an accepted file: counts are bounded far below it).
+const nilIndex = ^uint32(0)
+
+// File magics: every artifact file opens with four bytes naming its
+// kind, so a wrong or swapped file is refused by name before any
+// structure is parsed.
+var (
+	magicTree     = [4]byte{'A', 'Q', 'A', 'T'} // tree blob
+	magicManifest = [4]byte{'A', 'Q', 'A', 'M'} // manifest
+)
+
+// writer appends primitives to a byte slice, mirroring the internal/wire
+// codec discipline: big-endian fixed-width integers, u32-length-prefixed
+// variable parts, raw 32-byte digests.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *writer) f64(v float64) {
+	w.u64(math.Float64bits(v))
+}
+func (w *writer) i32(v int) { w.u32(uint32(int32(v))) }
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+func (w *writer) str(s string)              { w.bytes([]byte(s)) }
+func (w *writer) digest(d hashing.Digest)   { w.buf = append(w.buf, d[:]...) }
+func (w *writer) box(b geometry.Box)        { w.u32(uint32(b.Dim())); w.f64s(b.Lo); w.f64s(b.Hi) }
+func (w *writer) f64s(vs []float64) {
+	for _, v := range vs {
+		w.f64(v)
+	}
+}
+
+// seal appends the SHA-256 of everything written so far — the file's
+// trailing content hash — and returns the finished bytes and that hash.
+func (w *writer) seal() ([]byte, hashing.Digest) {
+	h := hashing.Digest(sha256.Sum256(w.buf))
+	w.digest(h)
+	return w.buf, h
+}
+
+// reader consumes primitives from a byte slice, remembering the first
+// error so call sites stay linear. Variable-length reads return
+// subslices of the input without copying — on a memory-mapped file the
+// decoded signatures, inequality encodings and record payloads alias
+// the map directly.
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrTruncated, what)
+	}
+}
+
+// corrupt records a structural-consistency failure (a value that cannot
+// belong to any honestly written file).
+func (r *reader) corrupt(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+	}
+}
+
+func (r *reader) raw(n int, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.buf) < n {
+		r.fail(what)
+		return nil
+	}
+	out := r.buf[:n:n]
+	r.buf = r.buf[n:]
+	return out
+}
+
+func (r *reader) u8(what string) uint8 {
+	b := r.raw(1, what)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u32(what string) uint32 {
+	b := r.raw(4, what)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) u64(what string) uint64 {
+	b := r.raw(8, what)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *reader) f64(what string) float64 { return math.Float64frombits(r.u64(what)) }
+
+func (r *reader) i32(what string) int { return int(int32(r.u32(what))) }
+
+func (r *reader) bytes(what string) []byte {
+	n := int(r.u32(what))
+	return r.raw(n, what)
+}
+
+func (r *reader) str(what string) string { return string(r.bytes(what)) }
+
+func (r *reader) digest(what string) (d hashing.Digest) {
+	b := r.raw(len(d), what)
+	if b != nil {
+		copy(d[:], b)
+	}
+	return d
+}
+
+// count reads a u32 element count and sanity-bounds it against the
+// remaining buffer (each element needs at least min bytes) so a forged
+// count cannot drive huge allocations.
+func (r *reader) count(what string, min int) int {
+	n := int(r.u32(what))
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || (min > 0 && n > len(r.buf)/min+1) {
+		r.corrupt("implausible %s count %d", what, n)
+		return 0
+	}
+	return n
+}
+
+func (r *reader) f64s(n int, what string) []float64 {
+	if r.err != nil || n > len(r.buf)/8+1 {
+		r.corrupt("implausible %s count %d", what, n)
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64(what)
+	}
+	return out
+}
+
+func (r *reader) box(what string) geometry.Box {
+	dim := r.count(what+" dimension", 16)
+	lo := r.f64s(dim, what+" lower corner")
+	hi := r.f64s(dim, what+" upper corner")
+	if r.err != nil {
+		return geometry.Box{}
+	}
+	b, err := geometry.NewBox(lo, hi)
+	if err != nil {
+		r.corrupt("%s: %v", what, err)
+	}
+	return b
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.buf) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.buf))
+	}
+	return nil
+}
+
+// flag bits of the tree blob header.
+const flagMaterialized = 1 << 0
+
+// encodeTree serializes one built tree's serve-state into a sealed blob.
+// The FMH forest is written as a deduplicated node table in
+// children-before-parents order — delta-mode lists share persistent
+// structure, and the table preserves exactly that sharing, so the file
+// is O(forest), not O(S·n) — and the IMH tree the same way. shardIdx is
+// the tree's position in a sharded set, or build.ShardNone.
+func encodeTree(s core.Snapshot, shardIdx int) ([]byte, hashing.Digest, error) {
+	w := &writer{buf: make([]byte, 0, 1<<16)}
+	w.buf = append(w.buf, magicTree[:]...)
+	w.u32(formatVersion)
+	w.u64(s.Epoch)
+	w.u8(uint8(s.Mode))
+	materialized := len(s.Subs) > 0 && s.Subs[0].Perm != nil
+	var flags uint8
+	if materialized {
+		flags |= flagMaterialized
+	}
+	w.u8(flags)
+	if shardIdx < 0 {
+		w.u32(nilIndex)
+	} else {
+		w.u32(uint32(shardIdx))
+	}
+	w.box(s.Domain)
+
+	// Records: the canonical record codec, prefixed by the schema the
+	// table validates against.
+	w.str(s.Table.Schema.Name)
+	w.u32(uint32(len(s.Table.Schema.Columns)))
+	for _, c := range s.Table.Schema.Columns {
+		w.str(c.Name)
+		w.str(c.Description)
+	}
+	w.u32(uint32(s.Table.Len()))
+	for _, rec := range s.Table.Records {
+		w.buf = rec.Encode(w.buf)
+	}
+
+	// Delta-mode sweep plan (empty for materialized and multivariate
+	// layouts).
+	w.u32(uint32(len(s.Plan.BasePerm)))
+	for _, p := range s.Plan.BasePerm {
+		w.u32(uint32(p))
+	}
+	w.u32(uint32(len(s.Plan.Swaps)))
+	for _, sw := range s.Plan.Swaps {
+		w.u32(uint32(len(sw)))
+		for _, pos := range sw {
+			w.u32(uint32(pos))
+		}
+	}
+
+	// FMH forest: deduplicated DAG, children strictly before parents.
+	idx := make(map[*mhtree.Node]uint32)
+	var order []*mhtree.Node
+	var walk func(n *mhtree.Node)
+	walk = func(n *mhtree.Node) {
+		if _, ok := idx[n]; ok {
+			return
+		}
+		if n.L != nil {
+			walk(n.L)
+		}
+		if n.R != nil {
+			walk(n.R)
+		}
+		idx[n] = uint32(len(order))
+		order = append(order, n)
+	}
+	for _, si := range s.Subs {
+		walk(si.List.Tree)
+	}
+	w.u32(uint32(len(order)))
+	for _, n := range order {
+		w.digest(n.H)
+		child := func(c *mhtree.Node) {
+			if c == nil {
+				w.u32(nilIndex)
+			} else {
+				w.u32(idx[c])
+			}
+		}
+		child(n.L)
+		child(n.R)
+		w.u32(uint32(n.W))
+	}
+	w.u32(uint32(len(s.Subs)))
+	for _, si := range s.Subs {
+		w.u32(idx[si.List.Tree])
+	}
+
+	// Per-subdomain extras, with a layout fixed by the header: the
+	// permutation when materialized, the inequality encoding and
+	// signature in multi-signature mode.
+	for _, si := range s.Subs {
+		if materialized {
+			w.u32(uint32(len(si.Perm)))
+			for _, p := range si.Perm {
+				w.u32(uint32(p))
+			}
+		}
+		if s.Mode == core.MultiSignature {
+			w.bytes(si.IneqEnc)
+			w.bytes(si.Sig)
+		}
+	}
+
+	// IMH tree: post-order node table (children strictly before
+	// parents; the root is the last entry), every node carrying its
+	// propagated hash so loading never re-propagates.
+	nidx := make(map[*itree.Node]uint32, s.ITree.NodeCount)
+	var inodes []*itree.Node
+	var iwalk func(n *itree.Node)
+	iwalk = func(n *itree.Node) {
+		if !n.IsLeaf() {
+			iwalk(n.Above)
+			iwalk(n.Below)
+		}
+		nidx[n] = uint32(len(inodes))
+		inodes = append(inodes, n)
+	}
+	iwalk(s.ITree.Root)
+	w.u32(uint32(len(inodes)))
+	for _, n := range inodes {
+		if n.IsLeaf() {
+			w.u8(0)
+			w.u32(uint32(n.Leaf.ID))
+		} else {
+			w.u8(1)
+			w.u32(uint32(n.Int.I))
+			w.u32(uint32(n.Int.J))
+			w.bytes(n.Int.H.Encode(nil))
+			w.u32(nidx[n.Above])
+			w.u32(nidx[n.Below])
+		}
+		w.digest(n.Hash)
+	}
+
+	w.bytes(s.RootSig)
+	buf, h := w.seal()
+	return buf, h, nil
+}
+
+// decodedTree is a structurally parsed tree blob: everything but the
+// template and verifier (which live in the manifest) of a
+// core.Snapshot, plus the header fields Open cross-checks against the
+// manifest.
+type decodedTree struct {
+	epoch   uint64
+	mode    core.Mode
+	shard   uint32 // nilIndex when the blob belongs to no shard
+	domain  geometry.Box
+	table   record.Table
+	plan    sweep.Plan
+	itree   *itree.Tree
+	subs    []*core.SubInfo
+	rootSig []byte
+	hash    hashing.Digest // the sealed trailer
+}
+
+// decodeTree parses a tree blob. The structural pass validates every
+// count, index and cross-reference (children before parents, leaf ids
+// unique and in range, node widths consistent) so that no accepted
+// structure can make the serving tree index out of bounds; the sealed
+// trailer is checked last, so a file that parses but was bit-flipped
+// is refused as ErrCorrupt by content hash. Variable-length fields
+// alias data — on a memory-mapped file the signatures, inequality
+// encodings and record payloads are served straight out of the map.
+func decodeTree(data []byte) (*decodedTree, error) {
+	if len(data) < len(magicTree) {
+		return nil, fmt.Errorf("%w: %d-byte file", ErrTruncated, len(data))
+	}
+	if [4]byte(data[:4]) != magicTree {
+		return nil, fmt.Errorf("%w: %q is not a tree blob", ErrBadMagic, data[:4])
+	}
+	r := &reader{buf: data[4:]}
+	if v := r.u32("version"); r.err == nil && v != formatVersion {
+		return nil, fmt.Errorf("%w: tree blob version %d (want %d)", ErrVersion, v, formatVersion)
+	}
+
+	d := &decodedTree{}
+	d.epoch = r.u64("epoch")
+	mode := r.u8("mode")
+	if r.err == nil && mode > uint8(core.MultiSignature) {
+		r.corrupt("unknown mode %d", mode)
+	}
+	d.mode = core.Mode(mode)
+	flags := r.u8("flags")
+	if r.err == nil && flags&^uint8(flagMaterialized) != 0 {
+		r.corrupt("unknown flags %#x", flags)
+	}
+	materialized := flags&flagMaterialized != 0
+	d.shard = r.u32("shard index")
+	d.domain = r.box("domain")
+	dim := d.domain.Dim()
+
+	// Records.
+	schema := record.Schema{Name: r.str("schema name")}
+	ncols := r.count("schema column", 8)
+	schema.Columns = make([]record.Column, ncols)
+	for i := range schema.Columns {
+		schema.Columns[i] = record.Column{Name: r.str("column name"), Description: r.str("column description")}
+	}
+	n := r.count("record", 16)
+	recs := make([]record.Record, n)
+	for i := range recs {
+		recs[i].ID = r.u64("record id")
+		recs[i].Attrs = r.f64s(r.count("attribute", 8), "attributes")
+		recs[i].Payload = r.bytes("record payload")
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	tbl, err := record.NewTable(schema, recs)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	d.table = tbl
+
+	// Sweep plan.
+	readPerm := func(what string) []int {
+		m := r.count(what, 4)
+		if r.err != nil {
+			return nil
+		}
+		out := make([]int, m)
+		for i := range out {
+			p := r.u32(what)
+			if r.err == nil && int(p) >= n {
+				r.corrupt("%s entry %d outside %d records", what, p, n)
+				return nil
+			}
+			out[i] = int(p)
+		}
+		return out
+	}
+	d.plan.BasePerm = readPerm("base permutation")
+	nb := r.count("boundary", 4)
+	if nb > 0 {
+		d.plan.Swaps = make([][]int, nb)
+		for b := range d.plan.Swaps {
+			cnt := r.count("boundary swap", 4)
+			sw := make([]int, cnt)
+			for i := range sw {
+				pos := r.u32("swap position")
+				if r.err == nil && int(pos) >= n-1 {
+					r.corrupt("swap position %d outside %d records", pos, n)
+					return nil, r.err
+				}
+				sw[i] = int(pos)
+			}
+			d.plan.Swaps[b] = sw
+		}
+	}
+
+	// FMH forest.
+	nf := r.count("fmh node", 44)
+	forest := make([]mhtree.Node, nf)
+	for i := range forest {
+		forest[i].H = r.digest("fmh node hash")
+		l, rr := r.u32("fmh left child"), r.u32("fmh right child")
+		wdt := r.u32("fmh node width")
+		if r.err != nil {
+			return nil, r.err
+		}
+		switch {
+		case l == nilIndex && rr == nilIndex:
+			if wdt != 1 {
+				r.corrupt("fmh leaf %d has width %d", i, wdt)
+			}
+		case l == nilIndex || rr == nilIndex:
+			r.corrupt("fmh node %d has one child", i)
+		case int(l) >= i || int(rr) >= i:
+			r.corrupt("fmh node %d references a later node", i)
+		default:
+			forest[i].L, forest[i].R = &forest[l], &forest[rr]
+			if int(wdt) != forest[l].W+forest[rr].W || forest[l].W != mhtree.LeftWidth(int(wdt)) {
+				r.corrupt("fmh node %d has inconsistent width %d", i, wdt)
+			}
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		forest[i].W = int(wdt)
+	}
+	ns := r.count("subdomain", 4)
+	if r.err == nil && ns < 1 {
+		r.corrupt("no subdomains")
+	}
+	subs := make([]*core.SubInfo, ns)
+	for i := range subs {
+		ri := r.u32("fmh root index")
+		if r.err != nil {
+			return nil, r.err
+		}
+		if int(ri) >= nf {
+			r.corrupt("subdomain %d fmh root %d outside %d nodes", i, ri, nf)
+			return nil, r.err
+		}
+		if forest[ri].W != n+2 {
+			r.corrupt("subdomain %d list covers %d leaves for %d records", i, forest[ri].W, n)
+			return nil, r.err
+		}
+		subs[i] = &core.SubInfo{List: &fmh.List{N: n, Tree: &forest[ri]}}
+	}
+
+	// Per-subdomain extras.
+	for i, si := range subs {
+		if materialized {
+			si.Perm = readPerm("permutation")
+			if r.err == nil && len(si.Perm) != n {
+				r.corrupt("subdomain %d permutation has %d entries for %d records", i, len(si.Perm), n)
+			}
+		}
+		if d.mode == core.MultiSignature {
+			si.IneqEnc = r.bytes("inequality encoding")
+			si.Sig = r.bytes("subdomain signature")
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+	}
+
+	// IMH tree.
+	nt := r.count("imh node", 37)
+	if r.err == nil && nt < 1 {
+		r.corrupt("empty imh tree")
+	}
+	inodes := make([]itree.Node, nt)
+	leaves := make([]itree.Subdomain, ns)
+	subPtrs := make([]*itree.Subdomain, ns)
+	seen := 0
+	for i := range inodes {
+		switch kind := r.u8("imh node kind"); {
+		case r.err != nil:
+			return nil, r.err
+		case kind == 0:
+			sid := r.u32("imh leaf subdomain")
+			if r.err != nil {
+				return nil, r.err
+			}
+			if int(sid) >= ns {
+				r.corrupt("imh leaf subdomain %d outside %d", sid, ns)
+			} else if subPtrs[sid] != nil {
+				r.corrupt("duplicate imh leaf for subdomain %d", sid)
+			} else {
+				leaves[sid] = itree.Subdomain{ID: int(sid)}
+				subPtrs[sid] = &leaves[sid]
+				inodes[i].Leaf = subPtrs[sid]
+				seen++
+			}
+		case kind == 1:
+			ii, jj := r.u32("intersection i"), r.u32("intersection j")
+			enc := r.bytes("hyperplane")
+			ai, bi := r.u32("above child"), r.u32("below child")
+			if r.err != nil {
+				return nil, r.err
+			}
+			if int(ii) >= int(jj) || int(jj) >= n {
+				r.corrupt("imh node %d intersection (%d,%d) outside %d functions", i, ii, jj, n)
+				break
+			}
+			if int(ai) >= i || int(bi) >= i {
+				r.corrupt("imh node %d references a later child", i)
+				break
+			}
+			hp, rest, err := geometry.DecodeHyperplane(enc)
+			if err != nil || len(rest) != 0 || len(hp.C) != dim {
+				r.corrupt("imh node %d hyperplane encoding", i)
+				break
+			}
+			inodes[i].Int = &itree.Intersection{I: int(ii), J: int(jj), H: hp}
+			inodes[i].Above, inodes[i].Below = &inodes[ai], &inodes[bi]
+		default:
+			r.corrupt("unknown imh node kind %d", kind)
+		}
+		inodes[i].Hash = r.digest("imh node hash")
+		if r.err != nil {
+			return nil, r.err
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if nt < 1 {
+		return nil, fmt.Errorf("%w: empty imh tree", ErrCorrupt)
+	}
+	if seen != ns {
+		r.corrupt("imh tree has %d leaves for %d subdomains", seen, ns)
+		return nil, r.err
+	}
+	for i, si := range subs {
+		si.Sub = subPtrs[i]
+	}
+	d.itree = &itree.Tree{Root: &inodes[nt-1], Subs: subPtrs, NodeCount: nt}
+	d.subs = subs
+
+	d.rootSig = r.bytes("root signature")
+
+	// Sealed trailer: the content hash over everything before it.
+	want := r.digest("content hash")
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	d.hash = hashing.Digest(sha256.Sum256(data[:len(data)-len(want)]))
+	if d.hash != want {
+		return nil, fmt.Errorf("%w: tree blob content hash mismatch", ErrCorrupt)
+	}
+	return d, nil
+}
+
+// manifest binds one artifact directory together: the format version,
+// the product kind, the epoch and mode every blob must agree on, the
+// published parameter bundle, the shard plan, and each blob's sealed
+// content hash and tree fingerprint. Its own trailing self-hash is the
+// artifact's content hash — the identity /params advertises.
+type manifest struct {
+	kind          Kind
+	epoch         uint64
+	mode          core.Mode
+	verifierBytes []byte
+	template      funcs.Template
+	semTol        float64
+	plan          shard.Plan
+	fileHashes    []hashing.Digest
+	fingerprints  []hashing.Digest
+	hash          hashing.Digest // self-hash = artifact content hash
+}
+
+// encodeManifest serializes and seals a manifest, returning the bytes
+// and the artifact content hash.
+func encodeManifest(m *manifest) ([]byte, hashing.Digest) {
+	w := &writer{buf: make([]byte, 0, 1<<10)}
+	w.buf = append(w.buf, magicManifest[:]...)
+	w.u32(formatVersion)
+	w.u8(uint8(m.kind))
+	w.u64(m.epoch)
+	w.u8(uint8(m.mode))
+	w.bytes(m.verifierBytes)
+	w.str(m.template.Name)
+	w.u32(uint32(len(m.template.CoefAttrs)))
+	for _, a := range m.template.CoefAttrs {
+		w.i32(a)
+	}
+	w.i32(m.template.BiasAttr)
+	w.f64(m.semTol)
+	w.box(m.plan.Domain)
+	w.u32(uint32(m.plan.Axis))
+	w.u32(uint32(len(m.plan.Cuts)))
+	w.f64s(m.plan.Cuts)
+	w.u32(uint32(len(m.fileHashes)))
+	for i := range m.fileHashes {
+		w.digest(m.fileHashes[i])
+		w.digest(m.fingerprints[i])
+	}
+	buf, h := w.seal()
+	m.hash = h
+	return buf, h
+}
+
+// decodeManifest parses and verifies a manifest file.
+func decodeManifest(data []byte) (*manifest, error) {
+	if len(data) < len(magicManifest) {
+		return nil, fmt.Errorf("%w: %d-byte file", ErrTruncated, len(data))
+	}
+	if [4]byte(data[:4]) != magicManifest {
+		return nil, fmt.Errorf("%w: %q is not an artifact manifest", ErrBadMagic, data[:4])
+	}
+	r := &reader{buf: data[4:]}
+	if v := r.u32("version"); r.err == nil && v != formatVersion {
+		return nil, fmt.Errorf("%w: manifest version %d (want %d)", ErrVersion, v, formatVersion)
+	}
+	m := &manifest{}
+	kind := r.u8("kind")
+	if r.err == nil && kind != uint8(KindTree) && kind != uint8(KindSet) {
+		r.corrupt("unknown artifact kind %d", kind)
+	}
+	m.kind = Kind(kind)
+	m.epoch = r.u64("epoch")
+	mode := r.u8("mode")
+	if r.err == nil && mode > uint8(core.MultiSignature) {
+		r.corrupt("unknown mode %d", mode)
+	}
+	m.mode = core.Mode(mode)
+	m.verifierBytes = r.bytes("verifier")
+	m.template.Name = r.str("template name")
+	nc := r.count("template variable", 4)
+	m.template.CoefAttrs = make([]int, nc)
+	for i := range m.template.CoefAttrs {
+		m.template.CoefAttrs[i] = r.i32("template attribute")
+	}
+	m.template.BiasAttr = r.i32("template bias")
+	m.semTol = r.f64("semantic tolerance")
+	domain := r.box("plan domain")
+	axis := r.u32("plan axis")
+	cuts := r.f64s(r.count("plan cut", 8), "plan cuts")
+	if r.err != nil {
+		return nil, r.err
+	}
+	plan, err := shard.NewPlanCuts(domain, int(axis), cuts)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	m.plan = plan
+	k := r.count("shard hash", 64)
+	if r.err == nil && (k < 1 || (m.kind == KindTree && k != 1) || (m.kind == KindSet && k != plan.K())) {
+		r.corrupt("%d blob hashes for a %s artifact with a %d-shard plan", k, m.kind, plan.K())
+	}
+	m.fileHashes = make([]hashing.Digest, k)
+	m.fingerprints = make([]hashing.Digest, k)
+	for i := 0; i < k; i++ {
+		m.fileHashes[i] = r.digest("blob hash")
+		m.fingerprints[i] = r.digest("fingerprint")
+	}
+	want := r.digest("content hash")
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	m.hash = hashing.Digest(sha256.Sum256(data[:len(data)-len(want)]))
+	if m.hash != want {
+		return nil, fmt.Errorf("%w: manifest content hash mismatch", ErrCorrupt)
+	}
+	return m, nil
+}

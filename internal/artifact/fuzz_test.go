@@ -1,0 +1,89 @@
+package artifact
+
+import (
+	"context"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aqverify/internal/build"
+	"aqverify/internal/core"
+)
+
+// fuzzSeeds builds one small artifact per product shape and returns its
+// file bytes — the honest corpus the mutators start from.
+func fuzzSeeds(f *testing.F) (tree, man []byte) {
+	f.Helper()
+	// A tiny build keeps the seed blob small, which keeps the engine's
+	// minimization of derived interesting inputs cheap.
+	spec := testSpec(f, 4, 2)
+	res, err := build.Outsource(context.Background(), spec, build.WithMode(core.MultiSignature), build.WithShuffle(2))
+	if err != nil {
+		f.Fatal(err)
+	}
+	dir := f.TempDir()
+	if _, err := Save(dir, res); err != nil {
+		f.Fatal(err)
+	}
+	tree, err = os.ReadFile(filepath.Join(dir, treeName))
+	if err != nil {
+		f.Fatal(err)
+	}
+	man, err = os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		f.Fatal(err)
+	}
+	return tree, man
+}
+
+// FuzzDecodeTree hammers the blob decoder: any input must either decode
+// or be refused with a named error — never panic, never over-allocate.
+// The seed corpus covers the honest blob plus the refusal matrix's
+// shapes: truncations, a flipped content-hash bit, and a wrong magic.
+func FuzzDecodeTree(f *testing.F) {
+	blob, _ := fuzzSeeds(f)
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	f.Add(blob[:len(blob)-17])
+	flipped := append([]byte(nil), blob...)
+	flipped[len(flipped)-1] ^= 0x80 // inside the sealed trailer
+	f.Add(flipped)
+	wrongMagic := append([]byte(nil), blob...)
+	wrongMagic[0] = 'X'
+	f.Add(wrongMagic)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		d, err := decodeTree(data)
+		if (d == nil) == (err == nil) {
+			t.Fatalf("decode returned (%v, %v)", d, err)
+		}
+	})
+}
+
+// FuzzDecodeManifest does the same for the manifest decoder, seeding an
+// edited-epoch variant (which must fail its self-hash) alongside the
+// truncation and magic shapes.
+func FuzzDecodeManifest(f *testing.F) {
+	_, man := fuzzSeeds(f)
+	f.Add(man)
+	f.Add(man[:len(man)/2])
+	editedEpoch := append([]byte(nil), man...)
+	// The epoch u64 sits after magic(4) + version(4) + kind(1).
+	binary.BigEndian.PutUint64(editedEpoch[9:], 42)
+	f.Add(editedEpoch)
+	wrongMagic := append([]byte(nil), man...)
+	wrongMagic[0] = 'X'
+	f.Add(wrongMagic)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		m, err := decodeManifest(data)
+		if (m == nil) == (err == nil) {
+			t.Fatalf("decode returned (%v, %v)", m, err)
+		}
+	})
+}

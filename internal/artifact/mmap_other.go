@@ -1,0 +1,26 @@
+//go:build !unix
+
+package artifact
+
+import (
+	"io"
+	"os"
+)
+
+// mapping is one blob file's bytes. Without a portable mmap the file is
+// read into memory; the decoder's zero-copy aliasing still applies,
+// just over a private buffer instead of the page cache.
+type mapping struct {
+	data   []byte
+	mapped bool
+}
+
+func mapFile(f *os.File) (mapping, error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return mapping{}, err
+	}
+	return mapping{data: data}, nil
+}
+
+func (m mapping) close() error { return nil }

@@ -1,0 +1,45 @@
+//go:build unix
+
+package artifact
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mapping is one blob file's bytes: a read-only memory map on unix, so
+// opening an artifact costs page-table setup, not a copy, and the
+// reconstructed tree's signatures and payloads are served straight out
+// of the page cache.
+type mapping struct {
+	data   []byte
+	mapped bool
+}
+
+func mapFile(f *os.File) (mapping, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return mapping{}, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return mapping{}, nil
+	}
+	if size > math.MaxInt32 {
+		return mapping{}, fmt.Errorf("%d-byte file exceeds the format's 2 GiB bound", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return mapping{}, err
+	}
+	return mapping{data: data, mapped: true}, nil
+}
+
+func (m mapping) close() error {
+	if !m.mapped {
+		return nil
+	}
+	return syscall.Munmap(m.data)
+}

@@ -36,6 +36,7 @@ func Figures() []Figure {
 		{"streamT1", "Streaming transport: time-to-first-verified-result vs the buffered batch exchange", streamFirstResult},
 		{"mutM1", "Mutation plane: incremental apply vs full rebuild by batch size", mutationScaling},
 		{"cacheC1", "Cache plane: verified query latency, cached vs uncached, Zipf workload", cacheScaling},
+		{"loadA1", "Artifact plane: cold rebuild vs artifact load", loadScaling},
 	}
 }
 

@@ -117,13 +117,16 @@ func (t *Tree) ApplyCtx(ctx context.Context, d Delta, epoch uint64, progress fun
 	p := t.bp
 	p.Progress = progress
 	p.Epoch = epoch
+	if p.Signer == nil {
+		// Covers both legacy trees and serve-only reconstructions
+		// (FromSnapshot / a loaded artifact): without the owner's key
+		// no next epoch can be signed here.
+		return nil, fmt.Errorf("core: tree is serve-only (no signer retained; e.g. reconstructed from an artifact); apply mutations on the owner's build and publish a new epoch")
+	}
 	if t.arr == nil {
 		// No canonical arrangement retained: fall back to a full
 		// rebuild at the bumped epoch.
 		return BuildCtx(ctx, d.Table, p)
-	}
-	if p.Signer == nil {
-		return nil, fmt.Errorf("core: tree retains no signer; rebuild it with this version")
 	}
 
 	fs, err := p.Template.InterpretTable(d.Table)

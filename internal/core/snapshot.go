@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+
+	"aqverify/internal/funcs"
+	"aqverify/internal/geometry"
+	"aqverify/internal/hashing"
+	"aqverify/internal/itree"
+	"aqverify/internal/record"
+	"aqverify/internal/sig"
+	"aqverify/internal/sweep"
+)
+
+// Snapshot is the complete serve-state of a built tree: every field a
+// server needs to answer and authenticate queries, and nothing the
+// owner keeps private (the signer, the canonical arrangement). The
+// artifact plane (internal/artifact) persists snapshots to disk and
+// reconstructs serving trees from them through FromSnapshot; the two
+// directions meet at Fingerprint — a reconstructed tree fingerprints
+// identically to the one that was snapshotted.
+//
+// A snapshot aliases the tree's internal state. It is a read view:
+// callers must not mutate the referenced nodes, lists or slices.
+type Snapshot struct {
+	Mode     Mode
+	Epoch    uint64
+	Domain   geometry.Box
+	Template funcs.Template
+	Table    record.Table
+	// Plan is the delta-mode sweep plan (zero for materialized and
+	// multivariate layouts, whose permutations live on the subs).
+	Plan sweep.Plan
+	// ITree is the IMH search tree with every node hash filled.
+	ITree *itree.Tree
+	// Subs carries each subdomain's FMH list, its permutation
+	// (materialized layouts only) and, in multi-signature mode, its
+	// inequality encoding and signature.
+	Subs []*SubInfo
+	// RootSig is the owner's root signature (one-signature mode).
+	RootSig  []byte
+	Verifier sig.Verifier
+}
+
+// Snapshot returns the tree's serve-state. See Snapshot for the
+// aliasing contract.
+func (t *Tree) Snapshot() Snapshot {
+	return Snapshot{
+		Mode:     t.mode,
+		Epoch:    t.epoch,
+		Domain:   t.domain,
+		Template: t.template,
+		Table:    t.table,
+		Plan:     t.plan,
+		ITree:    t.itree,
+		Subs:     t.subs,
+		RootSig:  t.rootSig,
+		Verifier: t.verifier,
+	}
+}
+
+// FromSnapshot reconstructs a serving tree from a snapshot: it derives
+// the record functions from the template, recomputes the record
+// digests and the root digest, decodes the multi-signature inequality
+// sets, and rebuilds the sweep cursor — everything else (the IMH node
+// hashes, the FMH forest, the signatures) is taken from the snapshot
+// as-is, which is what makes reconstruction O(structure) instead of
+// O(n²) rebuild.
+//
+// The result is serve-only: it answers and authenticates queries
+// exactly like the original (equal Fingerprint), but it retains no
+// signer and no canonical arrangement, so ApplyCtx refuses it — the
+// owner mutates its own build and publishes a new artifact.
+//
+// FromSnapshot validates structural consistency (counts, index ranges,
+// mode-required fields), not cryptographic integrity: a caller that
+// loads snapshots from untrusted bytes must bind them to a trusted
+// content hash first (the artifact plane pins both a file hash and the
+// fingerprint).
+func FromSnapshot(s Snapshot) (*Tree, error) {
+	if s.Table.Len() == 0 {
+		return nil, fmt.Errorf("core: snapshot has an empty table")
+	}
+	if s.Verifier == nil {
+		return nil, fmt.Errorf("core: snapshot carries no verifier")
+	}
+	if s.Epoch == 0 {
+		return nil, fmt.Errorf("core: snapshot carries no epoch")
+	}
+	if s.ITree == nil || s.ITree.Root == nil {
+		return nil, fmt.Errorf("core: snapshot carries no search tree")
+	}
+	if err := s.Template.Validate(s.Table.Schema.Arity()); err != nil {
+		return nil, err
+	}
+	if s.Domain.Dim() != s.Template.Dim() {
+		return nil, fmt.Errorf("core: snapshot domain is %d-D but template has %d variables",
+			s.Domain.Dim(), s.Template.Dim())
+	}
+	if len(s.Subs) == 0 || len(s.Subs) != len(s.ITree.Subs) {
+		return nil, fmt.Errorf("core: snapshot has %d sub infos for %d subdomains",
+			len(s.Subs), len(s.ITree.Subs))
+	}
+
+	fs, err := s.Template.InterpretTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	var space geometry.Space
+	if s.Template.Dim() == 1 {
+		if space, err = geometry.NewSpace1D(s.Domain); err != nil {
+			return nil, err
+		}
+	} else {
+		if space, err = geometry.NewSpaceND(s.Domain); err != nil {
+			return nil, err
+		}
+	}
+	if s.ITree.Space == nil {
+		s.ITree.Space = space
+	}
+
+	h := hashing.New(nil)
+	t := &Tree{
+		mode:     s.Mode,
+		space:    space,
+		domain:   s.Domain,
+		template: s.Template,
+		hasher:   h,
+		table:    s.Table,
+		fs:       fs,
+		itree:    s.ITree,
+		subs:     s.Subs,
+		plan:     s.Plan,
+		rootSig:  s.RootSig,
+		verifier: s.Verifier,
+		epoch:    s.Epoch,
+		// bp retains only the public build shape; Signer stays nil, the
+		// marker ApplyCtx uses to refuse serve-only trees.
+		bp: Params{Mode: s.Mode, Domain: s.Domain, Template: s.Template, Epoch: s.Epoch},
+	}
+
+	n := s.Table.Len()
+	delta := false
+	for i, si := range s.Subs {
+		if si == nil || si.List == nil || si.Sub == nil {
+			return nil, fmt.Errorf("core: snapshot subdomain %d is incomplete", i)
+		}
+		if si.Sub.ID != i {
+			return nil, fmt.Errorf("core: snapshot subdomain %d carries id %d", i, si.Sub.ID)
+		}
+		if si.List.LeafCount() != n+2 {
+			return nil, fmt.Errorf("core: subdomain %d list covers %d leaves for %d records",
+				i, si.List.LeafCount(), n)
+		}
+		if si.Perm == nil {
+			delta = true
+		} else if len(si.Perm) != n {
+			return nil, fmt.Errorf("core: subdomain %d permutation has %d entries for %d records",
+				i, len(si.Perm), n)
+		}
+	}
+	if delta {
+		if len(s.Plan.BasePerm) != n {
+			return nil, fmt.Errorf("core: delta snapshot base permutation has %d entries for %d records",
+				len(s.Plan.BasePerm), n)
+		}
+		if len(s.Plan.Swaps) != len(s.Subs)-1 {
+			return nil, fmt.Errorf("core: delta snapshot has %d boundary swap lists for %d subdomains",
+				len(s.Plan.Swaps), len(s.Subs))
+		}
+		t.cursor = sweep.NewCursor(s.Plan)
+	}
+
+	switch s.Mode {
+	case OneSignature:
+		if len(s.RootSig) == 0 {
+			return nil, fmt.Errorf("core: one-signature snapshot carries no root signature")
+		}
+		t.sigCount = 1
+	case MultiSignature:
+		for i, si := range s.Subs {
+			if len(si.Sig) == 0 || len(si.IneqEnc) == 0 {
+				return nil, fmt.Errorf("core: multi-signature snapshot subdomain %d carries no signature", i)
+			}
+			if si.Ineqs == nil {
+				ineqs, rest, err := geometry.DecodeHalfspaces(si.IneqEnc)
+				if err != nil {
+					return nil, fmt.Errorf("core: subdomain %d inequality encoding: %w", i, err)
+				}
+				if len(rest) != 0 {
+					return nil, fmt.Errorf("core: subdomain %d inequality encoding has %d trailing bytes", i, len(rest))
+				}
+				si.Ineqs = ineqs
+			}
+		}
+		t.sigCount = len(s.Subs)
+	default:
+		return nil, fmt.Errorf("core: unknown mode %v", s.Mode)
+	}
+
+	t.recDigests = make([]hashing.Digest, n)
+	for i := range s.Table.Records {
+		t.recDigests[i] = h.Record(s.Table.Records[i])
+	}
+	t.rootDigest = h.Root(s.ITree.Root.Hash)
+	return t, nil
+}

@@ -58,6 +58,27 @@ func DialFanout(urls []string, hc *http.Client) (*backend.Fanout, Params, error)
 			return nil, Params{}, fmt.Errorf("transport: backend %s publishes a different template than %s", d.url, ds[0].url)
 		}
 	}
+	// Shards serving from artifacts must serve shards of the *same*
+	// artifact set: the manifest hash is one value for the whole set, so
+	// two different nonempty hashes mean two different publications
+	// composed into one façade. A mix of built (no hash) and loaded
+	// shards is allowed — a rolling redeploy looks like that.
+	var anchor *dialed
+	for i := range ds {
+		if ds[i].params.Artifact == "" {
+			continue
+		}
+		if anchor == nil {
+			anchor = &ds[i]
+			continue
+		}
+		if ds[i].params.Artifact != anchor.params.Artifact {
+			return nil, Params{}, &ArtifactMismatchError{
+				URL: ds[i].url, Hash: ds[i].params.Artifact,
+				OtherURL: anchor.url, OtherHash: anchor.params.Artifact,
+			}
+		}
+	}
 	// Shard order = ascending corner order; for a one-axis split this is
 	// the left-to-right order PlanFromBoxes requires.
 	sort.SliceStable(ds, func(i, j int) bool {
@@ -96,6 +117,21 @@ func DialFanout(urls []string, hc *http.Client) (*backend.Fanout, Params, error)
 	// The handler reads the live value off Fanout.Epoch at request time.
 	params.Epoch = f.Epoch()
 	return f, params, nil
+}
+
+// ArtifactMismatchError reports two shard servers of one deployment
+// advertising different artifact content hashes on /params: their trees
+// come from different saved publications, and composing them would
+// serve a database no single owner build produced. DialFanout returns
+// it so operators see which two backends disagree by name.
+type ArtifactMismatchError struct {
+	URL, Hash           string // the backend that broke the match
+	OtherURL, OtherHash string // the first artifact-serving backend dialed
+}
+
+func (e *ArtifactMismatchError) Error() string {
+	return fmt.Sprintf("transport: backend %s serves artifact %.12s…, %s serves %.12s…; shard servers must load shards of one saved set",
+		e.URL, e.Hash, e.OtherURL, e.OtherHash)
 }
 
 // sameTemplate compares two advertised templates field for field.

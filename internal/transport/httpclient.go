@@ -171,6 +171,14 @@ func (c *HTTPClient) Refresh(ctx context.Context) (uint64, error) {
 	return p.Epoch, nil
 }
 
+// Artifact returns the hex content hash of the on-disk artifact the
+// server serves from, or "" when it built in memory without saving one.
+func (c *HTTPClient) Artifact() string { return c.params.Artifact }
+
+// Provenance returns how the server's bundle came to be — "built" or
+// "loaded" — or "" on servers that predate the artifact plane.
+func (c *HTTPClient) Provenance() string { return c.params.Provenance }
+
 // Domain returns the server's advertised serving domain, when it
 // advertises one — a shard server of a multi-process deployment
 // advertises its sub-box.

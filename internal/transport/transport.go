@@ -87,6 +87,18 @@ type Params struct {
 	// batched or streamed answer, surfacing a mismatch as a typed
 	// staleness error rather than a verification failure.
 	Epoch uint64 `json:"epoch,omitempty"`
+	// Artifact advertises the hex content hash of the on-disk artifact
+	// this server serves from (or saved at boot) — the manifest's sealed
+	// self-hash, one value for a whole K-shard set. Absent on servers
+	// that built in memory without -save. DialFanout compares nonempty
+	// hashes across a multi-process deployment and refuses a mix of
+	// artifacts as an *ArtifactMismatchError.
+	Artifact string `json:"artifact,omitempty"`
+	// Provenance says how the serving bundle came to be: "built" (fresh
+	// build.Outsource at boot) or "loaded" (reconstructed from an
+	// artifact directory, vqserve -load). Informational — verification
+	// is provenance-transparent.
+	Provenance string `json:"provenance,omitempty"`
 }
 
 // TplJSON is the JSON form of a utility-function template.
@@ -157,9 +169,21 @@ func NewIFMHHandler(srv *server.Server, pub core.PublicParams) (*Handler, error)
 // cache.Wrap(srv), and the handler must serve the wrapper so hits skip
 // the walk while /params still describes srv's bundle).
 func NewIFMHHandlerFor(srv *server.Server, b backend.Backend, pub core.PublicParams) (*Handler, error) {
-	vb, err := sig.MarshalVerifier(pub.Verifier)
+	p, err := IFMHParams(srv, pub)
 	if err != nil {
 		return nil, err
+	}
+	return NewBackendHandler(b, p)
+}
+
+// IFMHParams assembles the trust bundle an IFMH-backed server publishes
+// — the building block behind NewIFMHHandler for deployments that add
+// fields before constructing the handler (vqserve stamps the artifact
+// content hash and provenance on it).
+func IFMHParams(srv *server.Server, pub core.PublicParams) (Params, error) {
+	vb, err := sig.MarshalVerifier(pub.Verifier)
+	if err != nil {
+		return Params{}, err
 	}
 	p := Params{
 		Backend:  srv.Name(),
@@ -171,7 +195,7 @@ func NewIFMHHandlerFor(srv *server.Server, b backend.Backend, pub core.PublicPar
 	if dom, ok := srv.Domain(); ok {
 		p.Domain = ToBoxJSON(dom)
 	}
-	return NewBackendHandler(b, p)
+	return p, nil
 }
 
 // NewMeshHandler wraps a mesh-backed server.
