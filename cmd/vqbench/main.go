@@ -7,8 +7,8 @@
 //	vqbench [flags]
 //
 //	-figure id     run one figure (fig5a..fig8b, ablationA1..A4, shardS1,
-//	               fanoutF1, streamT1, mutM1, cacheC1, loadA1); default
-//	               runs all
+//	               fanoutF1, streamT1, mutM1, cacheC1, loadA1, frontR1);
+//	               default runs all
 //	-quick         scaled-down sweep (seconds instead of minutes)
 //	-sizes list    comma-separated database sizes (default paper scale)
 //	-qsizes list   comma-separated result sizes for Figs 6d/7/8a

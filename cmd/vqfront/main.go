@@ -1,43 +1,52 @@
 // Command vqfront is the routing front-end of a multi-process shard
 // deployment: K vqserve processes each serve one shard of a
 // domain-sharded database (vqserve -shards K -shard i), and vqfront
-// composes them back into one logical database behind the same four
+// composes them back into one logical database behind the same
 // endpoints a single vqserve exposes. Clients cannot tell the
 // difference — the trust bundle, the wire frames and the verification
-// procedure are identical; only /stats shows the per-shard fan-out.
+// procedure are identical; only /stats and /metrics show the per-shard
+// fan-out.
 //
 // Usage:
 //
-//	vqfront [-addr :8080] [-cache] -backends http://host1:8081,http://host2:8082,...
+//	vqfront [-addr :8080] [-cache] [-replicas N] [-hedge 0.1] [-maxinflight 0]
+//	        -backends http://a1;http://a2,http://b1;http://b2
 //
-// -cache fronts the fan-out with the in-memory cache tier
+// -backends lists one group per shard, comma-separated; within a group,
+// semicolons separate that shard's replicas (a plain comma-separated
+// list — one process per shard — keeps working unchanged). With
+// replicas the front routes each exchange by power-of-two-choices over
+// live in-flight counts, health-checks every replica in the background
+// (/params probe; consecutive failures eject, recovery re-admits), and
+// — when -hedge is on — re-issues a slow batch to a second replica
+// after a p99-tracked deadline and takes the first answer. All replicas
+// must serve the same logical database (one backend name, verifier key,
+// template; one artifact set when artifact hashes are advertised);
+// replicas may lag each other's epoch mid-rollout, which shows up on
+// the epoch-lag gauges rather than failing composition.
+//
+// -replicas N asserts every shard group has exactly N replicas (0
+// skips the check). -hedge F caps issued hedges at fraction F of each
+// shard's requests (0 disables hedging). -maxinflight B bounds
+// concurrently admitted exchanges; the excess is shed with a 429
+// instead of queued (0 = unbounded).
+//
+// -cache fronts the replica plane with the in-memory cache tier
 // (internal/cache): repeated queries are answered at the front-end
-// without touching any shard process, and concurrent identical queries
-// collapse into one forwarded walk. The front-end's epoch pin is the
-// maximum across the shard processes, so rolling a new epoch through
-// the backends strands the front-end's cached answers. /stats gains a
-// "cache" object.
+// without touching any shard process. /stats gains a "cache" object and
+// /metrics the aqv_cache_* families.
 //
 // The shard plan is recovered from the backends' advertised serving
-// domains (/params carries each shard's sub-box): the sub-boxes must
-// tile the owner's domain contiguously along one axis. Backends may be
-// listed in any order. Every backend must advertise the same backend
-// name, verifier key and template — one logical database, one owner.
-//
-// Batches are split per owning shard and forwarded concurrently, one
-// POST /query/batch per shard; per-item failures travel inside the
-// frame, and each answer is attributed to its shard id exactly as a
-// single-process sharded vqserve attributes it. A POST /query/stream
-// batch is forwarded as one pipelined stream per owning shard and the
-// K per-shard streams merge in completion order, so the client's first
-// answer arrives while other shards are still working; shard servers
-// that predate the stream route are driven over the buffered batch
-// exchange instead, transparently.
+// domains exactly as for the unreplicated front; batches split per
+// owning shard and forward concurrently; streams pipeline per shard and
+// merge in completion order. GET /metrics serves the Prometheus text
+// exposition (tally, cache and front families).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"strings"
@@ -45,6 +54,7 @@ import (
 
 	"aqverify/internal/backend"
 	"aqverify/internal/cache"
+	"aqverify/internal/front"
 	"aqverify/internal/transport"
 )
 
@@ -58,22 +68,31 @@ func main() {
 func run() error {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
-		backends = flag.String("backends", "", "comma-separated base URLs, one vqserve per shard (required)")
+		backends = flag.String("backends", "", "shard groups, comma-separated; semicolon-separated replica URLs within a group (required)")
+		replicas = flag.Int("replicas", 0, "assert every shard group has exactly this many replicas (0 = any)")
+		hedge    = flag.Float64("hedge", 0, "hedge budget: re-issue slow batches to a second replica, capped at this fraction of requests (0 = off)")
+		maxInFl  = flag.Int("maxinflight", 0, "admission bound on concurrently served exchanges; excess is shed with 429 (0 = unbounded)")
 		cacheOn  = flag.Bool("cache", false, "front the fan-out with the in-memory cache tier (/stats gains a cache object)")
 	)
 	flag.Parse()
 	if *backends == "" {
-		return fmt.Errorf("-backends is required (comma-separated vqserve base URLs)")
+		return fmt.Errorf("-backends is required (comma-separated shard groups of semicolon-separated vqserve base URLs)")
 	}
-	urls := strings.Split(*backends, ",")
-	for i := range urls {
-		urls[i] = strings.TrimSpace(urls[i])
-	}
-
-	f, params, err := transport.DialFanout(urls, nil)
+	groups, err := parseBackends(*backends, *replicas)
 	if err != nil {
 		return err
 	}
+
+	start := time.Now()
+	f, params, err := front.DialFront(groups, front.HTTPClient(), front.Options{
+		HedgeFraction: *hedge,
+		MaxInFlight:   *maxInFl,
+		Logf:          log.New(os.Stderr, "", log.LstdFlags).Printf,
+	})
+	if err != nil {
+		return err
+	}
+	defer f.Close()
 	var served backend.Backend = f
 	if *cacheOn {
 		if served, err = cache.Wrap(f); err != nil {
@@ -84,18 +103,54 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	bootReport(f, params.Artifact, time.Since(start))
 
 	plan := f.Plan()
-	fmt.Printf("fronting %s across %d shard processes (domain [%g, %g], axis %d)\n",
+	fmt.Printf("fronting %s across %d shard groups (domain [%g, %g], axis %d)\n",
 		f.Name(), f.NumShards(), plan.Domain.Lo[plan.Axis], plan.Domain.Hi[plan.Axis], plan.Axis)
 	for i, b := range plan.Boxes {
-		fmt.Printf("  shard %d [%g, %g]: %s\n", i, b.Lo[plan.Axis], b.Hi[plan.Axis], urls[i])
+		fmt.Printf("  shard %d [%g, %g]: %s\n", i, b.Lo[plan.Axis], b.Hi[plan.Axis], strings.Join(groups[i], " "))
 	}
-	fmt.Printf("serving on %s; endpoints: POST /query, POST /query/batch, POST /query/stream, GET /params, GET /stats\n", *addr)
+	fmt.Printf("serving on %s; endpoints: POST /query, POST /query/batch, POST /query/stream, GET /params, GET /stats, GET /metrics\n", *addr)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	return httpSrv.ListenAndServe()
+}
+
+// parseBackends splits the -backends flag into shard groups: commas
+// separate shards (the shape the unreplicated front always took),
+// semicolons separate one shard's replicas.
+func parseBackends(s string, wantReplicas int) ([][]string, error) {
+	var groups [][]string
+	for _, g := range strings.Split(s, ",") {
+		var urls []string
+		for _, u := range strings.Split(g, ";") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("-backends has an empty shard group")
+		}
+		if wantReplicas > 0 && len(urls) != wantReplicas {
+			return nil, fmt.Errorf("-replicas %d but shard group %q lists %d replicas", wantReplicas, g, len(urls))
+		}
+		groups = append(groups, urls)
+	}
+	return groups, nil
+}
+
+// bootReport is the one-line boot summary on stderr — the same stable
+// key=value shape vqserve prints, so a supervisor can grep how the
+// front came up and what it is fronting.
+func bootReport(f *front.Frontend, artHash string, d time.Duration) {
+	line := fmt.Sprintf("vqfront: front: shards=%d replicas=%d epoch=%d in %v",
+		f.NumShards(), f.Replicas(), f.Epoch(), d.Round(100*time.Microsecond))
+	if artHash != "" {
+		line += " artifact=" + artHash[:12]
+	}
+	fmt.Fprintln(os.Stderr, line)
 }

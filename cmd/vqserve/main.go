@@ -31,7 +31,8 @@
 //
 // Endpoints: POST /query, POST /query/batch and POST /query/stream
 // (binary; the stream route pipelines a batch's answers back in
-// completion order, flushed frame by frame), GET /params, GET /stats.
+// completion order, flushed frame by frame), GET /params, GET /stats,
+// GET /metrics (Prometheus text exposition of the same counters).
 // -workers sizes the construction worker pool of every build
 // stage (0 = one per CPU, 1 = serial). -shards K splits the domain into
 // K contiguous sub-boxes along -shardaxis and serves one independently
@@ -379,7 +380,7 @@ func bootReport(provenance string, n, shards int, epoch uint64, artHash string, 
 }
 
 func serveHTTP(addr string, h *transport.Handler, dom geometry.Box) error {
-	fmt.Printf("serving on %s (domain [%g, %g]); endpoints: POST /query, POST /query/batch, POST /query/stream, GET /params, GET /stats\n",
+	fmt.Printf("serving on %s (domain [%g, %g]); endpoints: POST /query, POST /query/batch, POST /query/stream, GET /params, GET /stats, GET /metrics\n",
 		addr, dom.Lo[0], dom.Hi[0])
 	httpSrv := &http.Server{
 		Addr:              addr,

@@ -37,6 +37,7 @@ func Figures() []Figure {
 		{"mutM1", "Mutation plane: incremental apply vs full rebuild by batch size", mutationScaling},
 		{"cacheC1", "Cache plane: verified query latency, cached vs uncached, Zipf workload", cacheScaling},
 		{"loadA1", "Artifact plane: cold rebuild vs artifact load", loadScaling},
+		{"frontR1", "Front plane: tail latency under one slow replica, hedged vs unhedged", frontTail},
 	}
 }
 

@@ -1,0 +1,58 @@
+package front
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// digest is the decaying latency record a replica set tracks its hedge
+// deadline with: a fixed-size ring of recent request completions, so
+// the p99 estimate follows the live distribution and old incidents age
+// out as traffic flows (a time-decayed sketch without the bookkeeping).
+// Only winning completions are recorded — a hedged request contributes
+// the latency the client actually observed — which keeps the deadline
+// anchored to healthy service time instead of chasing a slow replica's
+// tail upward until hedging turns itself off.
+type digest struct {
+	mu   sync.Mutex
+	buf  []time.Duration
+	n    int // filled entries, ≤ len(buf)
+	next int // ring write position
+}
+
+func newDigest(size int) *digest {
+	return &digest{buf: make([]time.Duration, size)}
+}
+
+// Record folds one completion in, displacing the oldest once full.
+func (d *digest) Record(v time.Duration) {
+	d.mu.Lock()
+	d.buf[d.next] = v
+	d.next = (d.next + 1) % len(d.buf)
+	if d.n < len(d.buf) {
+		d.n++
+	}
+	d.mu.Unlock()
+}
+
+// Quantile returns the q-quantile (0 < q ≤ 1) of the recorded window,
+// 0 when nothing has been recorded yet (callers clamp to a floor).
+func (d *digest) Quantile(q float64) time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.n == 0 {
+		return 0
+	}
+	tmp := make([]time.Duration, d.n)
+	copy(tmp, d.buf[:d.n])
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	i := int(q*float64(d.n)) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= d.n {
+		i = d.n - 1
+	}
+	return tmp[i]
+}

@@ -1,0 +1,387 @@
+// Package front is the production serving layer between clients and
+// the K shard processes of a multi-process deployment: replica sets,
+// hedged requests, admission control and the front's own observability.
+//
+// A vqfront composed with DialFront dials N replicas per shard and
+// serves the same endpoints a single vqserve serves; everything in this
+// package is invisible to the verification protocol. Per shard, a
+// ReplicaSet routes each exchange by power-of-two-choices over live
+// in-flight counts, hedges a batch onto a second replica after a
+// p99-tracked deadline (decaying latency digest; first healthy outcome
+// wins and the loser is canceled — safe by construction, queries are
+// read-only and every answer is verified client-side), caps hedges at a
+// configured fraction of traffic, fails over once on a wholesale
+// transport failure, and ejects a replica after consecutive failures
+// until the background /params prober sees it healthy again. The
+// Frontend composes the sets behind a backend.Fanout, adds the bounded
+// in-flight admission gate (shed requests surface as ErrOverload; the
+// HTTP handler maps them to 429), and exports hedge, ejection, shed,
+// per-replica epoch-lag and latency-histogram gauges through the
+// /metrics exposition.
+//
+// Replication interacts with the epoch plane the way a rolling swap
+// needs: replicas of one shard may legitimately serve different epochs
+// mid-rollout. Answers relay with their epoch stamps intact — the end
+// client holds the pin and sees the usual *backend.EpochError with
+// correct shard attribution when a newer replica answers — while the
+// front surfaces each replica's lag behind the fleet's newest epoch as
+// a gauge until the fleet converges.
+package front
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"aqverify/internal/backend"
+	"aqverify/internal/geometry"
+	"aqverify/internal/query"
+	"aqverify/internal/shard"
+	"aqverify/internal/transport"
+	"aqverify/internal/wire"
+)
+
+// ErrOverload reports a request shed by the admission gate instead of
+// queued: the front (or a shard server) was at its in-flight bound. It
+// re-exports the protocol-level sentinel — transport maps HTTP 429 to
+// it in both directions — so errors.Is(err, front.ErrOverload) holds
+// end to end, from the gate through a remote client. A shed request was
+// never admitted; retrying elsewhere or after backoff is always safe.
+var ErrOverload = wire.ErrOverload
+
+// Options tunes a Frontend. The zero value is serviceable: hedging off,
+// admission unbounded, probes every 2s.
+type Options struct {
+	// HedgeFraction caps issued hedges at this fraction of requests per
+	// shard; ≤ 0 disables hedging.
+	HedgeFraction float64
+	// HedgeAfterMin floors the hedge deadline (default 1ms), so a cold
+	// or very fast digest still waits a beat before doubling load.
+	HedgeAfterMin time.Duration
+	// HedgeAfterMax caps the hedge deadline (default 1s), so a polluted
+	// digest cannot push hedging past usefulness.
+	HedgeAfterMax time.Duration
+	// MaxInFlight bounds concurrently admitted exchanges across the
+	// front; 0 means unbounded (no gate).
+	MaxInFlight int
+	// FailAfter is the consecutive-failure count that ejects a replica
+	// (default 3).
+	FailAfter int
+	// ProbeEvery is the health-probe period (default 2s); negative
+	// disables the prober.
+	ProbeEvery time.Duration
+	// ProbeTimeout bounds one /params probe (default 2s).
+	ProbeTimeout time.Duration
+	// DigestSize is the latency window per shard the hedge deadline
+	// tracks (default 128 completions).
+	DigestSize int
+	// Logf receives ejection/re-admission notices; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.HedgeAfterMin <= 0 {
+		o.HedgeAfterMin = time.Millisecond
+	}
+	if o.HedgeAfterMax <= 0 {
+		o.HedgeAfterMax = time.Second
+	}
+	if o.FailAfter <= 0 {
+		o.FailAfter = 3
+	}
+	if o.ProbeEvery == 0 {
+		o.ProbeEvery = 2 * time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.DigestSize <= 0 {
+		o.DigestSize = 128
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// HTTPClient returns an http.Client tuned for a front's long-lived
+// fan-out connections: bounded dial and response-header waits so a dead
+// replica fails fast instead of hanging an exchange, keep-alives and a
+// per-host idle pool sized for steady fan-out traffic, and no overall
+// request timeout — streams are legitimately long-lived, and slow
+// replicas are the hedging layer's job, not a transport deadline's.
+func HTTPClient() *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			DialContext: (&net.Dialer{
+				Timeout:   5 * time.Second,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			ResponseHeaderTimeout: 30 * time.Second,
+			IdleConnTimeout:       90 * time.Second,
+			MaxIdleConnsPerHost:   32,
+		},
+	}
+}
+
+// Frontend is the replica-aware serving layer: a backend.Fanout over K
+// ReplicaSets plus the admission gate and the front's gauges. It
+// implements backend.Backend (queries route ungated — the gate is the
+// HTTP boundary's concern, enforced by the transport handler through
+// Admit; programmatic callers that want gating call Admit themselves)
+// and WriteProm, which the handler's /metrics route picks up.
+type Frontend struct {
+	fan  *backend.Fanout
+	sets []*ReplicaSet
+	gate *gate // nil when MaxInFlight is 0
+	opt  Options
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// DialFront dials every replica of every shard — groups[i] lists shard
+// group i's replica base URLs — recovers the shard plan from the
+// advertised serving domains, and composes the replica sets into a
+// Frontend. It enforces the same compatibility rules DialFanout
+// enforces, per replica: one backend name, verifier key and template
+// across the fleet; one artifact content hash across every
+// artifact-serving replica (a mismatch is an
+// *transport.ArtifactMismatchError naming both URLs); replicas of one
+// shard group must advertise the same sub-box. Epochs may differ — a
+// rolling swap looks like that — and surface as lag gauges, not errors.
+// Shard groups may be listed in any order; groups is reordered in place
+// into shard order. Dial failures name the URL that failed.
+//
+// The returned Params is the merged trust bundle the front republishes,
+// exactly as DialFanout merges it.
+func DialFront(groups [][]string, hc *http.Client, opt Options) (*Frontend, transport.Params, error) {
+	opt = opt.withDefaults()
+	if len(groups) == 0 {
+		return nil, transport.Params{}, fmt.Errorf("front: no backends given")
+	}
+	type shardDial struct {
+		box    geometry.Box
+		params transport.Params
+		reps   []*replica
+		urls   []string
+	}
+	ds := make([]shardDial, len(groups))
+	var anchorURL, anchorHash string // artifact anchor across ALL replicas
+	var firstURL string              // bundle anchor: first replica dialed
+	var firstParams transport.Params
+	for si, urls := range groups {
+		if len(urls) == 0 {
+			return nil, transport.Params{}, fmt.Errorf("front: shard group %d has no replica URLs", si)
+		}
+		for ri, u := range urls {
+			rem, err := transport.DialRemote(u, hc)
+			if err != nil {
+				return nil, transport.Params{}, fmt.Errorf("front: shard group %d: %w", si, &transport.RemoteError{URL: u, Err: err})
+			}
+			p := rem.Client().Params()
+			box, ok := rem.Client().Domain()
+			if !ok {
+				return nil, transport.Params{}, fmt.Errorf("front: backend %s does not advertise its serving domain; run a current vqserve", u)
+			}
+			if firstURL == "" {
+				firstURL, firstParams = u, p
+			} else if err := transport.CheckSameBundle(u, p, firstURL, firstParams); err != nil {
+				return nil, transport.Params{}, err
+			}
+			if ri == 0 {
+				ds[si].box, ds[si].params = box, p
+			} else if !sameBox(box, ds[si].box) {
+				return nil, transport.Params{}, fmt.Errorf("front: replica %s advertises a different serving domain than replica %s; replicas of one shard group must serve the same sub-box",
+					u, urls[0])
+			}
+			if p.Artifact != "" {
+				if anchorHash == "" {
+					anchorURL, anchorHash = u, p.Artifact
+				} else if p.Artifact != anchorHash {
+					return nil, transport.Params{}, &transport.ArtifactMismatchError{
+						URL: u, Hash: p.Artifact,
+						OtherURL: anchorURL, OtherHash: anchorHash,
+					}
+				}
+			}
+			// The end client holds the epoch pin; every hop here relays.
+			rem.Relay()
+			ds[si].reps = append(ds[si].reps, &replica{rem: rem, url: u})
+		}
+		ds[si].urls = urls
+	}
+	// Shard order = ascending corner order, as DialFanout orders shards.
+	sort.SliceStable(ds, func(i, j int) bool {
+		for d := range ds[i].box.Lo {
+			if ds[i].box.Lo[d] != ds[j].box.Lo[d] {
+				return ds[i].box.Lo[d] < ds[j].box.Lo[d]
+			}
+		}
+		return false
+	})
+	boxes := make([]geometry.Box, len(ds))
+	kids := make([]backend.Backend, len(ds))
+	sets := make([]*ReplicaSet, len(ds))
+	for i, d := range ds {
+		boxes[i] = d.box
+		sets[i] = newReplicaSet(i, d.reps, opt)
+		kids[i] = sets[i]
+		groups[i] = d.urls
+	}
+	plan, err := shard.PlanFromBoxes(boxes)
+	if err != nil {
+		return nil, transport.Params{}, fmt.Errorf("front: recovering the shard plan: %w", err)
+	}
+	fan, err := backend.NewFanout(plan, kids)
+	if err != nil {
+		return nil, transport.Params{}, err
+	}
+	f := &Frontend{fan: fan, sets: sets, opt: opt}
+	if opt.MaxInFlight > 0 {
+		f.gate = newGate(opt.MaxInFlight)
+	}
+	if opt.ProbeEvery > 0 {
+		f.stop = make(chan struct{})
+		f.done = make(chan struct{})
+		go f.probeLoop()
+	}
+	params := ds[0].params
+	params.Shards = plan.K()
+	params.Domain = transport.ToBoxJSON(plan.Domain)
+	params.Epoch = fan.Epoch()
+	params.Artifact = anchorHash
+	return f, params, nil
+}
+
+// sameBox compares two advertised boxes exactly: replicas of one shard
+// serve one sub-box, byte-identical through /params.
+func sameBox(a, b geometry.Box) bool {
+	if len(a.Lo) != len(b.Lo) {
+		return false
+	}
+	for d := range a.Lo {
+		if a.Lo[d] != b.Lo[d] || a.Hi[d] != b.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Close stops the background prober. The Frontend keeps serving; Close
+// exists so tests and clean shutdowns do not leak the goroutine.
+func (f *Frontend) Close() error {
+	f.stopOnce.Do(func() {
+		if f.stop != nil {
+			close(f.stop)
+			<-f.done
+		}
+	})
+	return nil
+}
+
+// probeLoop re-reads every replica's /params on a timer: a successful
+// probe clears the failure count and re-admits an ejected replica; a
+// failed or timed-out probe counts toward ejection exactly like a
+// failed request. Refresh also refuses an identity change (a different
+// backend or verifier key at the same URL), which ejects the imposter.
+func (f *Frontend) probeLoop() {
+	defer close(f.done)
+	t := time.NewTicker(f.opt.ProbeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+			f.probeAll()
+		}
+	}
+}
+
+func (f *Frontend) probeAll() {
+	for _, s := range f.sets {
+		for _, r := range s.reps {
+			ctx, cancel := context.WithTimeout(context.Background(), f.opt.ProbeTimeout)
+			_, err := r.rem.Client().Refresh(ctx)
+			cancel()
+			if err != nil {
+				err = fmt.Errorf("front: probe %s: %w", r.url, err)
+			}
+			s.noteProbe(r, err)
+		}
+	}
+}
+
+// Name implements backend.Backend.
+func (f *Frontend) Name() string { return f.fan.Name() }
+
+// Query implements backend.Backend: route to the owning replica set,
+// which hedges and fails over as configured. Not gated — see the type
+// comment.
+func (f *Frontend) Query(ctx context.Context, q query.Query, opts ...backend.Option) (backend.Answer, error) {
+	return f.fan.Query(ctx, q, opts...)
+}
+
+// QueryBatch implements backend.Backend: the batch splits per owning
+// shard and each sub-batch gets its set's routing and hedging.
+func (f *Frontend) QueryBatch(ctx context.Context, qs []query.Query, opts ...backend.Option) ([]backend.Answer, []error) {
+	return f.fan.QueryBatch(ctx, qs, opts...)
+}
+
+// QueryStream implements backend.Backend: per-shard streams (one
+// replica each, unhedged) merged in completion order.
+func (f *Frontend) QueryStream(ctx context.Context, qs []query.Query, opts ...backend.Option) iter.Seq2[int, backend.BatchResult] {
+	return f.fan.QueryStream(ctx, qs, opts...)
+}
+
+// NumShards returns the shard (replica set) count.
+func (f *Frontend) NumShards() int { return f.fan.NumShards() }
+
+// Plan returns the recovered shard plan.
+func (f *Frontend) Plan() shard.Plan { return f.fan.Plan() }
+
+// Epoch returns the fleet's newest observed publication epoch.
+func (f *Frontend) Epoch() uint64 { return f.fan.Epoch() }
+
+// Epochs returns each shard's newest observed epoch, in shard order.
+func (f *Frontend) Epochs() []uint64 { return f.fan.Epochs() }
+
+// Replicas returns the total replica count across shards.
+func (f *Frontend) Replicas() int {
+	n := 0
+	for _, s := range f.sets {
+		n += len(s.reps)
+	}
+	return n
+}
+
+// Admit implements the admission surface the transport handler gates
+// the HTTP routes with. Without a bound it admits everything.
+func (f *Frontend) Admit() (func(), error) {
+	if f.gate == nil {
+		return func() {}, nil
+	}
+	return f.gate.Admit()
+}
+
+// Snapshot returns the front's live gauge state.
+func (f *Frontend) Snapshot() Snapshot {
+	snap := Snapshot{}
+	if f.gate != nil {
+		snap.Shed = f.gate.shed.Load()
+		snap.InFlight = f.gate.inflight.Load()
+		snap.InFlightBound = f.gate.max
+	}
+	fleet := f.Epoch()
+	for _, s := range f.sets {
+		snap.Shards = append(snap.Shards, s.stat(fleet))
+	}
+	return snap
+}

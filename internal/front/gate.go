@@ -1,0 +1,37 @@
+package front
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// gate is the bounded in-flight admission control on a front's query
+// routes: at most max exchanges are admitted concurrently, and the
+// excess is shed immediately with ErrOverload (the HTTP handler maps it
+// to a 429) instead of queuing unboundedly behind a degraded fleet. A
+// shed request was never admitted, so retrying it elsewhere — or after
+// backoff — is always safe.
+type gate struct {
+	max      int64
+	inflight atomic.Int64
+	shed     atomic.Int64
+}
+
+func newGate(max int) *gate { return &gate{max: int64(max)} }
+
+// Admit claims one in-flight slot, or sheds. The returned release is
+// idempotent and must be called when the exchange ends.
+func (g *gate) Admit() (func(), error) {
+	for {
+		cur := g.inflight.Load()
+		if cur >= g.max {
+			g.shed.Add(1)
+			return nil, fmt.Errorf("front: %d requests in flight (bound %d): %w", cur, g.max, ErrOverload)
+		}
+		if g.inflight.CompareAndSwap(cur, cur+1) {
+			var once sync.Once
+			return func() { once.Do(func() { g.inflight.Add(-1) }) }, nil
+		}
+	}
+}

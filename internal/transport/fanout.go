@@ -37,7 +37,7 @@ func DialFanout(urls []string, hc *http.Client) (*backend.Fanout, Params, error)
 	for i, u := range urls {
 		r, err := DialRemote(u, hc)
 		if err != nil {
-			return nil, Params{}, fmt.Errorf("transport: backend %s: %w", u, err)
+			return nil, Params{}, &RemoteError{URL: u, Err: err}
 		}
 		box, ok := r.Client().Domain()
 		if !ok {
@@ -46,16 +46,8 @@ func DialFanout(urls []string, hc *http.Client) (*backend.Fanout, Params, error)
 		ds[i] = dialed{url: u, remote: r, box: box, params: r.Client().Params()}
 	}
 	for _, d := range ds[1:] {
-		if d.params.Backend != ds[0].params.Backend {
-			return nil, Params{}, fmt.Errorf("transport: backend %s serves %q, %s serves %q; one logical database required",
-				d.url, d.params.Backend, ds[0].url, ds[0].params.Backend)
-		}
-		if d.params.Verifier != ds[0].params.Verifier {
-			return nil, Params{}, fmt.Errorf("transport: backend %s publishes a different verifier key than %s; all shards must share one owner key (vqserve -keyseed)",
-				d.url, ds[0].url)
-		}
-		if !sameTemplate(d.params.Template, ds[0].params.Template) {
-			return nil, Params{}, fmt.Errorf("transport: backend %s publishes a different template than %s", d.url, ds[0].url)
+		if err := CheckSameBundle(d.url, d.params, ds[0].url, ds[0].params); err != nil {
+			return nil, Params{}, err
 		}
 	}
 	// Shards serving from artifacts must serve shards of the *same*
@@ -132,6 +124,26 @@ type ArtifactMismatchError struct {
 func (e *ArtifactMismatchError) Error() string {
 	return fmt.Sprintf("transport: backend %s serves artifact %.12s…, %s serves %.12s…; shard servers must load shards of one saved set",
 		e.URL, e.Hash, e.OtherURL, e.OtherHash)
+}
+
+// CheckSameBundle verifies a server's advertised bundle describes the
+// same logical database as an anchor server's: same backend name, same
+// verifier key, same template — one database, one owner. DialFanout
+// runs it across the shard servers and front.DialFront across every
+// replica of every shard; the error names both URLs.
+func CheckSameBundle(url string, p Params, anchorURL string, anchor Params) error {
+	if p.Backend != anchor.Backend {
+		return fmt.Errorf("transport: backend %s serves %q, %s serves %q; one logical database required",
+			url, p.Backend, anchorURL, anchor.Backend)
+	}
+	if p.Verifier != anchor.Verifier {
+		return fmt.Errorf("transport: backend %s publishes a different verifier key than %s; all shards must share one owner key (vqserve -keyseed)",
+			url, anchorURL)
+	}
+	if !sameTemplate(p.Template, anchor.Template) {
+		return fmt.Errorf("transport: backend %s publishes a different template than %s", url, anchorURL)
+	}
+	return nil
 }
 
 // sameTemplate compares two advertised templates field for field.

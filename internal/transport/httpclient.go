@@ -110,6 +110,10 @@ func Dial(base string, hc *http.Client) (*HTTPClient, error) {
 // Backend returns the server's advertised backend name.
 func (c *HTTPClient) Backend() string { return c.params.Backend }
 
+// Base returns the base URL the client dialed, for error attribution in
+// multi-server deployments (which replica failed, by name).
+func (c *HTTPClient) Base() string { return c.base }
+
 // Shards returns the server's advertised domain-shard count (0 = single
 // tree). Verification is identical either way.
 func (c *HTTPClient) Shards() int { return c.params.Shards }
@@ -270,6 +274,11 @@ func (c *HTTPClient) openStream(ctx context.Context, qs []query.Query) (*wire.St
 		c.noStream.Store(true) // don't pay the doomed probe again
 		return nil, nil, errStreamUnsupported
 	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		return nil, nil, fmt.Errorf("transport: %s: %w", strings.TrimSpace(string(msg)), wire.ErrOverload)
+	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 		resp.Body.Close()
@@ -306,6 +315,12 @@ func (c *HTTPClient) post(ctx context.Context, path string, reqBody []byte, limi
 	}
 	if int64(len(body)) > limit {
 		return nil, fmt.Errorf("transport: answer exceeds %d bytes", limit)
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		// The host's admission gate shed the request before any work
+		// started; surface the typed overload signal so callers can
+		// retry elsewhere instead of treating it as a server fault.
+		return nil, fmt.Errorf("transport: %s: %w", strings.TrimSpace(string(body)), wire.ErrOverload)
 	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("transport: server returned %s: %s", resp.Status, strings.TrimSpace(string(body)))

@@ -1,0 +1,118 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"net/http"
+
+	"aqverify/internal/metrics"
+	"aqverify/internal/server"
+)
+
+// This file is the GET /metrics route: the serving tally, cache-plane
+// counters and (on a front) the replica/hedge/shed gauges rendered as a
+// Prometheus text exposition. The writer is hand-rolled in
+// internal/metrics (no client library); family names are pinned by a
+// golden file in internal/front's tests, so renames are deliberate
+// wire-format changes, not refactors.
+
+// refreshEpochGauges re-observes the backend's live epochs into the
+// handler's own tally before a stats read. The tally's epoch gauges are
+// seeded once at construction; a front's children swap epochs at their
+// own pace, so /stats and /metrics re-read them at request time or the
+// epoch-lag gauges would freeze at boot values.
+func (h *Handler) refreshEpochGauges() {
+	if h.tally == nil {
+		return
+	}
+	if e, ok := h.b.(interface{ Epoch() uint64 }); ok {
+		var per []uint64
+		if es, ok := h.b.(interface{ Epochs() []uint64 }); ok {
+			per = es.Epochs()
+		}
+		h.tally.ObserveEpoch(e.Epoch(), per)
+	}
+}
+
+func (h *Handler) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	h.refreshEpochGauges()
+	var buf bytes.Buffer
+	p := metrics.NewProm(&buf)
+
+	stats, n := h.stats.Stats()
+	p.Family("aqv_queries_total", "counter", "Queries answered successfully.")
+	p.Int("aqv_queries_total", nil, int64(n))
+	p.Family("aqv_query_errors_total", "counter", "Queries refused or failed.")
+	p.Int("aqv_query_errors_total", nil, int64(h.stats.ErrorCount()))
+	p.Family("aqv_answer_bytes_total", "counter", "Wire bytes of served answers (VO sizes).")
+	p.Int("aqv_answer_bytes_total", nil, int64(stats.Bytes))
+	p.Family("aqv_nodes_visited_total", "counter", "IFMH tree nodes traversed answering queries.")
+	p.Int("aqv_nodes_visited_total", nil, int64(stats.NodesVisited))
+	p.Family("aqv_cells_visited_total", "counter", "Mesh cells scanned answering queries.")
+	p.Int("aqv_cells_visited_total", nil, int64(stats.CellsVisited))
+	p.Family("aqv_hashes_total", "counter", "Hash invocations spent answering queries.")
+	p.Int("aqv_hashes_total", nil, int64(stats.Hashes))
+	p.Family("aqv_sig_verifies_total", "counter", "Signature verifications spent answering queries.")
+	p.Int("aqv_sig_verifies_total", nil, int64(stats.SigVerifies))
+
+	epoch := h.params.Epoch
+	if e, ok := h.b.(interface{ Epoch() uint64 }); ok {
+		epoch = e.Epoch()
+	}
+	p.Family("aqv_epoch", "gauge", "Serving publication epoch.")
+	p.Int("aqv_epoch", nil, int64(epoch))
+	if sw, ok := h.stats.(interface{ Swaps() int }); ok {
+		p.Family("aqv_swaps_total", "counter", "Epoch swaps observed.")
+		p.Int("aqv_swaps_total", nil, int64(sw.Swaps()))
+	}
+
+	if ss := h.stats.ShardStats(); ss != nil {
+		p.Family("aqv_shard_queries_total", "counter", "Queries answered, by shard.")
+		p.Family("aqv_shard_errors_total", "counter", "Queries refused or failed, by shard.")
+		p.Family("aqv_shard_epoch", "gauge", "Publication epoch served, by shard.")
+		p.Family("aqv_shard_epoch_lag", "gauge", "Epochs the shard trails the serving epoch.")
+		for i, s := range ss {
+			l := []metrics.Label{{Name: "shard", Value: fmt.Sprint(i)}}
+			p.Int("aqv_shard_queries_total", l, int64(s.Queries))
+			p.Int("aqv_shard_errors_total", l, int64(s.Errors))
+			p.Int("aqv_shard_epoch", l, int64(s.Epoch))
+			p.Int("aqv_shard_epoch_lag", l, int64(s.Lag))
+		}
+	}
+
+	if cs, ok := h.b.(interface{ CacheStats() server.CacheStats }); ok {
+		writeCacheProm(p, cs.CacheStats())
+	}
+	if h.promSrc != nil {
+		h.promSrc.WriteProm(p)
+	}
+
+	if err := p.Flush(); err != nil {
+		http.Error(w, "render: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", metrics.PromContentType)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		log.Printf("transport: writing /metrics response: %v", err)
+	}
+}
+
+func writeCacheProm(p *metrics.Prom, cs server.CacheStats) {
+	p.Family("aqv_cache_hits_total", "counter", "Whole-answer cache hits.")
+	p.Int("aqv_cache_hits_total", nil, cs.Hits)
+	p.Family("aqv_cache_epoch_hits", "gauge", "Whole-answer cache hits against the current epoch (resets on swap).")
+	p.Int("aqv_cache_epoch_hits", nil, cs.EpochHits)
+	p.Family("aqv_cache_misses_total", "counter", "Whole-answer cache misses.")
+	p.Int("aqv_cache_misses_total", nil, cs.Misses)
+	p.Family("aqv_cache_collapses_total", "counter", "Queries that joined an identical in-flight query.")
+	p.Int("aqv_cache_collapses_total", nil, cs.Collapses)
+	p.Family("aqv_cache_evictions_total", "counter", "Whole-answer entries evicted by the LRU.")
+	p.Int("aqv_cache_evictions_total", nil, cs.Evictions)
+	p.Family("aqv_cache_perm_hits_total", "counter", "Permutation-tier cache hits.")
+	p.Int("aqv_cache_perm_hits_total", nil, cs.PermHits)
+	p.Family("aqv_cache_perm_misses_total", "counter", "Permutation-tier cache misses.")
+	p.Int("aqv_cache_perm_misses_total", nil, cs.PermMisses)
+	p.Family("aqv_cache_perm_evictions_total", "counter", "Permutation entries evicted by the LRU.")
+	p.Int("aqv_cache_perm_evictions_total", nil, cs.PermEvictions)
+}

@@ -59,6 +59,39 @@ func DialRemote(base string, hc *http.Client) (*Remote, error) {
 // Client returns the underlying HTTP client.
 func (r *Remote) Client() *HTTPClient { return r.c }
 
+// Relay switches the remote into relay mode: answers forward with their
+// epoch stamps intact (the end client holds the pin, not this hop) and
+// the newest epoch seen is tracked for the composed /params. Called by
+// DialFanout and front.DialFront at composition time, before the remote
+// serves traffic; it is not synchronized for later use.
+func (r *Remote) Relay() { r.relay = true }
+
+// RemoteError wraps a transport-level failure — network error, non-200
+// status, unparseable frame — with the base URL of the server that
+// failed, so a composed deployment (fanout, replica set) can name the
+// replica at fault and classify the failure (errors.As) for failover.
+// Per-item outcomes that traveled inside a healthy exchange (refusals,
+// epoch mismatches, failed verification) are never wrapped: the server
+// answered, it is not at fault at the transport level.
+type RemoteError struct {
+	URL string
+	Err error
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("transport: backend %s: %v", e.URL, e.Err)
+}
+
+func (e *RemoteError) Unwrap() error { return e.Err }
+
+// wrapErr attributes a transport-level failure to this remote's URL.
+func (r *Remote) wrapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &RemoteError{URL: r.c.base, Err: err}
+}
+
 // Name implements backend.Backend, reporting the server's advertised
 // backend name.
 func (r *Remote) Name() string { return r.c.Backend() }
@@ -94,7 +127,7 @@ func (r *Remote) Query(ctx context.Context, q query.Query, opts ...backend.Optio
 	return backend.DriveQuery(ctx, func(q query.Query, ctr *metrics.Counter) (int, uint64, []byte, error) {
 		raw, err := r.c.rawQuery(ctx, q)
 		ctr.AddBytes(uint64(len(raw)))
-		return wire.ShardNone, r.c.Epoch(), raw, err
+		return wire.ShardNone, r.c.Epoch(), raw, r.wrapErr(err)
 	}, q, opts...)
 }
 
@@ -111,6 +144,7 @@ func (r *Remote) QueryBatch(ctx context.Context, qs []query.Query, opts ...backe
 	}
 	items, err := r.c.rawBatch(ctx, qs)
 	if err != nil {
+		err = r.wrapErr(err)
 		for i := range errs {
 			answers[i].Shard = wire.ShardNone
 			errs[i] = err
@@ -164,7 +198,7 @@ func (r *Remote) QueryStream(ctx context.Context, qs []query.Query, opts ...back
 		}
 		delivered := make([]bool, len(qs))
 		if err != nil {
-			failUndelivered(delivered, err, yield)
+			failUndelivered(delivered, r.wrapErr(err), yield)
 			return
 		}
 		defer body.Close()
@@ -182,7 +216,7 @@ func (r *Remote) QueryStream(ctx context.Context, qs []query.Query, opts ...back
 				return // strict trailer: every item was delivered
 			}
 			if err != nil {
-				failUndelivered(delivered, fmt.Errorf("transport: answer stream: %w", err), yield)
+				failUndelivered(delivered, r.wrapErr(fmt.Errorf("transport: answer stream: %w", err)), yield)
 				return
 			}
 			delivered[item.Index] = true
@@ -247,7 +281,7 @@ func (r *Remote) streamVerifyPool(ctx context.Context, cancel context.CancelFunc
 				return
 			}
 			if err != nil {
-				rerr = fmt.Errorf("transport: answer stream: %w", err)
+				rerr = r.wrapErr(fmt.Errorf("transport: answer stream: %w", err))
 				return
 			}
 			select {

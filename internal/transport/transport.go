@@ -149,13 +149,33 @@ type statser interface {
 	ShardStats() []server.ShardStat
 }
 
+// admitter is the admission surface a served backend may expose — the
+// front plane's bounded in-flight gate. The handler admits at the HTTP
+// boundary, before any request frame is decoded, so an overloaded host
+// answers every query route with a cheap 429 instead of queuing the
+// work (and a stream is refused before its header commits the 200).
+// release is deferred to the end of the exchange, so one admission
+// covers a whole streamed response's lifetime.
+type admitter interface {
+	Admit() (release func(), err error)
+}
+
+// promSource lets a served backend append its own metric families to
+// the handler's /metrics exposition (the front plane's hedge, replica
+// and shed gauges).
+type promSource interface {
+	WriteProm(p *metrics.Prom)
+}
+
 // Handler serves one query backend over HTTP.
 type Handler struct {
-	b      backend.Backend
-	stats  statser       // the backend's own stats, or h.tally
-	tally  *server.Tally // non-nil when the handler tallies itself
-	params Params
-	mux    *http.ServeMux
+	b       backend.Backend
+	stats   statser       // the backend's own stats, or h.tally
+	tally   *server.Tally // non-nil when the handler tallies itself
+	admit   admitter      // non-nil when the backend gates admission
+	promSrc promSource    // non-nil when the backend adds /metrics families
+	params  Params
+	mux     *http.ServeMux
 }
 
 // NewIFMHHandler wraps an IFMH-backed server.
@@ -246,12 +266,65 @@ func NewBackendHandler(b backend.Backend, p Params) (*Handler, error) {
 			h.tally.ObserveEpoch(e.Epoch(), per)
 		}
 	}
+	// Optional surfaces may sit behind decorators (vqfront -cache wraps
+	// the front plane in the cache tier), so walk the Inner chain: the
+	// admission gate and the front gauges must keep working however the
+	// serving stack is composed.
+	h.admit = findAdmitter(b)
+	h.promSrc = findPromSource(b)
 	h.mux.HandleFunc("POST /query", h.handleQuery)
 	h.mux.HandleFunc("POST /query/batch", h.handleBatch)
 	h.mux.HandleFunc("POST /query/stream", h.handleStream)
 	h.mux.HandleFunc("GET /params", h.handleParams)
 	h.mux.HandleFunc("GET /stats", h.handleStats)
+	h.mux.HandleFunc("GET /metrics", h.handleMetrics)
 	return h, nil
+}
+
+// findAdmitter locates the admission gate in a decorated backend stack.
+func findAdmitter(b backend.Backend) admitter {
+	for cur := b; cur != nil; {
+		if a, ok := cur.(admitter); ok {
+			return a
+		}
+		in, ok := cur.(interface{ Inner() backend.Backend })
+		if !ok {
+			return nil
+		}
+		cur = in.Inner()
+	}
+	return nil
+}
+
+// findPromSource locates the extra-families source in a decorated
+// backend stack.
+func findPromSource(b backend.Backend) promSource {
+	for cur := b; cur != nil; {
+		if p, ok := cur.(promSource); ok {
+			return p
+		}
+		in, ok := cur.(interface{ Inner() backend.Backend })
+		if !ok {
+			return nil
+		}
+		cur = in.Inner()
+	}
+	return nil
+}
+
+// admitOr runs the admission gate when the backend has one, answering
+// 429 on refusal. The returned release is never nil; the caller defers
+// it around the whole exchange.
+func (h *Handler) admitOr(w http.ResponseWriter) (func(), bool) {
+	if h.admit == nil {
+		return func() {}, true
+	}
+	release, err := h.admit.Admit()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return nil, false
+	}
+	return release, true
 }
 
 // ServeHTTP implements http.Handler.
@@ -260,6 +333,11 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
+	release, ok := h.admitOr(w)
+	if !ok {
+		return
+	}
+	defer release()
 	// Read one byte past the limit so an oversize request is a 413, not
 	// a silent truncation misreported as a 400 bad query.
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBytes+1))
@@ -315,6 +393,11 @@ func readBatchRequest(w http.ResponseWriter, r *http.Request) ([]query.Query, bo
 // pool, and every per-query failure travels inside the frame so the
 // other answers still arrive.
 func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
+	release, ok := h.admitOr(w)
+	if !ok {
+		return
+	}
+	defer release()
 	qs, ok := readBatchRequest(w, r)
 	if !ok {
 		return
@@ -360,6 +443,14 @@ func batchItem(ans backend.Answer, err error) wire.BatchAnswer {
 // through r.Context(); the trailer is only written after a complete
 // stream, so a dying server is always detectable as truncation.
 func (h *Handler) handleStream(w http.ResponseWriter, r *http.Request) {
+	// Admission precedes the stream header: once the 200 and header are
+	// written there is no status left to shed with, so an overloaded
+	// host refuses the whole stream here as a 429.
+	release, ok := h.admitOr(w)
+	if !ok {
+		return
+	}
+	defer release()
 	qs, ok := readBatchRequest(w, r)
 	if !ok {
 		return
@@ -418,6 +509,7 @@ func (h *Handler) handleParams(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (h *Handler) handleStats(w http.ResponseWriter, _ *http.Request) {
+	h.refreshEpochGauges()
 	stats, n := h.stats.Stats()
 	body := map[string]any{
 		"backend":      h.b.Name(),

@@ -1,0 +1,14 @@
+package wire
+
+import "errors"
+
+// ErrOverload is the typed form of an HTTP 429 on the query routes: the
+// host's bounded in-flight admission gate refused the request instead
+// of queuing it. Nothing about the frames changes — overload is a
+// status-level outcome, rejected before any request frame is decoded —
+// so the sentinel lives here with the rest of the protocol's status
+// semantics. transport maps a 429 response to an error wrapping this
+// sentinel, and internal/front re-exports it as front.ErrOverload; test
+// with errors.Is. A shed request was never admitted: retrying against
+// another replica (or after backoff) is always safe.
+var ErrOverload = errors.New("wire: server overloaded; request shed, not queued")
