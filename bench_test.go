@@ -47,7 +47,7 @@ func benchFigure(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tbl, err := f.Run(h)
+		tbl, err := f.Run(context.Background(), h)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -32,6 +32,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -135,7 +136,7 @@ func run() error {
 
 	for _, f := range figures {
 		start := time.Now()
-		tbl, err := f.Run(h)
+		tbl, err := f.Run(context.Background(), h)
 		if err != nil {
 			return fmt.Errorf("%s: %w", f.ID, err)
 		}

@@ -1,0 +1,158 @@
+// Command vqlint is the repo's static-analysis multichecker: it loads
+// every package in the module (stdlib go/parser + go/types, no
+// subprocesses, no dependencies) and runs the project-specific
+// analyzers that mechanize the tree's correctness invariants —
+//
+//	mapdeterminism  no map iteration in the byte-identical build plane
+//	wirebounds      bounded int(...) conversions in the wire/artifact decoders
+//	errcmp          errors.Is/As instead of ==/type-assertions on errors
+//	ctxthread       no context.Background()/TODO() mid-call-graph
+//	atomictally     no mixed plain/atomic access to the same variable
+//
+// Findings print as file:line:col: analyzer: message and make the exit
+// status nonzero, so scripts/lint.sh gates CI on a clean tree. Suppress
+// a deliberate finding with //lint:ignore <analyzer> <reason> on or
+// above the offending line (file-wide: //lint:file-ignore); the reason
+// is mandatory. See docs/LINT.md for the invariant catalogue.
+//
+// Usage:
+//
+//	vqlint [-list] [-only a,b] [dir ...]
+//
+//	-list        print the registered analyzers and exit
+//	-only list   comma-separated analyzer names to run (default: all)
+//	dir          package directories, or dir/... for a recursive walk
+//	             (default: the module tree containing the working dir)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"aqverify/internal/analysis"
+	"aqverify/internal/analysis/atomictally"
+	"aqverify/internal/analysis/ctxthread"
+	"aqverify/internal/analysis/errcmp"
+	"aqverify/internal/analysis/mapdeterminism"
+	"aqverify/internal/analysis/wirebounds"
+)
+
+// analyzers is the registered suite, in output-stable order.
+var analyzers = []*analysis.Analyzer{
+	atomictally.Analyzer,
+	ctxthread.Analyzer,
+	errcmp.Analyzer,
+	mapdeterminism.Analyzer,
+	wirebounds.Analyzer,
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	list := flag.Bool("list", false, "print the registered analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	active := analyzers
+	if *only != "" {
+		active = nil
+		names := strings.Split(*only, ",")
+		for _, name := range names {
+			found := false
+			for _, a := range analyzers {
+				if a.Name == name {
+					active = append(active, a)
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "vqlint: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+		}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vqlint:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vqlint:", err)
+		return 2
+	}
+	targets := flag.Args()
+	if len(targets) == 0 {
+		targets = []string{root + "/..."}
+	}
+	var pkgs []*analysis.Package
+	for _, target := range targets {
+		if rest, ok := strings.CutSuffix(target, "/..."); ok {
+			if rest == "." || rest == "" {
+				rest = root
+			}
+			tree, err := loader.LoadTree(rest)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vqlint:", err)
+				return 2
+			}
+			pkgs = append(pkgs, tree...)
+			continue
+		}
+		pkg, err := loader.LoadDir(target)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vqlint:", err)
+			return 2
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	diags, err := analysis.Run(active, pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vqlint:", err)
+		return 2
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "vqlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot walks upward from the working directory to the nearest
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}

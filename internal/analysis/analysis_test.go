@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadSrc writes src as a one-file package in a temp dir and loads it
+// with the fixture loader (stdlib imports only).
+func loadSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "fix")
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "fix.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func TestLoaderResolvesStdlibImports(t *testing.T) {
+	pkg := loadSrc(t, `// Package fix is a loader fixture.
+package fix
+
+import "fmt"
+
+// F formats.
+func F() string { return fmt.Sprint(1) }
+`)
+	if pkg.Types.Name() != "fix" {
+		t.Fatalf("package name = %q, want fix", pkg.Types.Name())
+	}
+	if pkg.Info == nil || len(pkg.Info.Uses) == 0 {
+		t.Fatal("analysis target loaded without Info maps")
+	}
+}
+
+func TestLoaderReportsTypeErrors(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "broken")
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := "// Package broken does not type-check.\npackage broken\n\nvar x int = \"not an int\"\n"
+	if err := os.WriteFile(filepath.Join(dir, "b.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.LoadDir(dir); err == nil {
+		t.Fatal("loading a package with type errors succeeded")
+	}
+}
+
+func TestPathBase(t *testing.T) {
+	pkg := loadSrc(t, "// Package fix is a fixture.\npackage fix\n")
+	pass := &Pass{Pkg: pkg.Types}
+	if got := pass.PathBase(); got != "fix" {
+		t.Fatalf("PathBase() = %q, want fix", got)
+	}
+}
+
+// flagLines builds an analyzer that reports one finding per requested
+// source line (column 1), so directive coverage can be tested exactly.
+func flagLines(name string, lines ...int) *Analyzer {
+	return &Analyzer{
+		Name: name,
+		Doc:  "test analyzer reporting fixed lines",
+		Run: func(pass *Pass) error {
+			f := pass.Files[0]
+			tf := pass.Fset.File(f.Pos())
+			for _, line := range lines {
+				pass.Reportf(tf.LineStart(line), "finding on line %d", line)
+			}
+			return nil
+		},
+	}
+}
+
+func TestIgnoreDirectiveCoversLineAndLineBelow(t *testing.T) {
+	pkg := loadSrc(t, `// Package fix is a fixture.
+package fix
+
+//lint:ignore probe deliberate: standalone directive covers the next line
+var a = 1
+
+var b = 2 //lint:ignore probe deliberate: trailing directive covers its own line
+
+var c = 3
+`)
+	diags, err := Run([]*Analyzer{flagLines("probe", 5, 7, 9)}, []*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want exactly the line-9 finding", diags)
+	}
+	if diags[0].Pos.Line != 9 {
+		t.Fatalf("surviving finding on line %d, want 9", diags[0].Pos.Line)
+	}
+}
+
+func TestIgnoreDirectiveIsPerAnalyzer(t *testing.T) {
+	pkg := loadSrc(t, `// Package fix is a fixture.
+package fix
+
+//lint:ignore other deliberate: names a different analyzer
+var a = 1
+`)
+	diags, err := Run([]*Analyzer{flagLines("probe", 5)}, []*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "probe" {
+		t.Fatalf("diagnostics = %v, want the probe finding to survive a directive naming another analyzer", diags)
+	}
+}
+
+func TestIgnoreDirectiveMultipleAnalyzers(t *testing.T) {
+	pkg := loadSrc(t, `// Package fix is a fixture.
+package fix
+
+//lint:ignore probe,gauge deliberate: one directive, two analyzers
+var a = 1
+`)
+	diags, err := Run([]*Analyzer{flagLines("probe", 5), flagLines("gauge", 5)}, []*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("diagnostics = %v, want both analyzers suppressed", diags)
+	}
+}
+
+func TestFileIgnoreCoversWholeFile(t *testing.T) {
+	pkg := loadSrc(t, `// Package fix is a fixture.
+package fix
+
+//lint:file-ignore probe deliberate: whole file is out of scope
+var a = 1
+
+var b = 2
+`)
+	diags, err := Run([]*Analyzer{flagLines("probe", 5, 7)}, []*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("diagnostics = %v, want file-wide suppression", diags)
+	}
+}
+
+func TestReasonlessDirectiveIsAFinding(t *testing.T) {
+	pkg := loadSrc(t, `// Package fix is a fixture.
+package fix
+
+//lint:ignore probe
+var a = 1
+`)
+	diags, err := Run([]*Analyzer{flagLines("probe", 5)}, []*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reasonless directive must not suppress, and must itself be
+	// reported by the "directive" pseudo-analyzer.
+	var sawDirective, sawProbe bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "directive":
+			sawDirective = true
+		case "probe":
+			sawProbe = true
+		}
+	}
+	if !sawDirective || !sawProbe {
+		t.Fatalf("diagnostics = %v, want both the malformed-directive finding and the undimmed probe finding", diags)
+	}
+}
+
+func TestProseMentionIsNotADirective(t *testing.T) {
+	pkg := loadSrc(t, `// Package fix is a fixture.
+package fix
+
+// The escape hatch is written //lint:ignore <analyzer> <reason> and
+// documented in docs/LINT.md; this comment merely mentions lint:ignore.
+var a = 1
+`)
+	diags, err := Run(nil, []*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.Analyzer == "directive" {
+			t.Fatalf("prose mention parsed as a directive: %v", d)
+		}
+	}
+}
+
+func TestRunSortsDiagnostics(t *testing.T) {
+	pkg := loadSrc(t, `// Package fix is a fixture.
+package fix
+
+var a = 1
+
+var b = 2
+`)
+	diags, err := Run([]*Analyzer{flagLines("zz", 4), flagLines("aa", 6, 4)}, []*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3", len(diags))
+	}
+	got := make([]string, len(diags))
+	for i, d := range diags {
+		got[i] = d.String()
+		if i > 0 && !(diags[i-1].Pos.Line < d.Pos.Line ||
+			(diags[i-1].Pos.Line == d.Pos.Line && diags[i-1].Analyzer <= d.Analyzer)) {
+			t.Fatalf("diagnostics out of order:\n%s", strings.Join(got[:i+1], "\n"))
+		}
+	}
+}

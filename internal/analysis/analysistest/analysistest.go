@@ -1,0 +1,85 @@
+// Package analysistest runs one analyzer over a self-contained fixture
+// package and pins the diagnostics against a committed golden file —
+// the same golden pattern the metrics exposition tests use. Each
+// analyzer keeps its fixtures under testdata/src/<fixture>/ (the
+// directory base is the package path, so scoped analyzers key off the
+// fixture's name) and its expectations in testdata/<fixture>.golden.
+// Regenerate goldens with
+//
+//	go test ./internal/analysis/... -update
+//
+// and review the diff: the golden IS the analyzer's contract. A
+// seeded-violation fixture passes a nonzero minimum finding count, so
+// an analyzer that silently dies fails its test rather than matching
+// an accidentally empty golden.
+package analysistest
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aqverify/internal/analysis"
+)
+
+var update = flag.Bool("update", false, "rewrite the analyzer golden files")
+
+// Run loads testdata/src/<fixture> (relative to the calling test's
+// package directory), applies the analyzer, and compares the formatted
+// diagnostics — paths relative to the fixture directory — against
+// testdata/<fixture>.golden. minFindings guards against a silently
+// dead analyzer: the run must produce at least that many diagnostics
+// before suppression-free golden comparison even starts.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string, minFindings int) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	loader, err := analysis.NewLoader("")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, []*analysis.Package{pkg})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, fixture, err)
+	}
+	if len(diags) < minFindings {
+		t.Fatalf("%s on %s: %d finding(s), want at least %d — the seeded violations went undetected",
+			a.Name, fixture, len(diags), minFindings)
+	}
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(absDir, name); err == nil {
+			name = filepath.ToSlash(rel)
+		}
+		fmt.Fprintf(&sb, "%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", fixture+".golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s on %s: diagnostics differ from %s\n--- got ---\n%s--- want ---\n%s(regenerate with -update if intended)",
+			a.Name, fixture, golden, got, want)
+	}
+}

@@ -1,0 +1,143 @@
+// Package atomictally flags plain loads and stores of variables that
+// are accessed through sync/atomic function calls elsewhere in the same
+// package. A counter bumped with atomic.AddInt64(&t.count, 1) on one
+// path and read with a bare t.count on another is a data race the race
+// detector only catches when both paths fire in one test run — the
+// serving-tally class PR 3 fixed by moving every access to atomics.
+// Typed atomics (atomic.Int64 fields) are immune by construction;
+// this analyzer polices the function-style form where the compiler
+// cannot. Taking the address of such a variable (&t.count) is treated
+// as delegation, not plain access.
+package atomictally
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"aqverify/internal/analysis"
+)
+
+// Analyzer flags mixed atomic/plain access to the same variable.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomictally",
+	Doc:  "plain load/store of a variable accessed via sync/atomic elsewhere in the package",
+	Run:  run,
+}
+
+// atomicOps are the sync/atomic function-name prefixes whose pointer
+// argument marks a variable as atomically accessed.
+var atomicOps = []string{"Add", "And", "Or", "Load", "Store", "Swap", "CompareAndSwap"}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: collect the variables used atomically and the exact
+	// nodes inside atomic call arguments (those uses are sanctioned).
+	atomicVars := map[*types.Var]token.Position{}
+	sanctioned := map[ast.Node]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || ue.Op != token.AND {
+					continue
+				}
+				if v := varOf(pass, ue.X); v != nil {
+					if _, seen := atomicVars[v]; !seen {
+						atomicVars[v] = pass.Fset.Position(call.Pos())
+					}
+					sanctioned[ue.X] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other use of those variables must not be a plain
+	// load or store. Address-taking is delegation and stays legal;
+	// sanctioned nodes (the atomic arguments themselves) are skipped
+	// subtree-and-all.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if sanctioned[n] {
+				return false
+			}
+			if ue, ok := n.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+				if varOf(pass, ast.Unparen(ue.X)) != nil {
+					return false // &v: delegated, not a plain access
+				}
+			}
+			// Composite-literal keys (T{count: 0}) are initialization
+			// before publication, not racy access.
+			if cl, ok := n.(*ast.CompositeLit); ok {
+				for _, elt := range cl.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if key, ok := kv.Key.(*ast.Ident); ok {
+							sanctioned[key] = true
+						}
+					}
+				}
+				return true
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := pass.Info.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			if first, atomic := atomicVars[v]; atomic {
+				pass.Reportf(id.Pos(), "plain access of %s, which is accessed with sync/atomic elsewhere in this package (%s:%d): mixed plain/atomic access is a data race",
+					id.Name, filepath.Base(first.Filename), first.Line)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package
+// function (AddUint64, LoadInt32, StorePointer, ...).
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" {
+		return false
+	}
+	for _, op := range atomicOps {
+		if strings.HasPrefix(sel.Sel.Name, op) {
+			return true
+		}
+	}
+	return false
+}
+
+// varOf resolves a selector or identifier to the variable it names
+// (a struct field or a package/local variable), or nil.
+func varOf(pass *analysis.Pass, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := pass.Info.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		v, _ := pass.Info.Uses[e.Sel].(*types.Var)
+		return v
+	}
+	return nil
+}

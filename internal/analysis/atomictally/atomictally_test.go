@@ -1,0 +1,20 @@
+package atomictally_test
+
+import (
+	"testing"
+
+	"aqverify/internal/analysis/analysistest"
+	"aqverify/internal/analysis/atomictally"
+)
+
+// TestSeededViolations pins the mixed plain/atomic accesses the
+// fixture seeds on a struct field and a package-level counter.
+func TestSeededViolations(t *testing.T) {
+	analysistest.Run(t, atomictally.Analyzer, "bad", 3)
+}
+
+// TestCleanFixture proves zero false positives on consistent atomics,
+// typed atomics and untouched plain fields.
+func TestCleanFixture(t *testing.T) {
+	analysistest.Run(t, atomictally.Analyzer, "clean", 0)
+}

@@ -1,0 +1,66 @@
+// Package bad is atomictally's seeded-violation fixture: counters
+// bumped through sync/atomic on one path and read or written plainly
+// on another — the data-race class the serving tally once had.
+package bad
+
+import "sync/atomic"
+
+// Tally mixes atomic and plain access to its counter fields.
+type Tally struct {
+	count int64
+	errs  int64
+}
+
+// Record bumps the counters atomically.
+func (t *Tally) Record(failed bool) {
+	atomic.AddInt64(&t.count, 1)
+	if failed {
+		atomic.AddInt64(&t.errs, 1)
+	}
+}
+
+// Count reads the counter plainly while Record races it: the seeded
+// violation.
+func (t *Tally) Count() int64 {
+	return t.count // want: plain access
+}
+
+// Reset stores plainly: also flagged.
+func (t *Tally) Reset() {
+	t.count = 0 // want: plain access
+	atomic.StoreInt64(&t.errs, 0)
+}
+
+// Errs loads atomically: clean.
+func (t *Tally) Errs() int64 {
+	return atomic.LoadInt64(&t.errs)
+}
+
+// global is a package-level counter accessed atomically below.
+var global int64
+
+// Bump is the atomic path.
+func Bump() { atomic.AddInt64(&global, 1) }
+
+// Peek is the plain path: flagged.
+func Peek() int64 {
+	return global // want: plain access
+}
+
+// Hand passes the address on — delegation, not plain access: clean.
+func Hand(f func(*int64)) {
+	f(&global)
+}
+
+// NewTally initializes through a composite literal, which happens
+// before the value is shared: clean.
+func NewTally() *Tally {
+	return &Tally{count: 0, errs: 0}
+}
+
+// Snapshot shows the suppression path for a read a human has vouched
+// for.
+func (t *Tally) Snapshot() int64 {
+	//lint:ignore atomictally fixture: caller holds the only reference during shutdown
+	return t.count
+}

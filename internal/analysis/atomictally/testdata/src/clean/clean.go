@@ -1,0 +1,27 @@
+// Package clean is atomictally's clean fixture: one counter accessed
+// exclusively through sync/atomic functions, one through a typed
+// atomic (immune by construction), and one plain field never touched
+// atomically. Empty golden.
+package clean
+
+import "sync/atomic"
+
+// Stats keeps a function-style atomic counter, a typed atomic, and a
+// mutex-free plain field owned by a single goroutine.
+type Stats struct {
+	hits   int64        // sync/atomic functions only
+	misses atomic.Int64 // typed atomic
+	name   string       // never accessed atomically
+}
+
+// Hit bumps atomically.
+func (s *Stats) Hit() { atomic.AddInt64(&s.hits, 1) }
+
+// Hits loads atomically.
+func (s *Stats) Hits() int64 { return atomic.LoadInt64(&s.hits) }
+
+// Miss uses the typed atomic's methods.
+func (s *Stats) Miss() { s.misses.Add(1) }
+
+// Name reads the plain field, which no atomic path touches.
+func (s *Stats) Name() string { return s.name }

@@ -1,0 +1,20 @@
+package ctxthread_test
+
+import (
+	"testing"
+
+	"aqverify/internal/analysis/analysistest"
+	"aqverify/internal/analysis/ctxthread"
+)
+
+// TestSeededViolations pins the severed-context diagnostics: mid-graph
+// Background()/TODO() and the exported no-ctx goroutine spawner.
+func TestSeededViolations(t *testing.T) {
+	analysistest.Run(t, ctxthread.Analyzer, "bad", 3)
+}
+
+// TestCleanFixture proves zero false positives on context-honest code
+// and the Ctx-sibling shim shape.
+func TestCleanFixture(t *testing.T) {
+	analysistest.Run(t, ctxthread.Analyzer, "clean", 0)
+}

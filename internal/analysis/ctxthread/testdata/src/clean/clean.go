@@ -1,0 +1,43 @@
+// Package clean is ctxthread's clean fixture: every entry point
+// threads its caller's context, goroutine spawners take ctx, and the
+// only Background() sits inside a Ctx-sibling shim. Empty golden.
+package clean
+
+import "context"
+
+// Sum is the Ctx-sibling convenience form.
+func Sum(xs []int) int {
+	return SumCtx(context.Background(), xs)
+}
+
+// SumCtx is the context-honest implementation.
+func SumCtx(ctx context.Context, xs []int) int {
+	n := 0
+	for _, x := range xs {
+		select {
+		case <-ctx.Done():
+			return n
+		default:
+			n += x
+		}
+	}
+	return n
+}
+
+// Fan spawns workers under the caller's context.
+func Fan(ctx context.Context, jobs []func()) {
+	done := make(chan struct{}, len(jobs))
+	for _, job := range jobs {
+		go func() {
+			job()
+			done <- struct{}{}
+		}()
+	}
+	for range jobs {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package errcmp flags error comparisons that break under wrapping:
+// ==/!= against a sentinel (err == io.EOF), type assertions on error
+// values (err.(*backend.EpochError)), and type switches over errors.
+// The tree wraps errors at every layer boundary (%w through transport,
+// fanout and cache), so identity comparison silently stops matching
+// the moment a reader or decorator wraps the sentinel — use errors.Is
+// for sentinels and errors.As for typed errors. Comparisons against
+// nil are fine; so is identity comparison inside an Is(error) bool
+// method, which is the errors.Is protocol itself.
+package errcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"aqverify/internal/analysis"
+)
+
+// Analyzer flags wrap-unsafe sentinel and typed-error checks.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcmp",
+	Doc:  "==/!=/type-assertion on error values; wrapped errors need errors.Is / errors.As",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	errType := types.Universe.Lookup("error").Type()
+	isError := func(e ast.Expr) bool {
+		t := pass.TypeOf(e)
+		return t != nil && types.Identical(t, errType)
+	}
+	isNil := func(e ast.Expr) bool {
+		tv, ok := pass.Info.Types[e]
+		return ok && tv.IsNil()
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isIsMethod(pass, fd) {
+				continue // the errors.Is protocol compares identity by design
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					if !isError(n.X) && !isError(n.Y) {
+						return true
+					}
+					if isNil(n.X) || isNil(n.Y) {
+						return true
+					}
+					pass.Reportf(n.OpPos, "%s on error values breaks when the error is wrapped; use errors.Is", n.Op)
+				case *ast.TypeAssertExpr:
+					// n.Type == nil is the x.(type) of a type switch,
+					// reported at the switch below.
+					if n.Type != nil && isError(n.X) {
+						pass.Reportf(n.Pos(), "type assertion on an error value misses wrapped errors; use errors.As")
+					}
+				case *ast.TypeSwitchStmt:
+					if x := typeSwitchSubject(n); x != nil && isError(x) {
+						pass.Reportf(n.Pos(), "type switch on an error value misses wrapped errors; use errors.As")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// typeSwitchSubject extracts the switched-on expression of a type
+// switch (`switch v := x.(type)` or `switch x.(type)`).
+func typeSwitchSubject(ts *ast.TypeSwitchStmt) ast.Expr {
+	var e ast.Expr
+	switch a := ts.Assign.(type) {
+	case *ast.ExprStmt:
+		e = a.X
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			e = a.Rhs[0]
+		}
+	}
+	if ta, ok := ast.Unparen(e).(*ast.TypeAssertExpr); ok {
+		return ta.X
+	}
+	return nil
+}
+
+// isIsMethod reports whether fd is an Is(error) bool method — the hook
+// errors.Is itself calls, where identity comparison is the contract.
+func isIsMethod(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || fd.Name.Name != "Is" {
+		return false
+	}
+	obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	errType := types.Universe.Lookup("error").Type()
+	return sig.Params().Len() == 1 && types.Identical(sig.Params().At(0).Type(), errType) &&
+		sig.Results().Len() == 1 && types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool])
+}

@@ -1,0 +1,20 @@
+package errcmp_test
+
+import (
+	"testing"
+
+	"aqverify/internal/analysis/analysistest"
+	"aqverify/internal/analysis/errcmp"
+)
+
+// TestSeededViolations pins the wrap-unsafe comparisons the fixture
+// seeds: sentinel ==/!=, type assertion, type switch.
+func TestSeededViolations(t *testing.T) {
+	analysistest.Run(t, errcmp.Analyzer, "bad", 4)
+}
+
+// TestCleanFixture proves zero false positives on errors.Is/errors.As
+// code, nil comparisons and non-error type switches.
+func TestCleanFixture(t *testing.T) {
+	analysistest.Run(t, errcmp.Analyzer, "clean", 0)
+}

@@ -1,0 +1,80 @@
+// Package bad is errcmp's seeded-violation fixture: sentinel
+// comparisons, type assertions and type switches on error values that
+// all break the moment a layer wraps the error.
+package bad
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrOverload stands in for a package sentinel.
+var ErrOverload = errors.New("overloaded")
+
+// EpochError stands in for a typed error.
+type EpochError struct{ Want, Got uint64 }
+
+func (e *EpochError) Error() string { return fmt.Sprintf("epoch %d != %d", e.Got, e.Want) }
+
+// SentinelEq compares identity against a sentinel: the seeded
+// violation — a wrapped ErrOverload stops matching.
+func SentinelEq(err error) bool {
+	return err == ErrOverload // want: errors.Is
+}
+
+// EOFNeq is the stream-loop shape transport used to have.
+func EOFNeq(err error) bool {
+	if err != nil && err != io.EOF { // want: errors.Is
+		return true
+	}
+	return false
+}
+
+// Assert type-asserts an error value.
+func Assert(err error) (uint64, bool) {
+	if ee, ok := err.(*EpochError); ok { // want: errors.As
+		return ee.Want, true
+	}
+	return 0, false
+}
+
+// Switch type-switches on an error value.
+func Switch(err error) string {
+	switch err.(type) { // want: errors.As
+	case *EpochError:
+		return "epoch"
+	default:
+		return "other"
+	}
+}
+
+// NilChecks compare against nil: always clean.
+func NilChecks(err error) bool {
+	return err == nil || errors.Unwrap(err) != nil
+}
+
+// Idiomatic uses errors.Is and errors.As: clean.
+func Idiomatic(err error) (uint64, bool) {
+	if errors.Is(err, ErrOverload) {
+		return 0, true
+	}
+	var ee *EpochError
+	if errors.As(err, &ee) {
+		return ee.Want, true
+	}
+	return 0, false
+}
+
+// Is implements the errors.Is protocol on EpochError: identity
+// comparison inside an Is(error) bool method is the contract itself,
+// never flagged.
+func (e *EpochError) Is(target error) bool {
+	return target == ErrOverload
+}
+
+// Suppressed shows the escape hatch.
+func Suppressed(err error) bool {
+	//lint:ignore errcmp fixture: err is produced unwrapped two lines up
+	return err == ErrOverload
+}

@@ -1,0 +1,58 @@
+// Package clean is errcmp's clean fixture: idiomatic wrapped-error
+// handling — errors.Is for sentinels, errors.As for typed errors, nil
+// comparisons, and type switches over non-error interfaces — with an
+// empty golden.
+package clean
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrStatic is a sentinel consumed only through errors.Is.
+var ErrStatic = errors.New("static")
+
+// Typed is a typed error consumed only through errors.As.
+type Typed struct{ Code int }
+
+func (t *Typed) Error() string { return "typed" }
+
+// Drain reads until EOF the wrap-safe way.
+func Drain(next func() ([]byte, error)) (int, error) {
+	n := 0
+	for {
+		b, err := next()
+		if errors.Is(err, io.EOF) {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n += len(b)
+	}
+}
+
+// Classify dispatches on wrapped errors correctly.
+func Classify(err error) int {
+	if err == nil {
+		return 0
+	}
+	if errors.Is(err, ErrStatic) {
+		return 1
+	}
+	var t *Typed
+	if errors.As(err, &t) {
+		return t.Code
+	}
+	return -1
+}
+
+// Shape type-switches over a non-error interface: legal.
+func Shape(v any) string {
+	switch v.(type) {
+	case int:
+		return "int"
+	default:
+		return "other"
+	}
+}

@@ -1,0 +1,89 @@
+// lint:ignore directive parsing: the documented escape hatch for
+// findings that are deliberate. A directive names the analyzers it
+// silences and must carry a reason; the framework turns reasonless
+// directives into findings of their own.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreKey addresses one suppressed (file, line, analyzer) cell.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// ignores is the suppression set one package's directives produce.
+type ignores struct {
+	lines map[ignoreKey]bool // //lint:ignore — directive line and the line below
+	files map[ignoreKey]bool // //lint:file-ignore — whole file (line field zero)
+}
+
+// suppressed reports whether d is silenced by a directive.
+func (ig *ignores) suppressed(d Diagnostic) bool {
+	if ig.files[ignoreKey{d.Pos.Filename, 0, d.Analyzer}] {
+		return true
+	}
+	// A line directive covers its own line (trailing comment) and the
+	// line below (standalone comment above the offending statement).
+	return ig.lines[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+		ig.lines[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}]
+}
+
+// directives scans every comment in the package for lint:ignore and
+// lint:file-ignore, returning the suppression set plus one "directive"
+// diagnostic per malformed occurrence (missing analyzer name or reason).
+func directives(fset *token.FileSet, files []*ast.File) (*ignores, []Diagnostic) {
+	ig := &ignores{lines: map[ignoreKey]bool{}, files: map[ignoreKey]bool{}}
+	var bad []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		bad = append(bad, Diagnostic{Analyzer: "directive", Pos: fset.Position(pos), Message: msg})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// Directives are strict: line comments whose text starts
+				// immediately after the slashes (`//lint:ignore ...`), so
+				// prose that merely mentions the syntax never parses as
+				// one.
+				text := c.Text
+				var fileWide bool
+				switch {
+				case strings.HasPrefix(text, "//lint:ignore "):
+					text = strings.TrimPrefix(text, "//lint:ignore ")
+				case strings.HasPrefix(text, "//lint:file-ignore "):
+					text = strings.TrimPrefix(text, "//lint:file-ignore ")
+					fileWide = true
+				case strings.HasPrefix(text, "//lint:ignore"), strings.HasPrefix(text, "//lint:file-ignore"):
+					report(c.Pos(), "malformed lint directive: want //lint:ignore <analyzer>[,<analyzer>] <reason>")
+					continue
+				default:
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					report(c.Pos(), "malformed lint directive: want //lint:ignore <analyzer>[,<analyzer>] <reason>")
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(fields[0], ",") {
+					if name == "" {
+						report(c.Pos(), "malformed lint directive: empty analyzer name")
+						continue
+					}
+					if fileWide {
+						ig.files[ignoreKey{pos.Filename, 0, name}] = true
+					} else {
+						ig.lines[ignoreKey{pos.Filename, pos.Line, name}] = true
+					}
+				}
+			}
+		}
+	}
+	return ig, bad
+}

@@ -1,0 +1,65 @@
+// Package core is a mapdeterminism fixture: its name puts it in the
+// byte-identical build plane, so map ranges here are seeded violations.
+package core
+
+import "sort"
+
+// Digest stands in for a hashed accumulator.
+type Digest struct{ sum uint64 }
+
+// HashBuckets feeds bucket contents into the digest in map order — the
+// seeded violation: iteration order leaks into the hash.
+func HashBuckets(d *Digest, buckets map[int][]uint64) {
+	for id, vals := range buckets { // want: range over map
+		d.sum += uint64(id)
+		for _, v := range vals {
+			d.sum += v
+		}
+	}
+}
+
+// CountBuckets also ranges the map — still flagged: the analyzer
+// cannot prove the body is order-blind; a //lint:ignore with a reason
+// is how a human vouches for one (OrderBlind below).
+func CountBuckets(sizes map[string]int) int {
+	n := 0
+	for _, s := range sizes { // want: range over map
+		n += s
+	}
+	return n
+}
+
+// OrderBlind shows the suppression path: a counting loop a human has
+// vouched for.
+func OrderBlind(sizes map[string]int) int {
+	n := 0
+	//lint:ignore mapdeterminism pure count; no order-dependent output
+	for _, s := range sizes {
+		n += s
+	}
+	return n
+}
+
+// HashSorted is the idiomatic fix: extract keys (the key-collection
+// range is recognized and stays legal), sort, iterate the slice. No
+// findings.
+func HashSorted(d *Digest, buckets map[int][]uint64) {
+	keys := make([]int, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		for _, v := range buckets[k] {
+			d.sum += v
+		}
+	}
+}
+
+// SliceSum ranges a slice: never flagged.
+func SliceSum(vals []uint64) (n uint64) {
+	for _, v := range vals {
+		n += v
+	}
+	return n
+}

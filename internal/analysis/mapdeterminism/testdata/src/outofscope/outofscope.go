@@ -1,0 +1,13 @@
+// Package outofscope proves mapdeterminism's package scoping: map
+// ranges outside the build plane (any package not named core, build,
+// sweep, itree, fmh or artifact) are legal — serving-plane counters
+// and caches iterate maps freely — so this fixture's golden is empty.
+package outofscope
+
+// Sum ranges a map in a package whose output is never hashed.
+func Sum(m map[string]int) (n int) {
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,34 @@
+// Package artifact is wirebounds' clean fixture: an in-scope decoder
+// package where every conversion follows one of the guarded idioms, so
+// the golden is empty — zero false positives on idiomatic code.
+package artifact
+
+const maxCount = 1 << 24
+
+// next stands in for the blob reader.
+func next() uint32 { return 0 }
+
+// Count reads an element count with the post-conversion wrap check.
+func Count(buf []byte, min int) int {
+	n := int(next())
+	if n < 0 || (min > 0 && n > len(buf)/min+1) {
+		return 0
+	}
+	return n
+}
+
+// Shard validates the unsigned word before unbiasing it.
+func Shard(v uint32) (int, bool) {
+	if v > maxCount {
+		return 0, false
+	}
+	return int(v) - 1, true
+}
+
+// Position compares through the widening conversion.
+func Position(p uint32, n int) (int, bool) {
+	if uint64(p) >= uint64(n) {
+		return 0, false
+	}
+	return int(p), true
+}

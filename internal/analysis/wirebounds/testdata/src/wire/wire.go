@@ -1,0 +1,77 @@
+// Package wire is wirebounds' seeded-violation fixture: its name puts
+// it in the decoder scope, and it mixes the unguarded conversions the
+// analyzer must catch with every guard idiom the real codecs use.
+package wire
+
+const limit = 1 << 20
+
+// word stands in for a frame reader yielding decoded unsigned words.
+func word() uint32 { return 0 }
+
+// wide yields a decoded u64.
+func wide() uint64 { return 0 }
+
+// BadIndex converts a decoded word with no guard at all — the seeded
+// violation: on 32-bit, a forged word wraps negative.
+func BadIndex(v uint32) int {
+	return int(v) // want: unguarded
+}
+
+// BadCall converts a call result straight into an index with no bound.
+func BadCall(buf []byte) byte {
+	return buf[int(word())] // want: unguarded
+}
+
+// BadNarrowGuard compares the already-narrowed int: on 32-bit the
+// conversion wraps negative and the >= check passes — the comparison
+// is itself the bug, so both conversions are flagged.
+func BadNarrowGuard(v uint32, n int) int {
+	if int(v) >= n { // want: unguarded
+		return 0
+	}
+	return int(v) // want: unguarded
+}
+
+// PreGuarded bounds the unsigned word before converting: clean.
+func PreGuarded(v uint32) (int, bool) {
+	if v > limit {
+		return 0, false
+	}
+	return int(v), true
+}
+
+// PostGuarded converts first, then checks the result for wrap — the
+// codecs' `n := int(...); if n < 0` idiom: clean.
+func PostGuarded(buf []byte) []byte {
+	n := int(word())
+	if n < 0 || n > len(buf) {
+		return nil
+	}
+	return buf[:n]
+}
+
+// WideGuarded compares through a widening uint64 conversion, which
+// cannot wrap: clean.
+func WideGuarded(v uint32, n int) int {
+	if uint64(v) >= uint64(n) {
+		return 0
+	}
+	return int(v)
+}
+
+// Masked bounds the word with a constant mask: clean.
+func Masked(v uint64) int {
+	return int(v & 0xffff)
+}
+
+// Suppressed shows the escape hatch for a word a human has vouched for.
+func Suppressed(v uint32) int {
+	//lint:ignore wirebounds fixture: value is a version byte re-encoded upstream
+	return int(v)
+}
+
+// BadWide converts a u64 without any guard.
+func BadWide() int {
+	n := int(wide()) // want: unguarded
+	return n
+}

@@ -1,0 +1,25 @@
+package wirebounds_test
+
+import (
+	"testing"
+
+	"aqverify/internal/analysis/analysistest"
+	"aqverify/internal/analysis/wirebounds"
+)
+
+// TestSeededViolations pins the unguarded conversions the fixture
+// seeds, beside every guard idiom the real codecs use.
+func TestSeededViolations(t *testing.T) {
+	analysistest.Run(t, wirebounds.Analyzer, "wire", 4)
+}
+
+// TestCleanFixture proves zero false positives on the guarded idioms.
+func TestCleanFixture(t *testing.T) {
+	analysistest.Run(t, wirebounds.Analyzer, "artifact", 0)
+}
+
+// TestOutOfScope proves conversions outside the decoder packages are
+// not policed.
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, wirebounds.Analyzer, "outofscope", 0)
+}

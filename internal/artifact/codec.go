@@ -53,9 +53,9 @@ func (w *writer) bytes(b []byte) {
 	w.u32(uint32(len(b)))
 	w.buf = append(w.buf, b...)
 }
-func (w *writer) str(s string)              { w.bytes([]byte(s)) }
-func (w *writer) digest(d hashing.Digest)   { w.buf = append(w.buf, d[:]...) }
-func (w *writer) box(b geometry.Box)        { w.u32(uint32(b.Dim())); w.f64s(b.Lo); w.f64s(b.Hi) }
+func (w *writer) str(s string)            { w.bytes([]byte(s)) }
+func (w *writer) digest(d hashing.Digest) { w.buf = append(w.buf, d[:]...) }
+func (w *writer) box(b geometry.Box)      { w.u32(uint32(b.Dim())); w.f64s(b.Lo); w.f64s(b.Hi) }
 func (w *writer) f64s(vs []float64) {
 	for _, v := range vs {
 		w.f64(v)
@@ -136,8 +136,12 @@ func (r *reader) f64(what string) float64 { return math.Float64frombits(r.u64(wh
 func (r *reader) i32(what string) int { return int(int32(r.u32(what))) }
 
 func (r *reader) bytes(what string) []byte {
-	n := int(r.u32(what))
-	return r.raw(n, what)
+	n := r.u32(what)
+	if uint64(n) > uint64(len(r.buf)) {
+		r.fail(what)
+		return nil
+	}
+	return r.raw(int(n), what)
 }
 
 func (r *reader) str(what string) string { return string(r.bytes(what)) }
@@ -432,7 +436,7 @@ func decodeTree(data []byte) (*decodedTree, error) {
 		out := make([]int, m)
 		for i := range out {
 			p := r.u32(what)
-			if r.err == nil && int(p) >= n {
+			if r.err == nil && uint64(p) >= uint64(n) {
 				r.corrupt("%s entry %d outside %d records", what, p, n)
 				return nil
 			}
@@ -449,7 +453,7 @@ func decodeTree(data []byte) (*decodedTree, error) {
 			sw := make([]int, cnt)
 			for i := range sw {
 				pos := r.u32("swap position")
-				if r.err == nil && int(pos) >= n-1 {
+				if r.err == nil && (n < 1 || uint64(pos) >= uint64(n-1)) {
 					r.corrupt("swap position %d outside %d records", pos, n)
 					return nil, r.err
 				}
@@ -469,6 +473,10 @@ func decodeTree(data []byte) (*decodedTree, error) {
 		if r.err != nil {
 			return nil, r.err
 		}
+		if uint64(wdt) > uint64(n)+2 {
+			r.corrupt("fmh node %d has width %d for %d records", i, wdt, n)
+			return nil, r.err
+		}
 		switch {
 		case l == nilIndex && rr == nilIndex:
 			if wdt != 1 {
@@ -476,7 +484,7 @@ func decodeTree(data []byte) (*decodedTree, error) {
 			}
 		case l == nilIndex || rr == nilIndex:
 			r.corrupt("fmh node %d has one child", i)
-		case int(l) >= i || int(rr) >= i:
+		case uint64(l) >= uint64(i) || uint64(rr) >= uint64(i):
 			r.corrupt("fmh node %d references a later node", i)
 		default:
 			forest[i].L, forest[i].R = &forest[l], &forest[rr]
@@ -499,7 +507,7 @@ func decodeTree(data []byte) (*decodedTree, error) {
 		if r.err != nil {
 			return nil, r.err
 		}
-		if int(ri) >= nf {
+		if uint64(ri) >= uint64(nf) {
 			r.corrupt("subdomain %d fmh root %d outside %d nodes", i, ri, nf)
 			return nil, r.err
 		}
@@ -545,7 +553,7 @@ func decodeTree(data []byte) (*decodedTree, error) {
 			if r.err != nil {
 				return nil, r.err
 			}
-			if int(sid) >= ns {
+			if uint64(sid) >= uint64(ns) {
 				r.corrupt("imh leaf subdomain %d outside %d", sid, ns)
 			} else if subPtrs[sid] != nil {
 				r.corrupt("duplicate imh leaf for subdomain %d", sid)
@@ -562,11 +570,11 @@ func decodeTree(data []byte) (*decodedTree, error) {
 			if r.err != nil {
 				return nil, r.err
 			}
-			if int(ii) >= int(jj) || int(jj) >= n {
+			if uint64(ii) >= uint64(jj) || uint64(jj) >= uint64(n) {
 				r.corrupt("imh node %d intersection (%d,%d) outside %d functions", i, ii, jj, n)
 				break
 			}
-			if int(ai) >= i || int(bi) >= i {
+			if uint64(ai) >= uint64(i) || uint64(bi) >= uint64(i) {
 				r.corrupt("imh node %d references a later child", i)
 				break
 			}
@@ -699,6 +707,9 @@ func decodeManifest(data []byte) (*manifest, error) {
 	m.semTol = r.f64("semantic tolerance")
 	domain := r.box("plan domain")
 	axis := r.u32("plan axis")
+	if r.err == nil && axis >= uint32(domain.Dim()) {
+		r.corrupt("plan axis %d outside %d dimensions", axis, domain.Dim())
+	}
 	cuts := r.f64s(r.count("plan cut", 8), "plan cuts")
 	if r.err != nil {
 		return nil, r.err

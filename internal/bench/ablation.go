@@ -21,7 +21,7 @@ import (
 // A2 quantifies shuffled versus as-generated intersection insertion order
 // in the IMH-tree, the BST-balance effect the paper leaves unspecified.
 
-func ablationDelta(h *Harness) (*Table, error) {
+func ablationDelta(ctx context.Context, h *Harness) (*Table, error) {
 	t := &Table{
 		ID:    "ablationA1",
 		Title: "Delta vs materialized subdomain lists (build time / FMH nodes / size)",
@@ -48,7 +48,7 @@ func ablationDelta(h *Harness) (*Table, error) {
 				opts = append(opts, build.WithMaterialize())
 			}
 			start := time.Now()
-			res, err := build.Outsource(context.Background(),
+			res, err := build.Outsource(ctx,
 				build.Spec{Table: tbl, Template: funcs.AffineLine(0, 1), Domain: dom, Signer: h.signer},
 				opts...)
 			if err != nil {
@@ -75,7 +75,7 @@ func ablationDelta(h *Harness) (*Table, error) {
 	return t, nil
 }
 
-func ablationShuffle(h *Harness) (*Table, error) {
+func ablationShuffle(ctx context.Context, h *Harness) (*Table, error) {
 	t := &Table{
 		ID:    "ablationA2",
 		Title: "Shuffled vs in-order intersection insertion (IMH depth / search cost)",
@@ -97,7 +97,7 @@ func ablationShuffle(h *Harness) (*Table, error) {
 			if shuffle {
 				opts = append(opts, build.WithShuffle(h.Cfg.Seed))
 			}
-			res, err := build.Outsource(context.Background(),
+			res, err := build.Outsource(ctx,
 				build.Spec{Table: tbl, Template: funcs.AffineLine(0, 1), Domain: dom, Signer: h.signer},
 				opts...)
 			if err != nil {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -43,7 +44,7 @@ func runFig(t *testing.T, h *Harness, id string) *Table {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tbl, err := f.Run(h)
+	tbl, err := f.Run(context.Background(), h)
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}

@@ -30,7 +30,7 @@ const cacheZipfS = 1.1
 // replays every distinct query on both arms and compares outcomes and
 // result windows record for record, so the speedup is only reported
 // alongside proof that the cache changed nothing about the answers.
-func cacheScaling(h *Harness) (*Table, error) {
+func cacheScaling(ctx context.Context, h *Harness) (*Table, error) {
 	t := &Table{
 		ID:    "cacheC1",
 		Title: "Cache plane: verified query latency, cached vs uncached, Zipf workload",
@@ -43,7 +43,6 @@ func cacheScaling(h *Harness) (*Table, error) {
 			"hit-p50/p99: per-query verified latency of the cached arm's whole-answer hits",
 			"identity: every distinct query answered identically (outcome + record IDs) by both arms"},
 	}
-	ctx := context.Background()
 	count := 100 * h.Cfg.Reps
 	universe := count / 8
 	if universe > 256 {

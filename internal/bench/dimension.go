@@ -21,7 +21,7 @@ import (
 // the subdomain count and the construction cost, while the per-query
 // traversal and VO size stay modest — the asymmetry the IFMH-tree is
 // designed around.
-func ablationDimensions(h *Harness) (*Table, error) {
+func ablationDimensions(ctx context.Context, h *Harness) (*Table, error) {
 	// One family across dimensions: n anti-correlated scalar-product
 	// records over [0.05,1]^d. Anti-correlation maximizes rank crossings
 	// (the adversarial case of the top-k literature), so the arrangement
@@ -45,7 +45,7 @@ func ablationDimensions(h *Harness) (*Table, error) {
 			return nil, err
 		}
 		start := time.Now()
-		res, err := build.Outsource(context.Background(),
+		res, err := build.Outsource(ctx,
 			build.Spec{Table: tbl, Template: funcs.ScalarProduct(d), Domain: dom, Signer: h.signer},
 			build.WithMode(core.OneSignature),
 			build.WithShuffle(h.Cfg.Seed),

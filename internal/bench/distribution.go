@@ -19,7 +19,7 @@ import (
 // domain-sizing knob keeps the target density constant, so differences
 // expose genuinely distribution-driven behaviour (crossing concentration,
 // run lengths) rather than raw intersection counts.
-func ablationDistributions(h *Harness) (*Table, error) {
+func ablationDistributions(ctx context.Context, h *Harness) (*Table, error) {
 	n := h.Cfg.Sizes[0]
 	for _, s := range h.Cfg.Sizes {
 		if s > n && s <= 2000 {
@@ -42,7 +42,7 @@ func ablationDistributions(h *Harness) (*Table, error) {
 			return nil, err
 		}
 		start := time.Now()
-		res, err := build.Outsource(context.Background(),
+		res, err := build.Outsource(ctx,
 			build.Spec{Table: tbl, Template: funcs.AffineLine(0, 1), Domain: dom, Signer: h.signer},
 			build.WithMode(core.MultiSignature),
 			build.WithShuffle(h.Cfg.Seed),

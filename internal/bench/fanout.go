@@ -30,7 +30,7 @@ import (
 // the answers record for record. On a 1-CPU host the fanout column
 // mostly prices the HTTP hop — the deployment buys per-shard machines,
 // not single-core speed; see EXPERIMENTS.md for the protocol.
-func fanoutScaling(h *Harness) (*Table, error) {
+func fanoutScaling(ctx context.Context, h *Harness) (*Table, error) {
 	exchange := "buffered POST /query/batch per shard"
 	if h.Cfg.Stream {
 		exchange = "pipelined POST /query/stream per shard (-stream)"
@@ -59,7 +59,7 @@ func fanoutScaling(h *Harness) (*Table, error) {
 		spec := build.Spec{Table: tbl, Template: funcs.AffineLine(0, 1), Domain: dom, Signer: h.signer}
 		qs := fanoutBatch(dom, batchN, h.Cfg.Seed)
 		for _, k := range h.Cfg.ShardCounts {
-			res, err := build.Outsource(context.Background(), spec,
+			res, err := build.Outsource(ctx, spec,
 				build.WithMode(core.MultiSignature),
 				build.WithShuffle(h.Cfg.Seed),
 				build.WithWorkers(h.Cfg.Workers),
@@ -69,11 +69,11 @@ func fanoutScaling(h *Harness) (*Table, error) {
 			}
 			set := res.Set
 
-			shardedQPS, shardedAns, err := timeShardedBatch(set, qs)
+			shardedQPS, shardedAns, err := timeShardedBatch(ctx, set, qs)
 			if err != nil {
 				return nil, err
 			}
-			fanoutQPS, fanoutAns, err := timeFanoutBatch(set, qs, h.Cfg.Stream, h.Cfg.Cache)
+			fanoutQPS, fanoutAns, err := timeFanoutBatch(ctx, set, qs, h.Cfg.Stream, h.Cfg.Cache)
 			if err != nil {
 				return nil, err
 			}
@@ -112,7 +112,7 @@ func fanoutBatch(dom geometry.Box, n int, seed int64) []query.Query {
 
 // timeShardedBatch answers the batch on a single-process sharded server
 // and returns throughput plus the raw answers.
-func timeShardedBatch(set *shard.Set, qs []query.Query) (float64, []backend.Answer, error) {
+func timeShardedBatch(ctx context.Context, set *shard.Set, qs []query.Query) (float64, []backend.Answer, error) {
 	sb, err := server.NewShardedIFMH(set)
 	if err != nil {
 		return 0, nil, err
@@ -122,7 +122,6 @@ func timeShardedBatch(set *shard.Set, qs []query.Query) (float64, []backend.Answ
 		return 0, nil, err
 	}
 	// Warm once, then time.
-	ctx := context.Background()
 	srv.QueryBatch(ctx, qs)
 	start := time.Now()
 	answers, errs := srv.QueryBatch(ctx, qs)
@@ -140,7 +139,7 @@ func timeShardedBatch(set *shard.Set, qs []query.Query) (float64, []backend.Answ
 // batch through the front-end — over one buffered batch exchange per
 // shard, or (stream) over the pipelined wire transport, with (cached)
 // the front-end wrapped in the cache tier, the vqfront -cache topology.
-func timeFanoutBatch(set *shard.Set, qs []query.Query, stream, cached bool) (float64, []backend.Answer, error) {
+func timeFanoutBatch(ctx context.Context, set *shard.Set, qs []query.Query, stream, cached bool) (float64, []backend.Answer, error) {
 	urls := make([]string, set.NumShards())
 	servers := make([]*httptest.Server, set.NumShards())
 	defer func() {
@@ -172,7 +171,6 @@ func timeFanoutBatch(set *shard.Set, qs []query.Query, stream, cached bool) (flo
 			return 0, nil, err
 		}
 	}
-	ctx := context.Background()
 	run := func(qs []query.Query) ([]backend.Answer, []error) {
 		if !stream {
 			return front.QueryBatch(ctx, qs)

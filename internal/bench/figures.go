@@ -1,12 +1,15 @@
 package bench
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Figure is one regenerable evaluation artifact.
 type Figure struct {
 	ID    string
 	Title string
-	Run   func(h *Harness) (*Table, error)
+	Run   func(ctx context.Context, h *Harness) (*Table, error)
 }
 
 // Figures lists every paper figure plus the two ablations, in paper

@@ -1,10 +1,12 @@
 package bench
 
+import "context"
+
 // Figure 5 — data owner overhead: signatures needed (5a), construction
 // time (5b), structure size (5c), per database size, for the signature
 // mesh versus the one-signature and multi-signature IFMH-trees.
 
-func fig5a(h *Harness) (*Table, error) {
+func fig5a(ctx context.Context, h *Harness) (*Table, error) {
 	t := &Table{
 		ID:      "fig5a",
 		Title:   "Signatures needed to create the structure",
@@ -12,7 +14,7 @@ func fig5a(h *Harness) (*Table, error) {
 		Notes:   []string{h.schemeNote()},
 	}
 	for _, n := range h.Cfg.Sizes {
-		e, err := h.Env(n)
+		e, err := h.Env(ctx, n)
 		if err != nil {
 			return nil, err
 		}
@@ -24,7 +26,7 @@ func fig5a(h *Harness) (*Table, error) {
 	return t, nil
 }
 
-func fig5b(h *Harness) (*Table, error) {
+func fig5b(ctx context.Context, h *Harness) (*Table, error) {
 	t := &Table{
 		ID:      "fig5b",
 		Title:   "Construction time (seconds)",
@@ -32,7 +34,7 @@ func fig5b(h *Harness) (*Table, error) {
 		Notes:   []string{h.schemeNote()},
 	}
 	for _, n := range h.Cfg.Sizes {
-		e, err := h.Env(n)
+		e, err := h.Env(ctx, n)
 		if err != nil {
 			return nil, err
 		}
@@ -44,7 +46,7 @@ func fig5b(h *Harness) (*Table, error) {
 	return t, nil
 }
 
-func fig5c(h *Harness) (*Table, error) {
+func fig5c(ctx context.Context, h *Harness) (*Table, error) {
 	t := &Table{
 		ID:      "fig5c",
 		Title:   "Structure size",
@@ -55,7 +57,7 @@ func fig5c(h *Harness) (*Table, error) {
 		},
 	}
 	for _, n := range h.Cfg.Sizes {
-		e, err := h.Env(n)
+		e, err := h.Env(ctx, n)
 		if err != nil {
 			return nil, err
 		}

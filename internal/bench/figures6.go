@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"aqverify/internal/metrics"
@@ -54,7 +55,7 @@ func (h *Harness) queriesFor(e *Env, kind query.Kind, resultSize int) ([]query.Q
 	}
 }
 
-func fig6sweep(h *Harness, id, title string, kind query.Kind) (*Table, error) {
+func fig6sweep(ctx context.Context, h *Harness, id, title string, kind query.Kind) (*Table, error) {
 	t := &Table{
 		ID:      id,
 		Title:   title,
@@ -62,7 +63,7 @@ func fig6sweep(h *Harness, id, title string, kind query.Kind) (*Table, error) {
 		Notes:   []string{h.schemeNote()},
 	}
 	for _, n := range h.Cfg.Sizes {
-		e, err := h.Env(n)
+		e, err := h.Env(ctx, n)
 		if err != nil {
 			return nil, err
 		}
@@ -79,21 +80,21 @@ func fig6sweep(h *Harness, id, title string, kind query.Kind) (*Table, error) {
 	return t, nil
 }
 
-func fig6a(h *Harness) (*Table, error) {
-	return fig6sweep(h, "fig6a", "Elements traversed constructing VO(q), top-3 query", query.TopK)
+func fig6a(ctx context.Context, h *Harness) (*Table, error) {
+	return fig6sweep(ctx, h, "fig6a", "Elements traversed constructing VO(q), top-3 query", query.TopK)
 }
 
-func fig6b(h *Harness) (*Table, error) {
-	return fig6sweep(h, "fig6b", "Elements traversed constructing VO(q), 3NN query", query.KNN)
+func fig6b(ctx context.Context, h *Harness) (*Table, error) {
+	return fig6sweep(ctx, h, "fig6b", "Elements traversed constructing VO(q), 3NN query", query.KNN)
 }
 
-func fig6c(h *Harness) (*Table, error) {
-	return fig6sweep(h, "fig6c", "Elements traversed constructing VO(q), range query with 3 results", query.Range)
+func fig6c(ctx context.Context, h *Harness) (*Table, error) {
+	return fig6sweep(ctx, h, "fig6c", "Elements traversed constructing VO(q), range query with 3 results", query.Range)
 }
 
-func fig6d(h *Harness) (*Table, error) {
+func fig6d(ctx context.Context, h *Harness) (*Table, error) {
 	n := h.Cfg.maxSize()
-	e, err := h.Env(n)
+	e, err := h.Env(ctx, n)
 	if err != nil {
 		return nil, err
 	}

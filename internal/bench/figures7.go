@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -85,12 +86,12 @@ type fig7row struct {
 	mesh, one, multi verifyStat
 }
 
-func (h *Harness) fig7rows() ([]fig7row, error) {
+func (h *Harness) fig7rows(ctx context.Context) ([]fig7row, error) {
 	if h.fig7cache != nil {
 		return h.fig7cache, nil
 	}
 	n := h.Cfg.maxSize()
-	e, err := h.Env(n)
+	e, err := h.Env(ctx, n)
 	if err != nil {
 		return nil, err
 	}
@@ -128,8 +129,8 @@ func (h *Harness) fig7rows() ([]fig7row, error) {
 	return rows, nil
 }
 
-func fig7a(h *Harness) (*Table, error) {
-	rows, err := h.fig7rows()
+func fig7a(ctx context.Context, h *Harness) (*Table, error) {
+	rows, err := h.fig7rows(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -149,8 +150,8 @@ func fig7a(h *Harness) (*Table, error) {
 	return t, nil
 }
 
-func fig7b(h *Harness) (*Table, error) {
-	rows, err := h.fig7rows()
+func fig7b(ctx context.Context, h *Harness) (*Table, error) {
+	rows, err := h.fig7rows(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -174,8 +175,8 @@ func fig7b(h *Harness) (*Table, error) {
 	return t, nil
 }
 
-func fig7c(h *Harness) (*Table, error) {
-	rows, err := h.fig7rows()
+func fig7c(ctx context.Context, h *Harness) (*Table, error) {
+	rows, err := h.fig7rows(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -212,8 +213,8 @@ func fig7c(h *Harness) (*Table, error) {
 	return t, nil
 }
 
-func fig7d(h *Harness) (*Table, error) {
-	rows, err := h.fig7rows()
+func fig7d(ctx context.Context, h *Harness) (*Table, error) {
+	rows, err := h.fig7rows(ctx)
 	if err != nil {
 		return nil, err
 	}

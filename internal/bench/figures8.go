@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"aqverify/internal/query"
@@ -34,9 +35,9 @@ func (h *Harness) voSizes(e *Env, qs []query.Query) (meshB, oneB, multiB float64
 	return meshB / k, oneB / k, multiB / k, nil
 }
 
-func fig8a(h *Harness) (*Table, error) {
+func fig8a(ctx context.Context, h *Harness) (*Table, error) {
 	n := h.Cfg.maxSize()
-	e, err := h.Env(n)
+	e, err := h.Env(ctx, n)
 	if err != nil {
 		return nil, err
 	}
@@ -63,7 +64,7 @@ func fig8a(h *Harness) (*Table, error) {
 	return t, nil
 }
 
-func fig8b(h *Harness) (*Table, error) {
+func fig8b(ctx context.Context, h *Harness) (*Table, error) {
 	t := &Table{
 		ID:      "fig8b",
 		Title:   fmt.Sprintf("Verification object size by database size (|q| = %d)", h.Cfg.QFixed),
@@ -71,7 +72,7 @@ func fig8b(h *Harness) (*Table, error) {
 		Notes:   []string{h.schemeNote()},
 	}
 	for _, n := range h.Cfg.Sizes {
-		e, err := h.Env(n)
+		e, err := h.Env(ctx, n)
 		if err != nil {
 			return nil, err
 		}

@@ -32,7 +32,7 @@ import (
 // replica whenever P2C lands on it, a hedged client re-issues to the
 // healthy sibling after the p99-tracked deadline and takes the first
 // verified answer. See EXPERIMENTS.md for the protocol.
-func frontTail(h *Harness) (*Table, error) {
+func frontTail(ctx context.Context, h *Harness) (*Table, error) {
 	const (
 		shards   = 2
 		replicas = 2
@@ -55,7 +55,7 @@ func frontTail(h *Harness) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := build.Outsource(context.Background(),
+	res, err := build.Outsource(ctx,
 		build.Spec{Table: tbl, Template: funcs.AffineLine(0, 1), Domain: dom, Signer: h.signer},
 		build.WithMode(core.MultiSignature),
 		build.WithShuffle(h.Cfg.Seed),
@@ -103,7 +103,7 @@ func frontTail(h *Harness) (*Table, error) {
 	// the contention tail of the healthy replicas, or "slow" is
 	// indistinguishable from an ordinary bad draw (floor 25ms for fast
 	// loopbacks).
-	cal, err := driveFront(groups, 0, qs[:min(len(qs), 50)], workers, verify)
+	cal, err := driveFront(ctx, groups, 0, qs[:min(len(qs), 50)], workers, verify)
 	if err != nil {
 		return nil, err
 	}
@@ -113,11 +113,11 @@ func frontTail(h *Harness) (*Table, error) {
 	}
 	slowNS.Store(int64(slow))
 
-	unhedged, err := driveFront(groups, 0, qs, workers, verify)
+	unhedged, err := driveFront(ctx, groups, 0, qs, workers, verify)
 	if err != nil {
 		return nil, err
 	}
-	hedged, err := driveFront(groups, 1.0, qs, workers, verify)
+	hedged, err := driveFront(ctx, groups, 1.0, qs, workers, verify)
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +162,7 @@ type frontRun struct {
 // driveFront dials a fresh Frontend over the groups (fresh latency
 // digest and counters per arm) and drives the query sequence through it
 // with the given concurrency, verifying every answer.
-func driveFront(groups [][]string, hedge float64, qs []query.Query, workers int, verify backend.Option) (frontRun, error) {
+func driveFront(ctx context.Context, groups [][]string, hedge float64, qs []query.Query, workers int, verify backend.Option) (frontRun, error) {
 	f, _, err := front.DialFront(groups, front.HTTPClient(), front.Options{
 		HedgeFraction: hedge,
 		HedgeAfterMin: 2 * time.Millisecond,
@@ -180,7 +180,6 @@ func driveFront(groups [][]string, hedge float64, qs []query.Query, workers int,
 		lats   []time.Duration
 		wg     sync.WaitGroup
 	)
-	ctx := context.Background()
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)

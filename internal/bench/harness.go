@@ -72,7 +72,7 @@ func NewHarness(cfg Config) (*Harness, error) {
 }
 
 // Env returns (building on first use) the environment for database size n.
-func (h *Harness) Env(n int) (*Env, error) {
+func (h *Harness) Env(ctx context.Context, n int) (*Env, error) {
 	if e, ok := h.envs[n]; ok {
 		return e, nil
 	}
@@ -92,7 +92,7 @@ func (h *Harness) Env(n int) (*Env, error) {
 	buildTree := func(mode core.Mode) (*core.Tree, BuildStat, error) {
 		var ctr metrics.Counter
 		start := time.Now()
-		res, err := build.Outsource(context.Background(), spec,
+		res, err := build.Outsource(ctx, spec,
 			build.WithMode(mode),
 			build.WithHasher(hashing.New(&ctr)),
 			build.WithShuffle(h.Cfg.Seed),
@@ -120,7 +120,7 @@ func (h *Harness) Env(n int) (*Env, error) {
 
 	var mctr metrics.Counter
 	start := time.Now()
-	meshRes, err := build.Outsource(context.Background(), spec,
+	meshRes, err := build.Outsource(ctx, spec,
 		build.WithMesh(),
 		build.WithHasher(hashing.New(&mctr)),
 		build.WithWorkers(h.Cfg.Workers))

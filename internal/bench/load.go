@@ -25,7 +25,7 @@ import (
 // serving tree; the identity column answers sampled queries on each and
 // requires the wire-encoded answers — records, VO, signatures — to be
 // byte-for-byte equal, so the speedup is bought with zero drift.
-func loadScaling(h *Harness) (*Table, error) {
+func loadScaling(ctx context.Context, h *Harness) (*Table, error) {
 	t := &Table{
 		ID:    "loadA1",
 		Title: "Artifact plane: cold rebuild vs artifact load",
@@ -36,7 +36,6 @@ func loadScaling(h *Harness) (*Table, error) {
 			"speedup: build-sec / load-sec — what a restart skips by loading instead of rebuilding",
 			"identity: sampled queries answered by the loaded tree match the built tree byte-for-byte (wire-encoded answer, VO and signatures included)"},
 	}
-	ctx := context.Background()
 	for _, n := range h.Cfg.AblationSizes {
 		tbl, dom, err := workload.Lines(workload.LinesConfig{
 			N: n, Seed: h.Cfg.Seed, Dist: h.Cfg.Dist, Density: h.Cfg.Density,

@@ -34,7 +34,7 @@ var mutationBatchSizes = []int{1, 4, 16, 64}
 // sweet spot — a single-record change re-signs one root instead of
 // every subdomain — and the mode the protocol's headline ratio is
 // quoted in (see EXPERIMENTS.md).
-func mutationScaling(h *Harness) (*Table, error) {
+func mutationScaling(ctx context.Context, h *Harness) (*Table, error) {
 	t := &Table{
 		ID:    "mutM1",
 		Title: "Mutation plane: incremental apply vs full rebuild by batch size",
@@ -45,7 +45,6 @@ func mutationScaling(h *Harness) (*Table, error) {
 			"batches mix insert/update/delete round-robin; mode=one (single root signature)",
 			"identity: sampled queries answered by the applied tree match the rebuilt tree record-for-record"},
 	}
-	ctx := context.Background()
 	for _, n := range h.Cfg.AblationSizes {
 		tbl, dom, err := workload.Lines(workload.LinesConfig{
 			N: n, Seed: h.Cfg.Seed, Dist: h.Cfg.Dist, Density: h.Cfg.Density,

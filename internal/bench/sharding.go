@@ -24,7 +24,7 @@ import (
 // subsystem promises. On a 1-CPU host the build-time column shows
 // overhead only; record speedup curves on a multicore runner (see
 // EXPERIMENTS.md).
-func shardScaling(h *Harness) (*Table, error) {
+func shardScaling(ctx context.Context, h *Harness) (*Table, error) {
 	t := &Table{
 		ID:    "shardS1",
 		Title: "Sharding: build cost and subdomain split by shard count",
@@ -43,7 +43,7 @@ func shardScaling(h *Harness) (*Table, error) {
 		spec := build.Spec{Table: tbl, Template: funcs.AffineLine(0, 1), Domain: dom, Signer: h.signer}
 		buildSet := func(k int) (*shard.Set, float64, error) {
 			start := time.Now()
-			res, err := build.Outsource(context.Background(), spec,
+			res, err := build.Outsource(ctx, spec,
 				build.WithMode(core.MultiSignature),
 				build.WithShuffle(h.Cfg.Seed),
 				build.WithWorkers(h.Cfg.Workers),
@@ -93,7 +93,7 @@ func shardScaling(h *Harness) (*Table, error) {
 // planner's per-shard subdomain spread (max/min over the K shards) and
 // cross-checks routed answers against the K=1 build — rebalancing must
 // never change a verdict or a result window.
-func planScaling(h *Harness) (*Table, error) {
+func planScaling(ctx context.Context, h *Harness) (*Table, error) {
 	t := &Table{
 		ID:    "planQ1",
 		Title: "Shard planners: even vs quantile cuts on a clustered workload",
@@ -120,7 +120,7 @@ func planScaling(h *Harness) (*Table, error) {
 			build.WithShuffle(h.Cfg.Seed),
 			build.WithWorkers(h.Cfg.Workers),
 		}
-		base, err := build.Outsource(context.Background(), spec, append(opts, build.WithShards(1, 0))...)
+		base, err := build.Outsource(ctx, spec, append(opts, build.WithShards(1, 0))...)
 		if err != nil {
 			return nil, fmt.Errorf("bench: n=%d K=1 baseline: %w", n, err)
 		}
@@ -129,7 +129,7 @@ func planScaling(h *Harness) (*Table, error) {
 				continue
 			}
 			for _, pl := range planners {
-				res, err := build.Outsource(context.Background(), spec,
+				res, err := build.Outsource(ctx, spec,
 					append(opts, build.WithShards(k, 0), build.WithPlanner(pl.p))...)
 				if err != nil {
 					return nil, fmt.Errorf("bench: n=%d K=%d %s: %w", n, k, pl.name, err)

@@ -24,7 +24,7 @@ import (
 // arrives, so the first verified result lands after roughly one query's
 // work. Both transports answer the same batch against the same server
 // and are cross-checked record for record.
-func streamFirstResult(h *Harness) (*Table, error) {
+func streamFirstResult(ctx context.Context, h *Harness) (*Table, error) {
 	t := &Table{
 		ID:    "streamT1",
 		Title: "Streaming transport: time-to-first-verified-result vs the buffered batch exchange",
@@ -43,7 +43,7 @@ func streamFirstResult(h *Harness) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := build.Outsource(context.Background(),
+		res, err := build.Outsource(ctx,
 			build.Spec{Table: tbl, Template: funcs.AffineLine(0, 1), Domain: dom, Signer: h.signer},
 			build.WithMode(core.MultiSignature),
 			build.WithShuffle(h.Cfg.Seed),
@@ -71,7 +71,6 @@ func streamFirstResult(h *Harness) (*Table, error) {
 			return nil, fmt.Errorf("bench: server advertises no IFMH parameters")
 		}
 		qs := fanoutBatch(dom, batchN, h.Cfg.Seed)
-		ctx := context.Background()
 
 		// Warm both paths once, then time.
 		remote.QueryBatch(ctx, qs, backend.WithVerify(pub))

@@ -191,7 +191,7 @@ func VerifyBatchCtx(ctx context.Context, pub PublicParams, items []BatchItem, wo
 		errs[i] = Verify(pub, it.Query, it.Records, it.VO, &ctrs[w])
 	})
 	for i := range errs {
-		if errs[i] == errNotVerified {
+		if errors.Is(errs[i], errNotVerified) {
 			errs[i] = err
 		}
 	}

@@ -161,7 +161,7 @@ type Frontend struct {
 //
 // The returned Params is the merged trust bundle the front republishes,
 // exactly as DialFanout merges it.
-func DialFront(groups [][]string, hc *http.Client, opt Options) (*Frontend, transport.Params, error) {
+func DialFront(groups [][]string, hc *http.Client, opt Options) (*Frontend, transport.Params, error) { //lint:ignore ctxthread the prober is process-lifetime background work owned by the Frontend; Close stops it
 	opt = opt.withDefaults()
 	if len(groups) == 0 {
 		return nil, transport.Params{}, fmt.Errorf("front: no backends given")
@@ -308,6 +308,7 @@ func (f *Frontend) probeLoop() {
 func (f *Frontend) probeAll() {
 	for _, s := range f.sets {
 		for _, r := range s.reps {
+			//lint:ignore ctxthread probes run on the Frontend's own lifetime, not a request's; the stop channel ends the loop
 			ctx, cancel := context.WithTimeout(context.Background(), f.opt.ProbeTimeout)
 			_, err := r.rem.Client().Refresh(ctx)
 			cancel()

@@ -33,7 +33,7 @@ func Workers(workers, n int) int {
 // concurrently with distinct i; worker identifies the calling goroutine
 // in [0, workers) so fn can index per-worker state without locking. Run
 // returns once every index has been processed.
-func Run(n, workers int, fn func(worker, i int)) {
+func Run(n, workers int, fn func(worker, i int)) { //lint:ignore ctxthread Run is the uncancellable primitive; RunCtx is the context-aware variant callers thread
 	if n <= 0 {
 		return
 	}

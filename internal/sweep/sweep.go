@@ -149,6 +149,7 @@ func applyCrossing(fs []funcs.Linear, perm, inv []int, group []Pair, nextWitness
 		involved[pr.J] = true
 	}
 	positions := make([]int, 0, len(involved))
+	//lint:ignore mapdeterminism order-blind: positions are sorted immediately below, before any use
 	for f := range involved {
 		if f < 0 || f >= len(perm) {
 			return nil, fmt.Errorf("pair references function %d outside [0,%d)", f, len(perm))

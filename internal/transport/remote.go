@@ -212,7 +212,7 @@ func (r *Remote) QueryStream(ctx context.Context, qs []query.Query, opts ...back
 		defer fin.Flush()
 		for {
 			item, err := sr.Next()
-			if err == io.EOF {
+			if errors.Is(err, io.EOF) {
 				return // strict trailer: every item was delivered
 			}
 			if err != nil {
@@ -277,7 +277,7 @@ func (r *Remote) streamVerifyPool(ctx context.Context, cancel context.CancelFunc
 		defer close(frames)
 		for {
 			item, err := sr.Next()
-			if err == io.EOF {
+			if errors.Is(err, io.EOF) {
 				return
 			}
 			if err != nil {

@@ -54,7 +54,7 @@ func decodeQuery(r *reader) query.Query {
 	for i := range q.X {
 		q.X[i] = r.f64("query var")
 	}
-	q.K = int(r.u32("query k"))
+	q.K = r.nonneg("query k")
 	q.L = r.f64("query l")
 	q.U = r.f64("query u")
 	q.Y = r.f64("query y")
@@ -168,8 +168,8 @@ func DecodeIFMH(b []byte) (*core.Answer, error) {
 	a.Query = decodeQuery(r)
 	a.Records = decodeRecords(r)
 	a.VO.Mode = core.Mode(r.u8("mode"))
-	a.VO.ListLen = int(r.u32("list len"))
-	a.VO.Start = int(r.u32("start"))
+	a.VO.ListLen = r.nonneg("list len")
+	a.VO.Start = r.nonneg("start")
 	a.VO.Left = decodeBoundary(r)
 	a.VO.Right = decodeBoundary(r)
 	a.VO.FProof.Hashes = decodeDigests(r)
@@ -243,7 +243,7 @@ func DecodeMesh(b []byte) (*mesh.Answer, error) {
 	a := &mesh.Answer{}
 	a.Query = decodeQuery(r)
 	a.Records = decodeRecords(r)
-	a.VO.ListLen = int(r.u32("list len"))
+	a.VO.ListLen = r.nonneg("list len")
 	a.VO.Left = decodeBoundary(r)
 	a.VO.Right = decodeBoundary(r)
 	np := r.count("pairs", 20)

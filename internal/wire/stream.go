@@ -135,7 +135,7 @@ func (sr *StreamReader) Next() (StreamItem, error) {
 		return StreamItem{}, io.EOF
 	}
 	item, err := sr.next()
-	if err != nil && err != io.EOF {
+	if err != nil && !errors.Is(err, io.EOF) {
 		sr.err = err
 	}
 	return item, err
@@ -164,7 +164,7 @@ func (sr *StreamReader) next() (StreamItem, error) {
 		var b [1]byte
 		if _, err := io.ReadFull(sr.r, b[:]); err == nil {
 			return StreamItem{}, fmt.Errorf("wire: bytes after the stream trailer")
-		} else if err != io.EOF {
+		} else if !errors.Is(err, io.EOF) {
 			return StreamItem{}, fmt.Errorf("wire: reading past the stream trailer: %w", err)
 		}
 		sr.done = true

@@ -159,7 +159,7 @@ func TestStreamRejectsBadFrames(t *testing.T) {
 	}
 	var buf2 bytes.Buffer
 	buf2.Write(EncodeStreamHeader(1))
-	buf2.Write([]byte{frameStreamItem, 0xFF, 0xFF, 0xFF, 0xFF})           // index
+	buf2.Write([]byte{frameStreamItem, 0xFF, 0xFF, 0xFF, 0xFF})          // index
 	buf2.Write([]byte{StatusAnswer, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}) // status, shard, epoch
 	buf2.Write([]byte{0, 0, 0, 0})                                       // empty payload
 	buf2.Write(EncodeStreamTrailer(1))

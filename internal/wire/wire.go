@@ -120,6 +120,18 @@ func (r *reader) count(what string, min int) int {
 	return n
 }
 
+// nonneg reads a u32 field that lands in an int (counts, offsets) and
+// bounds it to MaxInt32 so the conversion can never go negative on a
+// 32-bit int.
+func (r *reader) nonneg(what string) int {
+	v := r.u32(what)
+	if v > math.MaxInt32 {
+		r.fail(what)
+		return 0
+	}
+	return int(v)
+}
+
 func (r *reader) done() error {
 	if r.err != nil {
 		return r.err

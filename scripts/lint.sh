@@ -1,0 +1,21 @@
+#!/bin/sh
+# lint.sh — fail when vqlint finds a violated repo invariant.
+#
+# The CI gate behind the analysis plane (see docs/LINT.md): cmd/vqlint
+# loads every package in the module straight from source (stdlib
+# go/parser + go/types, no tools beyond the toolchain) and runs the
+# project analyzers — mapdeterminism, wirebounds, errcmp, ctxthread,
+# atomictally. Any finding fails the gate; deliberate exceptions are
+# suppressed in the source with a reasoned
+#
+#	//lint:ignore <analyzer> <reason>
+#
+# directive, never here. Exit codes follow vqlint: 0 clean, 1 findings,
+# 2 the run itself failed (a package that no longer type-checks, say).
+#
+# Usage: scripts/lint.sh [root]   (default: repo root)
+set -eu
+root=${1:-$(dirname "$0")/..}
+cd "$root"
+go run ./cmd/vqlint ./...
+echo "lint: no findings"
